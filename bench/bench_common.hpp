@@ -1,0 +1,79 @@
+#pragma once
+
+// Shared plumbing for the figure-reproduction harnesses: each bench binary
+// simulates its scenario at a bench-friendly scale (override with
+// WTR_BENCH_SCALE=<devices>), runs the corresponding analysis, and prints
+// paper-vs-measured rows through wtr::io::Table.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/census.hpp"
+#include "core/platform_analysis.hpp"
+#include "io/table.hpp"
+#include "tracegen/calibration.hpp"
+#include "tracegen/m2m_platform_scenario.hpp"
+#include "tracegen/mno_scenario.hpp"
+#include "tracegen/smip_scenario.hpp"
+
+namespace wtr::bench {
+
+inline std::size_t scale_override(std::size_t fallback) {
+  if (const char* env = std::getenv("WTR_BENCH_SCALE")) {
+    const long value = std::atol(env);
+    if (value > 0) return static_cast<std::size_t>(value);
+  }
+  return fallback;
+}
+
+/// Paper-vs-measured row helper.
+inline void add_check(io::Table& table, const std::string& metric, double paper,
+                      double measured, bool percent = true) {
+  table.add_row({metric, percent ? io::format_percent(paper) : io::format_fixed(paper),
+                 percent ? io::format_percent(measured) : io::format_fixed(measured)});
+}
+
+struct MnoRun {
+  std::unique_ptr<tracegen::MnoScenario> scenario;
+  records::DevicesCatalog catalog;
+  core::ClassifiedPopulation population;
+};
+
+inline MnoRun run_mno_scenario(std::size_t default_devices = 16'000,
+                               std::uint64_t seed = 2019) {
+  tracegen::MnoScenarioConfig config;
+  config.seed = seed;
+  config.total_devices = scale_override(default_devices);
+  auto scenario = std::make_unique<tracegen::MnoScenario>(config);
+  std::cerr << "[bench] simulating MNO scenario: " << scenario->device_count()
+            << " devices, " << config.days << " days...\n";
+  core::CatalogAccumulator accumulator{{scenario->observer_plmn(),
+                                        scenario->family_plmns()}};
+  scenario->run({&accumulator});
+  auto catalog = accumulator.finalize();
+  auto population = core::run_census(catalog, scenario->observer_plmn(),
+                                     scenario->mvno_plmns(), scenario->tac_catalog());
+  return MnoRun{std::move(scenario), std::move(catalog), std::move(population)};
+}
+
+struct PlatformRun {
+  std::unique_ptr<tracegen::M2MPlatformScenario> scenario;
+  core::PlatformStats stats;
+};
+
+inline PlatformRun run_platform_scenario(std::size_t default_devices = 10'000,
+                                         std::uint64_t seed = 2018) {
+  tracegen::M2MPlatformConfig config;
+  config.seed = seed;
+  config.total_devices = scale_override(default_devices);
+  auto scenario = std::make_unique<tracegen::M2MPlatformScenario>(config);
+  std::cerr << "[bench] simulating M2M platform scenario: " << scenario->device_count()
+            << " devices, " << config.days << " days...\n";
+  core::PlatformTraceAccumulator accumulator{{scenario->hmno_plmns()}};
+  scenario->run({&accumulator});
+  auto stats = accumulator.finalize();
+  return PlatformRun{std::move(scenario), std::move(stats)};
+}
+
+}  // namespace wtr::bench

@@ -1,0 +1,77 @@
+// Figure 2 — "Percentage of M2M devices per visited country", per HMNO.
+// Regenerates the heatmap (HMNO × visited country, countries under 0.1%
+// grouped into "Other") plus the per-HMNO headline shares of §3.2.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wtr;
+  namespace paper = tracegen::paper;
+
+  const auto run = bench::run_platform_scenario();
+  const auto& stats = run.stats;
+
+  std::cout << io::figure_banner(
+      "Fig. 2", "M2M platform footprint: devices per HMNO x visited country");
+
+  // --- Headline shares (paper vs measured).
+  io::Table shares{{"metric", "paper", "measured"}};
+  double es_share = 0;
+  double mx_share = 0;
+  double ar_share = 0;
+  double de_share = 0;
+  for (const auto& hmno : stats.per_hmno) {
+    const double share = hmno.device_share(stats.total_devices);
+    if (hmno.home_iso == "ES") es_share = share;
+    if (hmno.home_iso == "MX") mx_share = share;
+    if (hmno.home_iso == "AR") ar_share = share;
+    if (hmno.home_iso == "DE") de_share = share;
+  }
+  bench::add_check(shares, "ES device share", paper::kEsDeviceShare, es_share);
+  bench::add_check(shares, "MX device share", paper::kMxDeviceShare, mx_share);
+  bench::add_check(shares, "AR device share", paper::kArDeviceShare, ar_share);
+  bench::add_check(shares, "DE device share", paper::kDeDeviceShare, de_share);
+  std::cout << shares.render();
+
+  // --- Footprint breadth.
+  io::Table breadth{{"HMNO", "devices", "visited countries (paper)", "visited VMNOs (paper)",
+                     "home-only devices"}};
+  for (const auto& hmno : stats.per_hmno) {
+    std::string countries = std::to_string(hmno.visited_countries);
+    std::string networks = std::to_string(hmno.visited_networks);
+    if (hmno.home_iso == "ES") {
+      countries += " (77)";
+      networks += " (127)";
+    } else if (hmno.home_iso == "MX") {
+      countries += " (7)";
+      networks += " (10)";
+    } else if (hmno.home_iso == "AR") {
+      networks += " (6)";
+    } else if (hmno.home_iso == "DE") {
+      networks += " (18)";
+    }
+    breadth.add_row({hmno.home_iso, io::format_count(hmno.devices), countries, networks,
+                     io::format_percent(hmno.devices == 0
+                                            ? 0.0
+                                            : 1.0 - static_cast<double>(hmno.roaming_devices) /
+                                                        static_cast<double>(hmno.devices))});
+  }
+  std::cout << '\n' << breadth.render();
+
+  // --- The heatmap itself: row-normalized shares, minor countries grouped.
+  const auto grouped = stats.footprint.with_minor_cols_grouped(0.001, "Other");
+  const auto cols = grouped.cols_by_total();
+  io::Table heatmap{{"visited \\ HMNO", "ES", "MX", "AR", "DE"}};
+  std::size_t shown = 0;
+  for (const auto& country : cols) {
+    if (shown++ >= 20) break;  // top rows, like the figure's y-axis
+    heatmap.add_row({country, io::format_percent(grouped.col_share("ES", country)),
+                     io::format_percent(grouped.col_share("MX", country)),
+                     io::format_percent(grouped.col_share("AR", country)),
+                     io::format_percent(grouped.col_share("DE", country))});
+  }
+  std::cout << "\nDevice share of each visited country within an HMNO's fleet"
+               " (top rows):\n"
+            << heatmap.render();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 3 — M2M platform device-level dynamics: (left) ECDF of signaling
+// records per device; (center) VMNOs used per roaming device; (right)
+// inter-VMNO switches for multi-VMNO devices.
+
+#include "bench_common.hpp"
+
+namespace {
+
+void print_ecdf_series(const wtr::stats::Ecdf& ecdf, const std::string& title,
+                       std::span<const double> points) {
+  wtr::io::Table table{{"x", "F(x)"}};
+  for (double p : points) {
+    table.add_row({wtr::io::format_fixed(p, 0),
+                   wtr::io::format_percent(ecdf.fraction_at_most(p))});
+  }
+  std::cout << '\n' << title << " (" << ecdf.describe() << ")\n" << table.render();
+}
+
+}  // namespace
+
+int main() {
+  using namespace wtr;
+  namespace paper = tracegen::paper;
+
+  const auto run = bench::run_platform_scenario();
+  const auto& stats = run.stats;
+
+  std::cout << io::figure_banner("Fig. 3", "Platform device-level dynamics");
+
+  // --- Left panel: records per device.
+  const std::array<double, 8> record_points{1,    10,    50,     200,
+                                            1000, 2000, 10'000, 100'000};
+  print_ecdf_series(stats.records_all, "Signaling records per device — all devices",
+                    record_points);
+  print_ecdf_series(stats.records_4g_ok, "  devices with >=1 successful 4G procedure",
+                    record_points);
+  print_ecdf_series(stats.records_roaming, "  roaming devices", record_points);
+  print_ecdf_series(stats.records_native, "  native devices", record_points);
+
+  io::Table checks{{"metric", "paper", "measured"}};
+  bench::add_check(checks, "mean records/device", paper::kMeanRecordsPerDevice,
+                   stats.records_all.mean(), /*percent=*/false);
+  bench::add_check(checks, "share of devices < 2000 records",
+                   paper::kShareDevicesBelow2000Records,
+                   stats.records_all.fraction_at_most(2'000.0));
+  bench::add_check(checks, "max records/device", paper::kMaxRecordsPerDevice,
+                   stats.records_all.max(), /*percent=*/false);
+  bench::add_check(checks, "roaming/native median ratio",
+                   paper::kRoamingToNativeMedianRecordsRatio,
+                   stats.records_native.empty() || stats.records_native.median() <= 0
+                       ? 0.0
+                       : stats.records_roaming.median() / stats.records_native.median(),
+                   /*percent=*/false);
+  std::cout << '\n' << checks.render();
+
+  // --- Center panel: VMNOs per roaming device.
+  std::cout << io::figure_banner("Fig. 3-center", "VMNOs used per roaming device");
+  io::Table vmnos{{"metric", "paper", "measured"}};
+  bench::add_check(vmnos, "exactly 1 VMNO", paper::kSingleVmnoRoamerShare,
+                   stats.vmnos_per_roaming_device.fraction_at_most(1.0));
+  bench::add_check(vmnos, "exactly 2 VMNOs", paper::kTwoVmnoRoamerShare,
+                   stats.vmnos_per_roaming_device.fraction_at_most(2.0) -
+                       stats.vmnos_per_roaming_device.fraction_at_most(1.0));
+  bench::add_check(vmnos, ">= 4 VMNOs", paper::kThreePlusVmnoRoamerShare,
+                   stats.vmnos_per_roaming_device.fraction_above(3.0));
+  bench::add_check(vmnos, "max VMNOs tried by failed-only device",
+                   static_cast<double>(paper::kMaxVmnosFailedDevice),
+                   static_cast<double>(stats.max_vmnos_failed_only), /*percent=*/false);
+  std::cout << vmnos.render();
+
+  // --- Right panel: switch counts for multi-VMNO devices.
+  std::cout << io::figure_banner("Fig. 3-right", "Inter-VMNO switches (multi-VMNO devices)");
+  io::Table switches{{"metric", "paper", "measured"}};
+  bench::add_check(switches, "devices with >= 2 VMNOs", paper::kMultiVmnoDeviceShare,
+                   stats.share_multi_vmno_devices);
+  bench::add_check(switches, "<= 2 switches over the window",
+                   paper::kMultiVmnoAtMostTwoSwitchesShare,
+                   stats.switches_multi_vmno.fraction_at_most(2.0));
+  bench::add_check(switches, ">= 1 switch/day (11+)", paper::kMultiVmnoDailySwitchShare,
+                   stats.switches_multi_vmno.fraction_above(10.9));
+  bench::add_check(switches, "switch storms (100-3000)", paper::kMultiVmnoStormShare,
+                   stats.switches_multi_vmno.fraction_at_most(3'000.0) -
+                       stats.switches_multi_vmno.fraction_at_most(99.9));
+  std::cout << switches.render();
+
+  const std::array<double, 7> switch_points{0, 1, 2, 5, 11, 100, 1000};
+  print_ecdf_series(stats.switches_multi_vmno, "Switch-count ECDF", switch_points);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 5 — home countries of inbound roaming devices: (top) overall
+// distribution; (bottom) per device class, normalized per class.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wtr;
+  namespace paper = tracegen::paper;
+
+  const auto run = bench::run_mno_scenario();
+  const auto& population = run.population;
+
+  std::cout << io::figure_banner("Fig. 5-top", "Home country of inbound roaming devices");
+
+  const auto overall = core::inbound_home_countries(population);
+  io::Table top{{"rank", "home country", "devices", "share"}};
+  int rank = 0;
+  for (const auto& [iso, count] : overall.sorted()) {
+    if (++rank > 20) break;
+    top.add_row({std::to_string(rank), iso, io::format_count(count),
+                 io::format_percent(overall.share(iso))});
+  }
+  std::cout << top.render();
+
+  io::Table checks{{"metric", "paper", "measured"}};
+  bench::add_check(checks, "top-20 home countries' share", paper::kTop20HomeCountryShare,
+                   overall.top_k_share(20));
+  bench::add_check(checks, "NL+SE+ES share", paper::kTop3HomeCountryShare,
+                   overall.share("NL") + overall.share("SE") + overall.share("ES"));
+  std::cout << '\n' << checks.render();
+
+  std::cout << io::figure_banner("Fig. 5-bottom", "Home country x device class");
+  const auto by_class = core::inbound_home_country_by_class(population);
+  io::Table rows{{"class", "NL", "SE", "ES", "DE", "FR", "IE", "US", "Other"}};
+  for (const auto* class_name : {"m2m", "smart", "feat"}) {
+    double listed = 0.0;
+    std::vector<std::string> cells{class_name};
+    for (const auto* iso : {"NL", "SE", "ES", "DE", "FR", "IE", "US"}) {
+      const double share = by_class.row_share(class_name, iso);
+      listed += share;
+      cells.push_back(io::format_percent(share));
+    }
+    cells.push_back(io::format_percent(1.0 - listed));
+    rows.add_row(std::move(cells));
+  }
+  std::cout << rows.render();
+
+  io::Table class_checks{{"metric", "paper", "measured"}};
+  auto top3 = [&](const char* class_name) {
+    return by_class.row_share(class_name, "NL") + by_class.row_share(class_name, "SE") +
+           by_class.row_share(class_name, "ES");
+  };
+  bench::add_check(class_checks, "m2m from NL/SE/ES", paper::kM2MTop3HomeShare,
+                   top3("m2m"));
+  bench::add_check(class_checks, "smart from NL/SE/ES", paper::kSmartTop3HomeShare,
+                   top3("smart"));
+  bench::add_check(class_checks, "feat from NL/SE/ES", paper::kFeatTop3HomeShare,
+                   top3("feat"));
+  std::cout << '\n' << class_checks.render();
+  return 0;
+}

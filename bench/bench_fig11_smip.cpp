@@ -1,0 +1,87 @@
+// Figure 11 — SMIP native vs SMIP roaming smart meters: active days (a)
+// and average signaling messages per device per day (b), plus the failure
+// incidence quoted in §7.1.
+
+#include "bench_common.hpp"
+
+#include "core/smip_analysis.hpp"
+
+int main() {
+  using namespace wtr;
+  namespace paper = tracegen::paper;
+
+  tracegen::SmipScenarioConfig config;
+  config.total_devices = bench::scale_override(12'000);
+  tracegen::SmipScenario scenario{config};
+  std::cerr << "[bench] simulating SMIP scenario: " << scenario.device_count()
+            << " meters, " << config.days << " days...\n";
+
+  core::CatalogAccumulator accumulator{{scenario.observer_plmn(),
+                                        {scenario.observer_plmn()}}};
+  scenario.run({&accumulator});
+  const auto catalog = accumulator.finalize();
+  const auto summaries = core::summarize(catalog);
+  const auto analysis =
+      core::analyze_smip(summaries, scenario.native_meters(), scenario.roaming_meters(),
+                         config.days, scenario.tac_catalog());
+
+  std::cout << io::figure_banner("Fig. 11-a", "SMIP device active days");
+  io::Table activity{{"days <=", "native (all)", "native (day-0 cohort)", "roaming"}};
+  for (double d : {1.0, 5.0, 10.0, 15.0, 20.0, 25.0, 26.0}) {
+    activity.add_row({io::format_fixed(d, 0),
+                      io::format_percent(analysis.native.active_days.fraction_at_most(d)),
+                      io::format_percent(
+                          analysis.native.active_days_day0.fraction_at_most(d)),
+                      io::format_percent(analysis.roaming.active_days.fraction_at_most(d))});
+  }
+  std::cout << activity.render();
+
+  io::Table checks{{"metric", "paper", "measured"}};
+  bench::add_check(checks, "native meters active whole period",
+                   paper::kSmipNativeFullPeriodShare, analysis.native.fraction_full_period);
+  bench::add_check(checks, "roaming meters active <= 5 days",
+                   paper::kSmipRoamingAtMost5DaysShare,
+                   analysis.roaming.active_days.fraction_at_most(5.0));
+  std::cout << '\n' << checks.render();
+
+  std::cout << io::figure_banner("Fig. 11-b", "Signaling messages per SMIP device/day");
+  io::Table signaling{{"group", "devices", "mean msgs/day", "p50", "p90"}};
+  signaling.add_row({"SMIP native", io::format_count(analysis.native.devices),
+                     io::format_fixed(analysis.native.mean_signaling_per_day, 1),
+                     io::format_fixed(analysis.native.signaling_per_day.quantile(0.5), 1),
+                     io::format_fixed(analysis.native.signaling_per_day.quantile(0.9), 1)});
+  signaling.add_row(
+      {"SMIP roaming", io::format_count(analysis.roaming.devices),
+       io::format_fixed(analysis.roaming.mean_signaling_per_day, 1),
+       io::format_fixed(analysis.roaming.signaling_per_day.quantile(0.5), 1),
+       io::format_fixed(analysis.roaming.signaling_per_day.quantile(0.9), 1)});
+  std::cout << signaling.render();
+
+  io::Table ratio{{"metric", "paper", "measured"}};
+  bench::add_check(ratio, "roaming/native signaling ratio",
+                   paper::kSmipRoamingToNativeSignalingRatio, analysis.signaling_ratio(),
+                   /*percent=*/false);
+  const double all_failed =
+      (analysis.native.fraction_with_failures * analysis.native.devices +
+       analysis.roaming.fraction_with_failures * analysis.roaming.devices) /
+      std::max<std::size_t>(1, analysis.native.devices + analysis.roaming.devices);
+  bench::add_check(ratio, "devices with >=1 failed event (all)",
+                   paper::kSmipFailedDeviceShareAll, all_failed);
+  bench::add_check(ratio, "devices with >=1 failed event (roaming)",
+                   paper::kSmipFailedDeviceShareRoaming,
+                   analysis.roaming.fraction_with_failures);
+  std::cout << '\n' << ratio.render();
+
+  std::cout << "\nRAT usage (paper: roaming all 2G-only; native 2G+3G with 2/3"
+               " only on 3G):\n";
+  io::Table rats{{"group", "2G", "3G", "2G+3G", "none"}};
+  for (const auto& [name, group] :
+       {std::pair{"native", &analysis.native}, std::pair{"roaming", &analysis.roaming}}) {
+    rats.add_row({name, io::format_percent(group->rat_usage.share("2G")),
+                  io::format_percent(group->rat_usage.share("3G")),
+                  io::format_percent(group->rat_usage.share("2G+3G")),
+                  io::format_percent(group->rat_usage.share("none"))});
+  }
+  std::cout << rats.render();
+  return 0;
+}

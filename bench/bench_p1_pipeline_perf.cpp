@@ -1,0 +1,152 @@
+// P1 — google-benchmark timings for the analysis pipeline kernels an
+// operator would run daily: catalog summarization, roaming labeling, the
+// multi-step classifier, and the mobility-metric accumulator.
+
+#include <benchmark/benchmark.h>
+
+#include "core/activity_metrics.hpp"
+#include "core/census.hpp"
+#include "core/classifier_validation.hpp"
+#include "stats/distributions.hpp"
+#include "tracegen/mno_scenario.hpp"
+
+namespace {
+
+using namespace wtr;
+
+struct Fixture {
+  std::unique_ptr<tracegen::MnoScenario> scenario;
+  records::DevicesCatalog catalog;
+  std::vector<core::DeviceSummary> summaries;
+
+  static const Fixture& get() {
+    static const Fixture fixture = [] {
+      tracegen::MnoScenarioConfig config;
+      config.seed = 101;
+      config.total_devices = 4'000;
+      auto scenario = std::make_unique<tracegen::MnoScenario>(config);
+      core::CatalogAccumulator accumulator{{scenario->observer_plmn(),
+                                            scenario->family_plmns()}};
+      scenario->run({&accumulator});
+      auto catalog = accumulator.finalize();
+      auto summaries = core::summarize(catalog);
+      return Fixture{std::move(scenario), std::move(catalog), std::move(summaries)};
+    }();
+    return fixture;
+  }
+};
+
+void BM_Summarize(benchmark::State& state) {
+  const auto& fixture = Fixture::get();
+  for (auto _ : state) {
+    auto summaries = core::summarize(fixture.catalog);
+    benchmark::DoNotOptimize(summaries);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fixture.catalog.size()));
+}
+BENCHMARK(BM_Summarize)->Unit(benchmark::kMillisecond);
+
+void BM_RoamingLabeler(benchmark::State& state) {
+  const auto& fixture = Fixture::get();
+  const core::RoamingLabeler labeler{fixture.scenario->observer_plmn(),
+                                     fixture.scenario->mvno_plmns()};
+  for (auto _ : state) {
+    std::size_t inbound = 0;
+    for (const auto& summary : fixture.summaries) {
+      if (labeler.label(summary.sim_plmn, summary.visited_plmns) ==
+          core::kInboundRoamerLabel) {
+        ++inbound;
+      }
+    }
+    benchmark::DoNotOptimize(inbound);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fixture.summaries.size()));
+}
+BENCHMARK(BM_RoamingLabeler)->Unit(benchmark::kMicrosecond);
+
+void BM_Classifier(benchmark::State& state) {
+  const auto& fixture = Fixture::get();
+  const core::DeviceClassifier classifier{fixture.scenario->tac_catalog()};
+  for (auto _ : state) {
+    auto result = classifier.classify(fixture.summaries);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fixture.summaries.size()));
+}
+BENCHMARK(BM_Classifier)->Unit(benchmark::kMillisecond);
+
+void BM_ClassifierNoPropagation(benchmark::State& state) {
+  const auto& fixture = Fixture::get();
+  core::ClassifierConfig config;
+  config.propagate_device_properties = false;
+  const core::DeviceClassifier classifier{fixture.scenario->tac_catalog(), config};
+  for (auto _ : state) {
+    auto result = classifier.classify(fixture.summaries);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ClassifierNoPropagation)->Unit(benchmark::kMillisecond);
+
+void BM_FullCensus(benchmark::State& state) {
+  const auto& fixture = Fixture::get();
+  for (auto _ : state) {
+    auto population =
+        core::run_census(fixture.catalog, fixture.scenario->observer_plmn(),
+                         fixture.scenario->mvno_plmns(), fixture.scenario->tac_catalog());
+    benchmark::DoNotOptimize(population);
+  }
+}
+BENCHMARK(BM_FullCensus)->Unit(benchmark::kMillisecond);
+
+void BM_GyrationAccumulator(benchmark::State& state) {
+  stats::Rng rng{1};
+  std::vector<cellnet::GeoPoint> points;
+  std::vector<double> weights;
+  const cellnet::GeoPoint base{51.5, -0.1};
+  for (int i = 0; i < 1'000; ++i) {
+    points.push_back(cellnet::offset_m(base, rng.uniform(-5e3, 5e3), rng.uniform(-5e3, 5e3)));
+    weights.push_back(rng.uniform(1.0, 600.0));
+  }
+  for (auto _ : state) {
+    core::GyrationAccumulator acc;
+    for (std::size_t i = 0; i < points.size(); ++i) acc.add(points[i], weights[i]);
+    benchmark::DoNotOptimize(acc.gyration_m());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1'000);
+}
+BENCHMARK(BM_GyrationAccumulator)->Unit(benchmark::kMicrosecond);
+
+void BM_EcdfQuantiles(benchmark::State& state) {
+  stats::Rng rng{2};
+  stats::Ecdf ecdf;
+  for (int i = 0; i < 100'000; ++i) ecdf.add(stats::sample_lognormal(rng, 3.0, 1.5));
+  for (auto _ : state) {
+    double total = 0.0;
+    for (double q = 0.01; q < 1.0; q += 0.01) total += ecdf.quantile(q);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_EcdfQuantiles)->Unit(benchmark::kMicrosecond);
+
+void BM_SimulationThroughput(benchmark::State& state) {
+  // Wall-clock cost of simulating one device-day at MNO-population mix.
+  for (auto _ : state) {
+    tracegen::MnoScenarioConfig config;
+    config.seed = 77;
+    config.total_devices = 500;
+    config.build_coverage = false;
+    tracegen::MnoScenario scenario{config};
+    core::CatalogAccumulator accumulator{{scenario.observer_plmn(),
+                                          scenario.family_plmns()}};
+    scenario.run({&accumulator});
+    benchmark::DoNotOptimize(accumulator.accepted_records());
+  }
+}
+BENCHMARK(BM_SimulationThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

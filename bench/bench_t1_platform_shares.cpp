@@ -1,0 +1,55 @@
+// T1 (§3.2 in-text table) — platform-wide shares: ES signaling dominance,
+// roaming vs native composition, success/failure split, and the ES
+// heavy-hitter concentration.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wtr;
+  namespace paper = tracegen::paper;
+
+  const auto run = bench::run_platform_scenario();
+  const auto& stats = run.stats;
+
+  std::cout << io::figure_banner("T1", "M2M platform shares (§3.2–3.3)");
+
+  io::Table table{{"metric", "paper", "measured"}};
+  bench::add_check(table, "ES share of all signaling", paper::kEsSignalingShare,
+                   stats.es_signaling_share);
+  bench::add_check(table, "ES signaling emitted while roaming",
+                   paper::kEsRoamingSignalingShare, stats.es_roaming_signaling_share);
+  bench::add_check(table, "ES devices never roaming", paper::kEsNonRoamingDeviceShare,
+                   stats.es_nonroaming_device_share);
+  bench::add_check(table, "ES devices with only failed 4G procedures",
+                   paper::kFailedOnlyDeviceShare, stats.es_fraction_failed_only);
+  bench::add_check(table, "devices with >=1 success (platform-wide)",
+                   paper::kAnySuccessDeviceShare, stats.fraction_any_success);
+  bench::add_check(table, "ES device share emitting 75% of ES signaling",
+                   paper::kEsHeavyDeviceShare, stats.es_device_share_for_75pct_signaling);
+  bench::add_check(table, "countries covered by that heavy set",
+                   static_cast<double>(paper::kEsHeavyCountries),
+                   static_cast<double>(stats.es_heavy_countries), /*percent=*/false);
+  bench::add_check(table, "VMNOs covered by that heavy set",
+                   static_cast<double>(paper::kEsHeavyVmnos),
+                   static_cast<double>(stats.es_heavy_vmnos), /*percent=*/false);
+  std::cout << table.render();
+
+  io::Table scale{{"dataset property", "paper", "measured"}};
+  scale.add_row({"days", std::to_string(paper::kPlatformDays), "11"});
+  scale.add_row({"devices", io::format_count(static_cast<std::uint64_t>(
+                                paper::kPlatformDevices)),
+                 io::format_count(stats.total_devices)});
+  scale.add_row({"transactions", io::format_count(static_cast<std::uint64_t>(
+                                     paper::kPlatformTransactions)),
+                 io::format_count(stats.total_records)});
+  scale.add_row({"records/device", io::format_fixed(paper::kPlatformTransactions /
+                                                    paper::kPlatformDevices),
+                 io::format_fixed(stats.total_devices == 0
+                                      ? 0.0
+                                      : static_cast<double>(stats.total_records) /
+                                            static_cast<double>(stats.total_devices))});
+  std::cout << "\nScale (devices are intentionally scaled down; per-device"
+               " intensities are the reproduction target):\n"
+            << scale.render();
+  return 0;
+}

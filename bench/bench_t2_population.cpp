@@ -1,0 +1,99 @@
+// T2 (§4.2–4.3 in-text tables) — roaming-label shares per day, device-class
+// shares, the APN inventory, and the vendor composition of inbound roamers.
+
+#include "bench_common.hpp"
+
+#include "cellnet/tac_catalog.hpp"
+
+int main() {
+  using namespace wtr;
+  namespace paper = tracegen::paper;
+
+  const auto run = bench::run_mno_scenario();
+  const auto& population = run.population;
+
+  std::cout << io::figure_banner("T2", "MNO population composition (§4.2–4.3)");
+
+  // --- Per-day roaming label shares.
+  const auto label_shares = core::daily_label_shares(run.catalog, population.labeler);
+  io::Table labels{{"label", "paper (per-day)", "measured (per-day)"}};
+  labels.add_row({"H:H", io::format_percent(paper::kLabelShareHH),
+                  io::format_percent(label_shares.share("H:H"))});
+  labels.add_row({"V:H", io::format_percent(paper::kLabelShareVH),
+                  io::format_percent(label_shares.share("V:H"))});
+  labels.add_row({"I:H", io::format_percent(paper::kLabelShareIH),
+                  io::format_percent(label_shares.share("I:H"))});
+  labels.add_row({"other", "~1%",
+                  io::format_percent(1.0 - label_shares.share("H:H") -
+                                     label_shares.share("V:H") -
+                                     label_shares.share("I:H"))});
+  std::cout << labels.render();
+
+  // --- Device class shares.
+  io::Table classes{{"class", "paper", "measured"}};
+  const auto& classification = population.classification;
+  classes.add_row({"smart", io::format_percent(paper::kSmartShare),
+                   io::format_percent(classification.share_of(core::ClassLabel::kSmart))});
+  classes.add_row({"feat", io::format_percent(paper::kFeatShare),
+                   io::format_percent(classification.share_of(core::ClassLabel::kFeat))});
+  classes.add_row({"m2m", io::format_percent(paper::kM2MShare),
+                   io::format_percent(classification.share_of(core::ClassLabel::kM2M))});
+  classes.add_row(
+      {"m2m-maybe", io::format_percent(paper::kM2MMaybeShare),
+       io::format_percent(classification.share_of(core::ClassLabel::kM2MMaybe))});
+  std::cout << '\n' << classes.render();
+
+  // --- APN inventory (absolute counts scale with population size; the
+  // paper's are shown for reference).
+  io::Table apns{{"APN pipeline stage", "paper", "measured"}};
+  apns.add_row({"distinct APN strings", io::format_count(paper::kDistinctApns),
+                io::format_count(classification.distinct_apns)});
+  apns.add_row({"M2M keywords", io::format_count(paper::kM2MKeywords),
+                io::format_count(core::default_m2m_keywords().size())});
+  apns.add_row({"validated M2M APNs", io::format_count(paper::kValidatedM2MApns),
+                io::format_count(classification.validated_m2m_apns)});
+  apns.add_row({"consumer APNs", io::format_count(paper::kConsumerApns),
+                io::format_count(classification.consumer_apns)});
+  apns.add_row({"devices without any APN",
+                io::format_percent(paper::kDevicesWithoutApnShare),
+                io::format_percent(static_cast<double>(classification.devices_without_apn) /
+                                   static_cast<double>(population.size()))});
+  apns.add_row({"m2m via APN match", "-",
+                io::format_count(classification.m2m_by_apn)});
+  apns.add_row({"m2m via property propagation", "-",
+                io::format_count(classification.m2m_by_propagation)});
+  std::cout << '\n' << apns.render();
+
+  // --- Vendor composition of inbound roamers.
+  stats::CategoryCounter vendors;
+  const auto& catalog = run.scenario->tac_catalog();
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    if (!population.is_inbound(i)) continue;
+    if (const auto* info = catalog.lookup(population.summaries[i].tac)) {
+      vendors.add(info->vendor);
+    }
+  }
+  const double top3 = vendors.share("Gemalto") + vendors.share("Telit") +
+                      vendors.share("Sierra Wireless");
+  io::Table vendor_table{{"metric", "paper", "measured"}};
+  bench::add_check(vendor_table, "Gemalto+Telit+Sierra share of inbound",
+                   paper::kTopVendorsInboundShare, top3);
+  vendor_table.add_row({"distinct vendors (population)",
+                        io::format_count(paper::kDistinctVendors),
+                        io::format_count(catalog.distinct_vendors())});
+  vendor_table.add_row({"distinct models (population)",
+                        io::format_count(paper::kDistinctModels),
+                        io::format_count(catalog.distinct_models())});
+  std::cout << '\n' << vendor_table.render();
+
+  io::Table top_vendors{{"rank", "vendor", "share of inbound roamers"}};
+  int rank = 0;
+  for (const auto& [vendor, count] : vendors.sorted()) {
+    if (++rank > 8) break;
+    (void)count;
+    top_vendors.add_row({std::to_string(rank), vendor,
+                         io::format_percent(vendors.share(vendor))});
+  }
+  std::cout << '\n' << top_vendors.render();
+  return 0;
+}

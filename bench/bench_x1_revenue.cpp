@@ -1,0 +1,64 @@
+// X1 (extension) — quantifying §6's economic argument: wholesale/retail
+// revenue vs signaling load per device class and roaming status. The paper
+// argues M2M devices "occupy radio resources … but do not generate traffic
+// that would allow MNOs to accrue revenue"; this harness puts numbers on
+// the revenue-to-load gap.
+
+#include "bench_common.hpp"
+
+#include "core/revenue.hpp"
+
+int main() {
+  using namespace wtr;
+
+  const auto run = bench::run_mno_scenario();
+  const auto groups = core::revenue_by_group(run.population);
+
+  std::cout << io::figure_banner(
+      "X1", "Revenue vs signaling load per class x roaming status");
+
+  io::Table table{{"group", "devices", "device-days", "revenue/device-day",
+                   "signaling cost/device-day", "revenue / load"}};
+  for (const auto& [key, breakdown] : groups) {
+    table.add_row({key, io::format_count(breakdown.devices),
+                   io::format_count(breakdown.device_days),
+                   io::format_fixed(breakdown.revenue_per_device_day(), 3),
+                   io::format_fixed(breakdown.cost_per_device_day(), 3),
+                   io::format_fixed(breakdown.revenue_to_load(), 2)});
+  }
+  std::cout << table.render();
+
+  const auto& m2m_in = groups.at("m2m/inbound");
+  const auto& smart_in = groups.at("smart/inbound");
+  const auto& smart_nat = groups.at("smart/native");
+
+  io::Table claims{{"claim (paper §6.2 / §9)", "holds", "measured"}};
+  claims.add_row(
+      {"inbound m2m yields far less revenue/day than inbound smart",
+       m2m_in.revenue_per_device_day() < 0.2 * smart_in.revenue_per_device_day()
+           ? "yes"
+           : "NO",
+       io::format_fixed(m2m_in.revenue_per_device_day(), 3) + " vs " +
+           io::format_fixed(smart_in.revenue_per_device_day(), 3)});
+  claims.add_row({"m2m revenue/load is far below every phone group",
+                  [&] {
+                    for (const auto& [key, b] : groups) {
+                      if (key.starts_with("m2m")) continue;
+                      if (b.revenue_to_load() < 5.0 * m2m_in.revenue_to_load()) {
+                        return "NO";
+                      }
+                    }
+                    return "yes";
+                  }(),
+                  io::format_fixed(m2m_in.revenue_to_load(), 2)});
+  claims.add_row({"native smartphones fund the network",
+                  smart_nat.revenue_to_load() > 10.0 * m2m_in.revenue_to_load()
+                      ? "yes"
+                      : "NO",
+                  io::format_fixed(smart_nat.revenue_to_load(), 2) + " vs " +
+                      io::format_fixed(m2m_in.revenue_to_load(), 2)});
+  std::cout << '\n' << claims.render()
+            << "\n(Tariffs are configurable in core::TariffSchedule; only"
+               " ratios between groups are meaningful.)\n";
+  return 0;
+}

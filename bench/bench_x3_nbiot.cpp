@@ -1,0 +1,81 @@
+// X3 (extension) — the §8 NB-IoT future: the Dutch meter fleet migrates to
+// NB-IoT. The paper predicts "NB-IoT will enable visited MNOs to easily
+// detect the inbound roaming IoT devices, a task that currently is
+// challenging". We run today's world (0% NB-IoT) against a trial world
+// (60% of roaming meters on NB-IoT) and measure how much of the M2M
+// population becomes identifiable by RAT alone — before any APN or device
+// database is consulted.
+
+#include "bench_common.hpp"
+
+#include "core/classifier_validation.hpp"
+
+namespace {
+
+using namespace wtr;
+
+struct Outcome {
+  core::ClassificationResult classification;
+  core::ValidationReport report;
+  std::size_t population = 0;
+};
+
+Outcome run(double nb_share, std::size_t devices) {
+  tracegen::MnoScenarioConfig config;
+  config.seed = 2040;
+  config.total_devices = devices;
+  config.nbiot_meter_share = nb_share;
+  tracegen::MnoScenario scenario{config};
+  std::cerr << "[bench] simulating " << scenario.device_count()
+            << " devices, NB-IoT meter share " << nb_share << "...\n";
+  core::CatalogAccumulator accumulator{{scenario.observer_plmn(),
+                                        scenario.family_plmns()}};
+  scenario.run({&accumulator});
+  const auto catalog = accumulator.finalize();
+  const auto population = core::run_census(catalog, scenario.observer_plmn(),
+                                           scenario.mvno_plmns(), scenario.tac_catalog());
+  Outcome outcome;
+  outcome.classification = population.classification;
+  outcome.report = core::validate_classification(
+      population, tracegen::class_truth(scenario.ground_truth()));
+  outcome.population = population.size();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wtr;
+
+  const std::size_t devices = bench::scale_override(10'000);
+  const auto today = run(0.0, devices);
+  const auto trial = run(0.6, devices);
+
+  std::cout << io::figure_banner("X3", "NB-IoT roaming trial: detection by RAT alone");
+
+  io::Table table{{"metric", "today (no NB-IoT)", "trial (60% of NL meters)"}};
+  auto pct = [](std::size_t num, std::size_t den) {
+    return io::format_percent(den == 0 ? 0.0
+                                       : static_cast<double>(num) /
+                                             static_cast<double>(den));
+  };
+  table.add_row({"m2m identified by NB-IoT RAT rule (stage 0)",
+                 pct(today.classification.m2m_by_nbiot_rat, today.population),
+                 pct(trial.classification.m2m_by_nbiot_rat, trial.population)});
+  table.add_row({"m2m needing APN keyword match (stage 2)",
+                 pct(today.classification.m2m_by_apn, today.population),
+                 pct(trial.classification.m2m_by_apn, trial.population)});
+  table.add_row({"m2m needing property propagation (stage 3)",
+                 pct(today.classification.m2m_by_propagation, today.population),
+                 pct(trial.classification.m2m_by_propagation, trial.population)});
+  table.add_row({"classifier lenient accuracy",
+                 io::format_percent(today.report.lenient_accuracy),
+                 io::format_percent(trial.report.lenient_accuracy)});
+  table.add_row({"m2m recall", io::format_percent(today.report.m2m_recall),
+                 io::format_percent(trial.report.m2m_recall)});
+  std::cout << table.render()
+            << "\nStage 0 needs no APN transparency, no IMSI-range disclosure"
+               " and no GSMA database — exactly the paper's point about why"
+               " operators await NB-IoT (§8).\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// X4 (extension) — "silent roamers" (§8's regulatory footnote): inbound
+// devices that keep signaling to the network without ever generating
+// chargeable usage. EU regulation pursues "awakening" them; for a visited
+// MNO they are pure cost. This harness measures their prevalence per class.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wtr;
+
+  const auto run = bench::run_mno_scenario();
+  const auto stats = core::silent_roamers(run.population);
+
+  std::cout << io::figure_banner("X4", "Silent roamers among inbound devices");
+
+  io::Table table{{"metric", "value"}};
+  table.add_row({"inbound devices", io::format_count(stats.inbound_devices)});
+  table.add_row({"silent (signaling, no data, no calls)", io::format_count(stats.silent)});
+  table.add_row({"silent share", io::format_percent(stats.share())});
+  std::cout << table.render();
+
+  io::Table by_class{{"class", "silent devices", "share of silent"}};
+  for (const auto& [device_class, count] : stats.silent_by_class) {
+    by_class.add_row({device_class, io::format_count(count),
+                      io::format_percent(stats.silent == 0
+                                             ? 0.0
+                                             : static_cast<double>(count) /
+                                                   static_cast<double>(stats.silent))});
+  }
+  std::cout << '\n' << by_class.render()
+            << "\nSilent roamers are dominated by M2M boxes (voice-less"
+               " alarms, meters between reporting windows) — the population"
+               " the paper says VMNOs cannot even bill for.\n";
+  return 0;
+}

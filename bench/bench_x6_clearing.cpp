@@ -1,0 +1,66 @@
+// X6 (extension) — wholesale clearing (§2.1/§9): the UK MNO's settlement
+// statements against the home operators of its inbound roamers, the mirror
+// accrual run from the Dutch IoT provisioner's side, and the §2.1
+// record-comparison (reconciliation) between the two.
+
+#include "bench_common.hpp"
+
+#include "core/clearing.hpp"
+
+int main() {
+  using namespace wtr;
+
+  tracegen::MnoScenarioConfig config;
+  config.seed = 2019;
+  config.total_devices = bench::scale_override(10'000);
+  tracegen::MnoScenario scenario{config};
+  std::cerr << "[bench] simulating " << scenario.device_count() << " devices...\n";
+
+  const auto nl_plmn = cellnet::Plmn{204, 4, 2};
+
+  // Both parties run their books over the same simulated usage.
+  core::ClearingHouse uk_books{{.self = scenario.observer_plmn(),
+                                .family = scenario.family_plmns(),
+                                .side = core::ClearingHouse::Side::kVisited}};
+  core::ClearingHouse nl_books{{.self = nl_plmn,
+                                .family = {nl_plmn},
+                                .side = core::ClearingHouse::Side::kHome}};
+  scenario.run({&uk_books, &nl_books});
+
+  std::cout << io::figure_banner(
+      "X6", "Wholesale clearing: the UK MNO bills its roaming partners");
+
+  io::Table table{{"rank", "partner (home op)", "devices", "data (MB)",
+                   "voice (min)", "amount"}};
+  int rank = 0;
+  for (const auto& statement : uk_books.statements()) {
+    if (++rank > 12) break;
+    table.add_row({std::to_string(rank), statement.partner.to_string(),
+                   io::format_count(statement.devices),
+                   io::format_fixed(statement.data_mb, 1),
+                   io::format_fixed(statement.voice_minutes, 1),
+                   io::format_fixed(statement.amount, 1)});
+  }
+  std::cout << table.render();
+  std::cout << "\nTotal inbound-roaming receivables: "
+            << io::format_fixed(uk_books.total_billed(), 1)
+            << " (currency units; Dutch IoT SIMs dominate the device count,"
+               " smartphones the amount)\n";
+
+  // The §2.1 comparison for the UK ↔ NL-provisioner pair.
+  const auto uk_claims = uk_books.statements();
+  const auto nl_accruals = nl_books.statements();
+  const auto report = core::reconcile_pair(uk_claims, nl_plmn, nl_accruals,
+                                           scenario.observer_plmn());
+  io::Table recon{{"reconciliation (UK claims vs NL accruals)", "value"}};
+  recon.add_row({"both sides present", report.both_sides_present ? "yes" : "NO"});
+  recon.add_row({"UK claim", io::format_fixed(report.claim_amount, 2)});
+  recon.add_row({"NL accrual", io::format_fixed(report.accrual_amount, 2)});
+  recon.add_row({"gap", io::format_fixed(report.amount_gap, 6)});
+  recon.add_row({"clean", report.clean() ? "yes" : "NO"});
+  std::cout << '\n' << recon.render()
+            << "(A lossless record exchange reconciles exactly; in the real"
+               " ecosystem TAP disputes arise from dropped/duplicated records"
+               " — inject them by filtering one sink's stream.)\n";
+  return 0;
+}

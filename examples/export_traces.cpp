@@ -1,0 +1,87 @@
+// Trace export: run a small scenario and write the three raw record streams
+// (radio signaling, CDRs, xDRs) as CSV — the wire formats the paper's
+// datasets use — then read a file back to show the parsing API.
+
+#include <fstream>
+#include <iostream>
+
+#include "io/csv.hpp"
+#include "records/cdr.hpp"
+#include "records/xdr.hpp"
+#include "sim/device_agent.hpp"
+#include "tracegen/mno_scenario.hpp"
+
+namespace {
+
+using namespace wtr;
+
+/// A sink that streams every record straight to CSV files.
+class CsvExportSink final : public sim::RecordSink {
+ public:
+  CsvExportSink(const std::string& prefix)
+      : signaling_file_(prefix + "_signaling.csv"),
+        cdr_file_(prefix + "_cdr.csv"),
+        xdr_file_(prefix + "_xdr.csv"),
+        signaling_(signaling_file_),
+        cdrs_(cdr_file_),
+        xdrs_(xdr_file_) {
+    signaling_.write_row(signaling::csv_header());
+    cdrs_.write_row(records::cdr_csv_header());
+    xdrs_.write_row(records::xdr_csv_header());
+  }
+
+  void on_signaling(const signaling::SignalingTransaction& txn, bool) override {
+    signaling_.write_row(signaling::to_csv_fields(txn));
+  }
+  void on_cdr(const records::Cdr& cdr) override {
+    cdrs_.write_row(records::to_csv_fields(cdr));
+  }
+  void on_xdr(const records::Xdr& xdr) override {
+    xdrs_.write_row(records::to_csv_fields(xdr));
+  }
+
+  [[nodiscard]] std::size_t rows() const {
+    return signaling_.rows_written() + cdrs_.rows_written() + xdrs_.rows_written();
+  }
+
+ private:
+  std::ofstream signaling_file_;
+  std::ofstream cdr_file_;
+  std::ofstream xdr_file_;
+  io::CsvWriter signaling_;
+  io::CsvWriter cdrs_;
+  io::CsvWriter xdrs_;
+};
+
+}  // namespace
+
+int main() {
+  tracegen::MnoScenarioConfig config;
+  config.seed = 99;
+  config.total_devices = 400;
+  config.days = 3;
+  tracegen::MnoScenario scenario{config};
+
+  CsvExportSink exporter{"wtr_trace"};
+  scenario.run({&exporter});
+  std::cout << "Exported " << exporter.rows() << " rows to wtr_trace_signaling.csv, "
+            << "wtr_trace_cdr.csv, wtr_trace_xdr.csv\n";
+
+  // Read a few rows back: parse the xDR APNs and decode home operators.
+  std::ifstream in{"wtr_trace_xdr.csv"};
+  std::string line;
+  std::getline(in, line);  // header
+  int shown = 0;
+  while (shown < 5 && std::getline(in, line)) {
+    const auto fields = io::csv_decode_row(line);
+    if (!fields || fields->size() < 8) continue;
+    const auto apn = cellnet::Apn::parse((*fields)[6]);
+    std::cout << "  device " << (*fields)[0] << " on APN '" << apn.network_id() << "'";
+    if (const auto op = apn.operator_id()) {
+      std::cout << " (home operator " << op->to_string() << ")";
+    }
+    std::cout << ", " << (*fields)[3] << " visited, " << (*fields)[7] << "\n";
+    ++shown;
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Smart-meter audit: the §7 workflow an operator would run — compare the
+// SMIP-native meter fleet (dedicated IMSI range) against inbound-roaming
+// meters on global IoT SIMs, and trace the roaming fleet's provenance.
+
+#include <iostream>
+
+#include "core/catalog_builder.hpp"
+#include "core/smip_analysis.hpp"
+#include "io/table.hpp"
+#include "tracegen/smip_scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wtr;
+
+  tracegen::SmipScenarioConfig config;
+  config.seed = 31;
+  config.total_devices = argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 4'000;
+  tracegen::SmipScenario scenario{config};
+  std::cout << "Simulating " << scenario.device_count() << " smart meters over "
+            << config.days << " days (October window)\n";
+
+  core::CatalogAccumulator accumulator{{scenario.observer_plmn(),
+                                        {scenario.observer_plmn()}}};
+  scenario.run({&accumulator});
+  const auto catalog = accumulator.finalize();
+  const auto summaries = core::summarize(catalog);
+  const auto analysis =
+      core::analyze_smip(summaries, scenario.native_meters(), scenario.roaming_meters(),
+                         config.days, scenario.tac_catalog());
+
+  io::Table table{{"", "SMIP native", "SMIP roaming"}};
+  table.add_row({"meters observed", io::format_count(analysis.native.devices),
+                 io::format_count(analysis.roaming.devices)});
+  table.add_row({"active whole period",
+                 io::format_percent(analysis.native.fraction_full_period),
+                 io::format_percent(analysis.roaming.fraction_full_period)});
+  table.add_row({"median active days",
+                 io::format_fixed(analysis.native.active_days.median(), 0),
+                 io::format_fixed(analysis.roaming.active_days.median(), 0)});
+  table.add_row({"signaling msgs/device/day (mean)",
+                 io::format_fixed(analysis.native.mean_signaling_per_day, 1),
+                 io::format_fixed(analysis.roaming.mean_signaling_per_day, 1)});
+  table.add_row({"devices with failed procedures",
+                 io::format_percent(analysis.native.fraction_with_failures),
+                 io::format_percent(analysis.roaming.fraction_with_failures)});
+  table.add_row({"dominant RAT usage",
+                 std::string(analysis.native.rat_usage.sorted().front().first),
+                 std::string(analysis.roaming.rat_usage.sorted().front().first)});
+  std::cout << '\n' << table.render();
+
+  std::cout << "\nRoaming meters hit the HSS "
+            << io::format_fixed(analysis.signaling_ratio(), 1)
+            << "x harder than native ones (paper: ~10x).\n";
+
+  std::cout << "\nProvenance of the roaming fleet:\n";
+  for (const auto& [plmn, count] : analysis.roaming_home_operators.sorted()) {
+    std::cout << "  home operator " << plmn << ": " << io::format_count(count)
+              << " SIMs\n";
+  }
+  for (const auto& [vendor, count] : analysis.roaming_vendors.sorted()) {
+    std::cout << "  module vendor " << vendor << ": " << io::format_count(count)
+              << " devices\n";
+  }
+  std::cout << "(paper §4.4: one Dutch operator; Gemalto and Telit modules only)\n";
+  return 0;
+}

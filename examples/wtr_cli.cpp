@@ -1,0 +1,252 @@
+// wtr_cli — drive the library from the command line: pick a scenario, a
+// scale and a report. The closest thing in this repository to the tool an
+// operator would run against real (replayed) traces.
+//
+//   wtr_cli --scenario mno --devices 8000 --seed 7 --report census
+//   wtr_cli --scenario platform --report platform
+//   wtr_cli --scenario smip --report smip
+//   wtr_cli --scenario mno --report revenue,silent,clearing
+//   wtr_cli --replay-dir traces/ --report census        (CSV replay mode)
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/census.hpp"
+#include "core/clearing.hpp"
+#include "core/platform_analysis.hpp"
+#include "core/revenue.hpp"
+#include "core/smip_analysis.hpp"
+#include "core/trace_replay.hpp"
+#include "io/table.hpp"
+#include "tracegen/m2m_platform_scenario.hpp"
+#include "tracegen/mno_scenario.hpp"
+#include "tracegen/smip_scenario.hpp"
+
+namespace {
+
+using namespace wtr;
+
+struct Options {
+  std::string scenario = "mno";
+  std::size_t devices = 8'000;
+  std::uint64_t seed = 7;
+  std::vector<std::string> reports{"census"};
+  std::string replay_dir;
+};
+
+void usage() {
+  std::cout <<
+      "wtr_cli [--scenario mno|platform|smip] [--devices N] [--seed S]\n"
+      "        [--report census,platform,smip,revenue,silent,clearing]\n"
+      "        [--replay-dir DIR]   replay DIR/{signaling,cdr,xdr}.csv through\n"
+      "                             the census instead of simulating\n";
+}
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream stream{text};
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+bool parse_args(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg{argv[i]};
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--scenario") {
+      const char* v = value();
+      if (!v) return false;
+      options.scenario = v;
+    } else if (arg == "--devices") {
+      const char* v = value();
+      if (!v) return false;
+      options.devices = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (!v) return false;
+      options.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--report") {
+      const char* v = value();
+      if (!v) return false;
+      options.reports = split_commas(v);
+    } else if (arg == "--replay-dir") {
+      const char* v = value();
+      if (!v) return false;
+      options.replay_dir = v;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      std::exit(0);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+void print_census(const core::ClassifiedPopulation& population) {
+  io::Table classes{{"class", "devices", "share"}};
+  for (const auto label : {core::ClassLabel::kSmart, core::ClassLabel::kFeat,
+                           core::ClassLabel::kM2M, core::ClassLabel::kM2MMaybe}) {
+    classes.add_row({std::string(core::class_label_name(label)),
+                     io::format_count(population.classification.count_of(label)),
+                     io::format_percent(population.classification.share_of(label))});
+  }
+  std::cout << "\nDevice classes:\n" << classes.render();
+
+  const auto heatmap = core::class_vs_label(population);
+  io::Table labels{{"label", "devices", "m2m share"}};
+  for (const auto label : core::observable_labels()) {
+    const std::string name{core::roaming_label_name(label)};
+    const auto total = heatmap.col_total(name);
+    if (total == 0) continue;
+    labels.add_row({name, io::format_count(total),
+                    io::format_percent(heatmap.col_share("m2m", name))});
+  }
+  std::cout << "\nRoaming labels:\n" << labels.render();
+}
+
+int run_replay(const Options& options) {
+  // Operator mode: consume schema-compatible CSV traces.
+  core::CatalogAccumulator accumulator{{cellnet::Plmn{234, 1, 2},
+                                        {cellnet::Plmn{234, 1, 2}}}};
+  core::ReplayStats totals;
+  auto feed = [&](const std::string& name,
+                  core::ReplayStats (*replay)(std::istream&, sim::RecordSink&)) {
+    std::ifstream in{options.replay_dir + "/" + name};
+    if (!in) {
+      std::cerr << "missing " << options.replay_dir << "/" << name << "\n";
+      return;
+    }
+    const auto stats = replay(in, accumulator);
+    totals.rows += stats.rows;
+    totals.delivered += stats.delivered;
+    totals.malformed += stats.malformed;
+  };
+  feed("signaling.csv", core::replay_signaling_csv);
+  feed("cdr.csv", core::replay_cdr_csv);
+  feed("xdr.csv", core::replay_xdr_csv);
+  std::cout << "replayed " << totals.delivered << "/" << totals.rows << " rows ("
+            << totals.malformed << " malformed)\n";
+
+  const auto catalog = accumulator.finalize();
+  const cellnet::TacCatalog empty_catalog;  // no GSMA data in replay mode
+  const auto population = core::run_census(catalog, cellnet::Plmn{234, 1, 2}, {},
+                                           empty_catalog);
+  print_census(population);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, options)) {
+    usage();
+    return 2;
+  }
+  if (!options.replay_dir.empty()) return run_replay(options);
+
+  auto has_report = [&](const char* name) {
+    return std::find(options.reports.begin(), options.reports.end(), name) !=
+           options.reports.end();
+  };
+
+  if (options.scenario == "platform") {
+    tracegen::M2MPlatformConfig config;
+    config.seed = options.seed;
+    config.total_devices = options.devices;
+    tracegen::M2MPlatformScenario scenario{config};
+    core::PlatformTraceAccumulator probes{{scenario.hmno_plmns()}};
+    scenario.run({&probes});
+    const auto stats = probes.finalize();
+    io::Table table{{"HMNO", "devices", "records", "countries", "VMNOs"}};
+    for (const auto& hmno : stats.per_hmno) {
+      table.add_row({hmno.home_iso, io::format_count(hmno.devices),
+                     io::format_count(hmno.records),
+                     std::to_string(hmno.visited_countries),
+                     std::to_string(hmno.visited_networks)});
+    }
+    std::cout << table.render();
+    return 0;
+  }
+
+  if (options.scenario == "smip") {
+    tracegen::SmipScenarioConfig config;
+    config.seed = options.seed;
+    config.total_devices = options.devices;
+    tracegen::SmipScenario scenario{config};
+    core::CatalogAccumulator accumulator{{scenario.observer_plmn(),
+                                          {scenario.observer_plmn()}}};
+    scenario.run({&accumulator});
+    const auto catalog = accumulator.finalize();
+    const auto summaries = core::summarize(catalog);
+    const auto analysis =
+        core::analyze_smip(summaries, scenario.native_meters(),
+                           scenario.roaming_meters(), config.days,
+                           scenario.tac_catalog());
+    io::Table table{{"group", "meters", "full period", "msgs/day"}};
+    table.add_row({"native", io::format_count(analysis.native.devices),
+                   io::format_percent(analysis.native.fraction_full_period),
+                   io::format_fixed(analysis.native.mean_signaling_per_day, 1)});
+    table.add_row({"roaming", io::format_count(analysis.roaming.devices),
+                   io::format_percent(analysis.roaming.fraction_full_period),
+                   io::format_fixed(analysis.roaming.mean_signaling_per_day, 1)});
+    std::cout << table.render();
+    return 0;
+  }
+
+  // Default: the MNO scenario, with composable reports.
+  tracegen::MnoScenarioConfig config;
+  config.seed = options.seed;
+  config.total_devices = options.devices;
+  tracegen::MnoScenario scenario{config};
+  core::CatalogAccumulator accumulator{{scenario.observer_plmn(),
+                                        scenario.family_plmns()}};
+  core::ClearingHouse clearing{{.self = scenario.observer_plmn(),
+                                .family = scenario.family_plmns(),
+                                .side = core::ClearingHouse::Side::kVisited}};
+  scenario.run({&accumulator, &clearing});
+  const auto catalog = accumulator.finalize();
+  const auto population = core::run_census(catalog, scenario.observer_plmn(),
+                                           scenario.mvno_plmns(),
+                                           scenario.tac_catalog());
+  std::cout << "simulated " << scenario.device_count() << " devices; observed "
+            << population.size() << "\n";
+
+  if (has_report("census")) print_census(population);
+  if (has_report("revenue")) {
+    const auto groups = core::revenue_by_group(population);
+    io::Table table{{"group", "revenue/device-day", "revenue/load"}};
+    for (const auto& [key, breakdown] : groups) {
+      table.add_row({key, io::format_fixed(breakdown.revenue_per_device_day(), 3),
+                     io::format_fixed(breakdown.revenue_to_load(), 1)});
+    }
+    std::cout << "\nRevenue:\n" << table.render();
+  }
+  if (has_report("silent")) {
+    const auto stats = core::silent_roamers(population);
+    std::cout << "\nSilent roamers: " << stats.silent << " of "
+              << stats.inbound_devices << " inbound ("
+              << io::format_percent(stats.share()) << ")\n";
+  }
+  if (has_report("clearing")) {
+    io::Table table{{"partner", "devices", "amount"}};
+    int rank = 0;
+    for (const auto& statement : clearing.statements()) {
+      if (++rank > 10) break;
+      table.add_row({statement.partner.to_string(),
+                     io::format_count(statement.devices),
+                     io::format_fixed(statement.amount, 1)});
+    }
+    std::cout << "\nClearing (top partners):\n" << table.render();
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+#pragma once
+
+// Access Point Name handling. The APN a device uses for data sessions is the
+// classifier's strongest signal: its Network Identifier often embeds the
+// vertical or customer ("smhp.centricaplc.com" → Centrica smart meters), and
+// its Operator Identifier suffix ("mnc004.mcc204.gprs") exposes the home
+// operator. §4.3 builds a 26-keyword vocabulary over 4,603 observed APNs.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "cellnet/plmn.hpp"
+
+namespace wtr::cellnet {
+
+class Apn {
+ public:
+  Apn() = default;
+  explicit Apn(std::string network_id, std::optional<Plmn> operator_id = std::nullopt)
+      : network_id_(std::move(network_id)), operator_id_(operator_id) {}
+
+  [[nodiscard]] const std::string& network_id() const noexcept { return network_id_; }
+  [[nodiscard]] std::optional<Plmn> operator_id() const noexcept { return operator_id_; }
+
+  [[nodiscard]] bool empty() const noexcept { return network_id_.empty(); }
+
+  /// Full wire form: "<network-id>[.mncXXX.mccYYY.gprs]".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse a full APN, splitting off a trailing operator identifier when one
+  /// is present. Lower-cases the network id (APNs are case-insensitive).
+  [[nodiscard]] static Apn parse(std::string_view text);
+
+  /// True when the (lower-case) network id contains the keyword as a
+  /// substring — the paper's stage-1 classification primitive.
+  [[nodiscard]] bool contains_keyword(std::string_view keyword) const;
+
+  friend bool operator==(const Apn&, const Apn&) noexcept = default;
+  friend auto operator<=>(const Apn&, const Apn&) noexcept = default;
+
+ private:
+  std::string network_id_;
+  std::optional<Plmn> operator_id_;
+};
+
+/// First keyword (from the list) found in the APN's network id, or nullopt.
+[[nodiscard]] std::optional<std::string_view> first_matching_keyword(
+    const Apn& apn, std::span<const std::string_view> keywords);
+
+/// ASCII lower-case copy.
+[[nodiscard]] std::string ascii_lower(std::string_view text);
+
+}  // namespace wtr::cellnet

@@ -1,0 +1,68 @@
+#include "cellnet/geo.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace wtr::cellnet {
+
+namespace {
+constexpr double kEarthRadiusM = 6'371'000.0;
+constexpr double kPi = 3.14159265358979323846;
+
+double to_rad(double degrees) { return degrees * kPi / 180.0; }
+double to_deg(double radians) { return radians * 180.0 / kPi; }
+}  // namespace
+
+double haversine_m(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double lat1 = to_rad(a.lat);
+  const double lat2 = to_rad(b.lat);
+  const double dlat = lat2 - lat1;
+  const double dlon = to_rad(b.lon - a.lon);
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+GeoPoint offset_m(const GeoPoint& origin, double east_m, double north_m) noexcept {
+  const double dlat = to_deg(north_m / kEarthRadiusM);
+  const double cos_lat = std::cos(to_rad(origin.lat));
+  const double dlon =
+      cos_lat > 1e-9 ? to_deg(east_m / (kEarthRadiusM * cos_lat)) : 0.0;
+  return GeoPoint{origin.lat + dlat, origin.lon + dlon};
+}
+
+GeoPoint weighted_centroid(std::span<const GeoPoint> points,
+                           std::span<const double> weights) noexcept {
+  assert(points.size() == weights.size() && !points.empty());
+  double total = 0.0;
+  double lat = 0.0;
+  double lon = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double w = weights[i] < 0.0 ? 0.0 : weights[i];
+    total += w;
+    lat += w * points[i].lat;
+    lon += w * points[i].lon;
+  }
+  if (total <= 0.0) return points.front();
+  return GeoPoint{lat / total, lon / total};
+}
+
+double radius_of_gyration_m(std::span<const GeoPoint> points,
+                            std::span<const double> weights) noexcept {
+  assert(points.size() == weights.size());
+  if (points.size() <= 1) return 0.0;
+  const GeoPoint center = weighted_centroid(points, weights);
+  double total = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double w = weights[i] < 0.0 ? 0.0 : weights[i];
+    const double d = haversine_m(points[i], center);
+    total += w;
+    sum_sq += w * d * d;
+  }
+  if (total <= 0.0) return 0.0;
+  return std::sqrt(sum_sq / total);
+}
+
+}  // namespace wtr::cellnet

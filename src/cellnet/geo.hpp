@@ -1,0 +1,38 @@
+#pragma once
+
+// Geodesic helpers. The paper computes a time-weighted centroid of the cell
+// sectors a device attached to, and a radius of gyration around it (Fig. 8);
+// both need distances between sector coordinates.
+
+#include <span>
+#include <vector>
+
+namespace wtr::cellnet {
+
+struct GeoPoint {
+  double lat = 0.0;  // degrees
+  double lon = 0.0;  // degrees
+
+  friend constexpr bool operator==(const GeoPoint&, const GeoPoint&) noexcept = default;
+};
+
+/// Great-circle distance in meters (haversine, spherical Earth).
+[[nodiscard]] double haversine_m(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Point displaced from origin by (east_m, north_m) meters using a local
+/// tangent-plane approximation — accurate enough at intra-country scale for
+/// placing cell sectors.
+[[nodiscard]] GeoPoint offset_m(const GeoPoint& origin, double east_m,
+                                double north_m) noexcept;
+
+/// Weighted centroid of points (weights >= 0, at least one positive).
+/// The small-area flat approximation matches how operators compute it.
+[[nodiscard]] GeoPoint weighted_centroid(std::span<const GeoPoint> points,
+                                         std::span<const double> weights) noexcept;
+
+/// Weighted radius of gyration (meters): sqrt of the weighted mean squared
+/// distance to the weighted centroid. Zero for a single point.
+[[nodiscard]] double radius_of_gyration_m(std::span<const GeoPoint> points,
+                                          std::span<const double> weights) noexcept;
+
+}  // namespace wtr::cellnet

@@ -1,0 +1,50 @@
+#include "cellnet/imei.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace wtr::cellnet {
+
+int luhn_check_digit(std::string_view digits) {
+  int sum = 0;
+  // Doubling starts from the rightmost digit of the payload.
+  bool double_it = true;
+  for (std::size_t i = digits.size(); i > 0; --i) {
+    int d = digits[i - 1] - '0';
+    if (double_it) {
+      d *= 2;
+      if (d > 9) d -= 9;
+    }
+    sum += d;
+    double_it = !double_it;
+  }
+  return (10 - sum % 10) % 10;
+}
+
+std::string Imei::to_string() const {
+  char payload[16];
+  std::snprintf(payload, sizeof(payload), "%08u%06u", tac_, serial_);
+  const int check = luhn_check_digit(payload);
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%s%d", payload, check);
+  return buf;
+}
+
+std::optional<Imei> Imei::parse(std::string_view digits) {
+  if (digits.size() != 14 && digits.size() != 15) return std::nullopt;
+  for (char c : digits) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+  }
+  if (digits.size() == 15) {
+    const int expected = luhn_check_digit(digits.substr(0, 14));
+    if (digits[14] - '0' != expected) return std::nullopt;
+  }
+  auto to_num = [](std::string_view s) {
+    std::uint32_t v = 0;
+    for (char c : s) v = v * 10 + static_cast<std::uint32_t>(c - '0');
+    return v;
+  };
+  return Imei{to_num(digits.substr(0, 8)), to_num(digits.substr(8, 6))};
+}
+
+}  // namespace wtr::cellnet

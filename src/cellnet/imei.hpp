@@ -1,0 +1,51 @@
+#pragma once
+
+// International Mobile Equipment Identity. The first 8 digits are the Type
+// Allocation Code (TAC), statically allocated to a device vendor/model —
+// this is the key into the GSMA device catalog that the paper's classifier
+// relies on for the "device properties" stage.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace wtr::cellnet {
+
+/// 8-digit Type Allocation Code.
+using Tac = std::uint32_t;
+
+class Imei {
+ public:
+  constexpr Imei() = default;
+
+  /// serial is the 6-digit unit serial; the 15th (Luhn check) digit is
+  /// computed on rendering.
+  constexpr Imei(Tac tac, std::uint32_t serial) : tac_(tac), serial_(serial) {}
+
+  [[nodiscard]] constexpr Tac tac() const noexcept { return tac_; }
+  [[nodiscard]] constexpr std::uint32_t serial() const noexcept { return serial_; }
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return tac_ < 100'000'000U && serial_ < 1'000'000U;
+  }
+
+  /// Full 15-digit IMEI including the Luhn check digit.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse a 15-digit IMEI, validating the Luhn check digit, or a 14-digit
+  /// IMEI without one.
+  [[nodiscard]] static std::optional<Imei> parse(std::string_view digits);
+
+  friend constexpr bool operator==(const Imei&, const Imei&) noexcept = default;
+  friend constexpr auto operator<=>(const Imei&, const Imei&) noexcept = default;
+
+ private:
+  Tac tac_ = 0;
+  std::uint32_t serial_ = 0;
+};
+
+/// Luhn check digit over a digit string (as used by IMEI).
+[[nodiscard]] int luhn_check_digit(std::string_view digits);
+
+}  // namespace wtr::cellnet

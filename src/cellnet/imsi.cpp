@@ -1,0 +1,44 @@
+#include "cellnet/imsi.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+
+namespace wtr::cellnet {
+
+std::string Imsi::to_string() const {
+  const int mnc_width = plmn_.mnc_digits() == 3 ? 3 : 2;
+  const int msin_digits = 15 - 3 - mnc_width;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%03u%0*u%0*llu", plmn_.mcc(), mnc_width,
+                plmn_.mnc(), msin_digits, static_cast<unsigned long long>(msin_));
+  return buf;
+}
+
+std::optional<Imsi> Imsi::parse(std::string_view digits, std::uint8_t mnc_digits) {
+  if (mnc_digits != 2 && mnc_digits != 3) return std::nullopt;
+  if (digits.size() < static_cast<std::size_t>(3 + mnc_digits + 1) || digits.size() > 15) {
+    return std::nullopt;
+  }
+  for (char c : digits) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+  }
+  auto to_num = [](std::string_view s) {
+    std::uint64_t v = 0;
+    for (char c : s) v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    return v;
+  };
+  const auto mcc = static_cast<std::uint16_t>(to_num(digits.substr(0, 3)));
+  const auto mnc = static_cast<std::uint16_t>(to_num(digits.substr(3, mnc_digits)));
+  const std::uint64_t msin = to_num(digits.substr(3 + mnc_digits));
+  const Imsi imsi{Plmn{mcc, mnc, mnc_digits}, msin};
+  if (!imsi.valid()) return std::nullopt;
+  return imsi;
+}
+
+Imsi ImsiRange::at(std::uint64_t n) const {
+  assert(n < size());
+  return Imsi{plmn_, begin_ + n};
+}
+
+}  // namespace wtr::cellnet

@@ -1,0 +1,78 @@
+#pragma once
+
+// International Mobile Subscriber Identity: the SIM-side identity. The GSMA
+// guidance the paper discusses (IR.88) asks home operators to expose the
+// dedicated IMSI ranges their M2M SIMs use; the UK MNO in §7 provisions its
+// SMIP smart meters from a dedicated range. ImsiRange models exactly that.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cellnet/plmn.hpp"
+
+namespace wtr::cellnet {
+
+class Imsi {
+ public:
+  constexpr Imsi() = default;
+
+  /// msin is the subscriber part (up to 10 digits; IMSI total is <= 15).
+  constexpr Imsi(Plmn plmn, std::uint64_t msin) : plmn_(plmn), msin_(msin) {}
+
+  [[nodiscard]] constexpr Plmn plmn() const noexcept { return plmn_; }
+  [[nodiscard]] constexpr std::uint64_t msin() const noexcept { return msin_; }
+
+  /// MSIN digit budget: IMSI totals at most 15 digits (3 MCC + MNC width).
+  [[nodiscard]] constexpr std::uint64_t msin_limit() const noexcept {
+    return plmn_.mnc_digits() == 3 ? 1'000'000'000ULL : 10'000'000'000ULL;
+  }
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return plmn_.valid() && msin_ < msin_limit();
+  }
+
+  /// Full 15-digit rendering, MSIN zero-padded.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse a 14- or 15-digit IMSI given the MNC width (the split between
+  /// MNC and MSIN is not self-describing on the wire).
+  [[nodiscard]] static std::optional<Imsi> parse(std::string_view digits,
+                                                 std::uint8_t mnc_digits);
+
+  friend constexpr bool operator==(const Imsi&, const Imsi&) noexcept = default;
+  friend constexpr auto operator<=>(const Imsi&, const Imsi&) noexcept = default;
+
+ private:
+  Plmn plmn_{};
+  std::uint64_t msin_ = 0;
+};
+
+/// Half-open MSIN range [begin, end) within one PLMN; used for dedicated
+/// M2M/SMIP provisioning pools and for the classifier's IMSI-range rule.
+class ImsiRange {
+ public:
+  constexpr ImsiRange() = default;
+  constexpr ImsiRange(Plmn plmn, std::uint64_t begin, std::uint64_t end)
+      : plmn_(plmn), begin_(begin), end_(end) {}
+
+  [[nodiscard]] constexpr Plmn plmn() const noexcept { return plmn_; }
+  [[nodiscard]] constexpr std::uint64_t begin() const noexcept { return begin_; }
+  [[nodiscard]] constexpr std::uint64_t end() const noexcept { return end_; }
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept { return end_ - begin_; }
+
+  [[nodiscard]] constexpr bool contains(const Imsi& imsi) const noexcept {
+    return imsi.plmn() == plmn_ && imsi.msin() >= begin_ && imsi.msin() < end_;
+  }
+
+  /// The n-th IMSI of the pool. Requires n < size().
+  [[nodiscard]] Imsi at(std::uint64_t n) const;
+
+ private:
+  Plmn plmn_{};
+  std::uint64_t begin_ = 0;
+  std::uint64_t end_ = 0;
+};
+
+}  // namespace wtr::cellnet

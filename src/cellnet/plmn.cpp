@@ -1,0 +1,54 @@
+#include "cellnet/plmn.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace wtr::cellnet {
+
+std::string Plmn::to_string() const {
+  // mnc_digits_ is 2 or 3 by construction; clamp for the formatter's sake.
+  const int width = mnc_digits_ == 3 ? 3 : 2;
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%03u-%0*u", mcc_, width, mnc_);
+  return buf;
+}
+
+namespace {
+bool all_digits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::uint16_t to_u16(std::string_view s) {
+  std::uint16_t v = 0;
+  for (char c : s) v = static_cast<std::uint16_t>(v * 10 + (c - '0'));
+  return v;
+}
+}  // namespace
+
+std::optional<Plmn> Plmn::parse(std::string_view text) {
+  std::string_view mcc_part;
+  std::string_view mnc_part;
+  const auto dash = text.find('-');
+  if (dash != std::string_view::npos) {
+    mcc_part = text.substr(0, dash);
+    mnc_part = text.substr(dash + 1);
+  } else {
+    if (text.size() != 5 && text.size() != 6) return std::nullopt;
+    mcc_part = text.substr(0, 3);
+    mnc_part = text.substr(3);
+  }
+  if (mcc_part.size() != 3 || (mnc_part.size() != 2 && mnc_part.size() != 3)) {
+    return std::nullopt;
+  }
+  if (!all_digits(mcc_part) || !all_digits(mnc_part)) return std::nullopt;
+  const Plmn plmn{to_u16(mcc_part), to_u16(mnc_part),
+                  static_cast<std::uint8_t>(mnc_part.size())};
+  if (!plmn.valid()) return std::nullopt;
+  return plmn;
+}
+
+}  // namespace wtr::cellnet

@@ -1,0 +1,68 @@
+#pragma once
+
+// Public Land Mobile Network identity: the MCC-MNC pair that names a mobile
+// network world-wide. Every record in both of the paper's datasets carries
+// two of these (SIM PLMN and visited PLMN); they are the join key for all
+// roaming analyses.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace wtr::cellnet {
+
+class Plmn {
+ public:
+  constexpr Plmn() = default;
+
+  /// mcc in [100, 999]; mnc in [0, 999]; mnc_digits 2 or 3 (the wire format
+  /// of MNC is length-significant: "04" != "004").
+  constexpr Plmn(std::uint16_t mcc, std::uint16_t mnc, std::uint8_t mnc_digits = 2)
+      : mcc_(mcc), mnc_(mnc), mnc_digits_(mnc_digits) {}
+
+  [[nodiscard]] constexpr std::uint16_t mcc() const noexcept { return mcc_; }
+  [[nodiscard]] constexpr std::uint16_t mnc() const noexcept { return mnc_; }
+  [[nodiscard]] constexpr std::uint8_t mnc_digits() const noexcept { return mnc_digits_; }
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return mcc_ >= 100 && mcc_ <= 999 && mnc_ <= 999 &&
+           (mnc_digits_ == 2 || mnc_digits_ == 3) && (mnc_digits_ == 3 || mnc_ <= 99);
+  }
+
+  /// "214-07" / "310-410" style rendering (MNC zero-padded to its width).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse "21407", "214-07" or "214-007". Returns nullopt on malformed
+  /// input.
+  [[nodiscard]] static std::optional<Plmn> parse(std::string_view text);
+
+  /// Dense integer key for hashing/sorting; preserves MNC width.
+  [[nodiscard]] constexpr std::uint32_t key() const noexcept {
+    return (static_cast<std::uint32_t>(mcc_) << 12) |
+           (static_cast<std::uint32_t>(mnc_) << 2) | mnc_digits_;
+  }
+
+  friend constexpr auto operator<=>(const Plmn& a, const Plmn& b) noexcept {
+    return a.key() <=> b.key();
+  }
+  friend constexpr bool operator==(const Plmn& a, const Plmn& b) noexcept {
+    return a.key() == b.key();
+  }
+
+ private:
+  std::uint16_t mcc_ = 0;
+  std::uint16_t mnc_ = 0;
+  std::uint8_t mnc_digits_ = 2;
+};
+
+}  // namespace wtr::cellnet
+
+template <>
+struct std::hash<wtr::cellnet::Plmn> {
+  std::size_t operator()(const wtr::cellnet::Plmn& plmn) const noexcept {
+    return std::hash<std::uint32_t>{}(plmn.key());
+  }
+};

@@ -1,0 +1,89 @@
+#include "cellnet/rat.hpp"
+
+#include <array>
+#include <string>
+
+namespace wtr::cellnet {
+
+std::string_view rat_name(Rat rat) noexcept {
+  switch (rat) {
+    case Rat::kTwoG: return "2G";
+    case Rat::kThreeG: return "3G";
+    case Rat::kFourG: return "4G";
+    case Rat::kNbIot: return "NB-IoT";
+  }
+  return "?";
+}
+
+std::optional<Rat> rat_from_name(std::string_view name) noexcept {
+  for (int i = 0; i < kRatCount; ++i) {
+    const auto rat = static_cast<Rat>(i);
+    if (rat_name(rat) == name) return rat;
+  }
+  return std::nullopt;
+}
+
+std::string_view rat_mask_label(RatMask mask) noexcept {
+  // Static table of all 16 combinations, built lazily and kept for the
+  // process lifetime so the returned views stay valid.
+  static const std::array<std::string, 16> kLabels = [] {
+    std::array<std::string, 16> labels;
+    for (std::uint8_t bits = 0; bits < 16; ++bits) {
+      std::string label;
+      for (int r = 0; r < kRatCount; ++r) {
+        if ((bits >> r) & 1) {
+          if (!label.empty()) label += '+';
+          label += rat_name(static_cast<Rat>(r));
+        }
+      }
+      labels[bits] = label.empty() ? "none" : label;
+    }
+    return labels;
+  }();
+  return kLabels[mask.bits()];
+}
+
+std::string_view radio_interface_name(RadioInterface iface) noexcept {
+  switch (iface) {
+    case RadioInterface::kA: return "A";
+    case RadioInterface::kGb: return "Gb";
+    case RadioInterface::kIuCS: return "IuCS";
+    case RadioInterface::kIuPS: return "IuPS";
+    case RadioInterface::kS1: return "S1";
+  }
+  return "?";
+}
+
+Rat radio_interface_rat(RadioInterface iface) noexcept {
+  switch (iface) {
+    case RadioInterface::kA:
+    case RadioInterface::kGb: return Rat::kTwoG;
+    case RadioInterface::kIuCS:
+    case RadioInterface::kIuPS: return Rat::kThreeG;
+    case RadioInterface::kS1: return Rat::kFourG;
+  }
+  return Rat::kTwoG;
+}
+
+bool radio_interface_is_data(RadioInterface iface) noexcept {
+  switch (iface) {
+    case RadioInterface::kGb:
+    case RadioInterface::kIuPS:
+    case RadioInterface::kS1: return true;
+    case RadioInterface::kA:
+    case RadioInterface::kIuCS: return false;
+  }
+  return false;
+}
+
+RadioInterface interface_for(Rat rat, bool data) noexcept {
+  switch (rat) {
+    case Rat::kTwoG: return data ? RadioInterface::kGb : RadioInterface::kA;
+    case Rat::kThreeG: return data ? RadioInterface::kIuPS : RadioInterface::kIuCS;
+    case Rat::kFourG: return RadioInterface::kS1;
+    case Rat::kNbIot: return RadioInterface::kS1;  // NB-IoT rides the LTE core
+  }
+  return RadioInterface::kA;
+}
+
+}  // namespace wtr::cellnet

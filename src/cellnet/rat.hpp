@@ -1,0 +1,95 @@
+#pragma once
+
+// Radio Access Technologies and the monitored radio interfaces. The MNO
+// dataset (§4.1) summarizes per-device radio activity into 1-bit "radio
+// flags" (2G/3G/4G); RatMask is that representation. NB-IoT is modeled as a
+// fourth technology for the §8 extension experiments — the paper's datasets
+// predate its deployment, so nothing enables it unless a scenario asks.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace wtr::cellnet {
+
+enum class Rat : std::uint8_t {
+  kTwoG = 0,
+  kThreeG = 1,
+  kFourG = 2,
+  kNbIot = 3,  // LPWA technology of the §8 discussion; off by default
+};
+
+inline constexpr int kRatCount = 4;
+
+[[nodiscard]] std::string_view rat_name(Rat rat) noexcept;
+
+/// Inverse of rat_name ("2G"/"3G"/"4G"); nullopt for unknown names.
+[[nodiscard]] std::optional<Rat> rat_from_name(std::string_view name) noexcept;
+
+/// Bitmask over RATs: bit i set = device active/capable on RAT i.
+class RatMask {
+ public:
+  constexpr RatMask() = default;
+  constexpr explicit RatMask(std::uint8_t bits) : bits_(bits & 0b1111) {}
+
+  static constexpr RatMask of(Rat rat) noexcept {
+    return RatMask{static_cast<std::uint8_t>(1U << static_cast<std::uint8_t>(rat))};
+  }
+
+  constexpr void set(Rat rat) noexcept {
+    bits_ |= static_cast<std::uint8_t>(1U << static_cast<std::uint8_t>(rat));
+  }
+  [[nodiscard]] constexpr bool has(Rat rat) const noexcept {
+    return (bits_ >> static_cast<std::uint8_t>(rat)) & 1U;
+  }
+  [[nodiscard]] constexpr bool any() const noexcept { return bits_ != 0; }
+  [[nodiscard]] constexpr bool none() const noexcept { return bits_ == 0; }
+  [[nodiscard]] constexpr std::uint8_t bits() const noexcept { return bits_; }
+  [[nodiscard]] constexpr int count() const noexcept {
+    return ((bits_ >> 0) & 1) + ((bits_ >> 1) & 1) + ((bits_ >> 2) & 1) +
+           ((bits_ >> 3) & 1);
+  }
+
+  /// Exactly this one RAT and nothing else ("2G only" in Fig. 9).
+  [[nodiscard]] constexpr bool only(Rat rat) const noexcept {
+    return bits_ == (1U << static_cast<std::uint8_t>(rat));
+  }
+
+  [[nodiscard]] constexpr RatMask intersect(RatMask other) const noexcept {
+    return RatMask{static_cast<std::uint8_t>(bits_ & other.bits_)};
+  }
+
+  friend constexpr bool operator==(RatMask, RatMask) noexcept = default;
+
+ private:
+  std::uint8_t bits_ = 0;
+};
+
+/// "2G", "2G+3G", "none", "NB-IoT", ... label used by the Fig. 9 harness.
+/// Returned view points into a static label table.
+[[nodiscard]] std::string_view rat_mask_label(RatMask mask) noexcept;
+
+/// The radio interfaces the MNO monitors (Fig. 4): circuit-switched and
+/// packet-switched legs of 2G/3G, plus the LTE S1 interface.
+enum class RadioInterface : std::uint8_t {
+  kA = 0,     // 2G circuit switched
+  kGb = 1,    // 2G packet switched
+  kIuCS = 2,  // 3G circuit switched
+  kIuPS = 3,  // 3G packet switched
+  kS1 = 4,    // 4G
+};
+
+[[nodiscard]] std::string_view radio_interface_name(RadioInterface iface) noexcept;
+
+/// RAT an interface belongs to.
+[[nodiscard]] Rat radio_interface_rat(RadioInterface iface) noexcept;
+
+/// True for packet-switched (data) interfaces; false for circuit-switched
+/// (voice) ones. S1 carries data; LTE voice in this model is none (M2M
+/// "voice" on LTE is out of the paper's datasets).
+[[nodiscard]] bool radio_interface_is_data(RadioInterface iface) noexcept;
+
+/// The interface a (rat, data?) activity shows up on.
+[[nodiscard]] RadioInterface interface_for(Rat rat, bool data) noexcept;
+
+}  // namespace wtr::cellnet

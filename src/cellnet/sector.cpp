@@ -1,0 +1,96 @@
+#include "cellnet/sector.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace wtr::cellnet {
+
+SectorGrid::SectorGrid(const Config& config) : config_(config) {
+  assert(config.cols > 0 && config.rows > 0 && config.spacing_m > 0.0);
+  stats::Rng rng{stats::mix64(config.seed, config.operator_plmn.key())};
+  sectors_.reserve(static_cast<std::size_t>(config.cols) * config.rows);
+  const double west = -half_extent_east_m();
+  const double south = -half_extent_north_m();
+  for (std::uint32_t r = 0; r < config.rows; ++r) {
+    for (std::uint32_t c = 0; c < config.cols; ++c) {
+      const double jitter_e = rng.uniform(-0.25, 0.25) * config.spacing_m;
+      const double jitter_n = rng.uniform(-0.25, 0.25) * config.spacing_m;
+      const double east = west + (static_cast<double>(c) + 0.5) * config.spacing_m + jitter_e;
+      const double north = south + (static_cast<double>(r) + 0.5) * config.spacing_m + jitter_n;
+      CellSector sector;
+      sector.id = static_cast<SectorId>(sectors_.size());
+      sector.operator_plmn = config.operator_plmn;
+      sector.location = offset_m(config.anchor, east, north);
+      if (rng.bernoulli(config.share_2g)) sector.rats.set(Rat::kTwoG);
+      if (rng.bernoulli(config.share_3g)) sector.rats.set(Rat::kThreeG);
+      if (rng.bernoulli(config.share_4g)) sector.rats.set(Rat::kFourG);
+      if (rng.bernoulli(config.share_nbiot)) sector.rats.set(Rat::kNbIot);
+      if (sector.rats.none()) sector.rats.set(Rat::kTwoG);  // no dead sectors
+      sectors_.push_back(sector);
+    }
+  }
+}
+
+const CellSector& SectorGrid::sector(SectorId id) const {
+  assert(static_cast<std::size_t>(id) < sectors_.size());
+  return sectors_[id];
+}
+
+double SectorGrid::half_extent_east_m() const noexcept {
+  return 0.5 * static_cast<double>(config_.cols) * config_.spacing_m;
+}
+
+double SectorGrid::half_extent_north_m() const noexcept {
+  return 0.5 * static_cast<double>(config_.rows) * config_.spacing_m;
+}
+
+std::size_t SectorGrid::cell_index(double east_m, double north_m) const {
+  const double west = -half_extent_east_m();
+  const double south = -half_extent_north_m();
+  auto clamp_axis = [](double v, std::uint32_t n) {
+    const auto idx = static_cast<std::int64_t>(std::floor(v));
+    return static_cast<std::uint32_t>(std::clamp<std::int64_t>(idx, 0, n - 1));
+  };
+  const std::uint32_t c = clamp_axis((east_m - west) / config_.spacing_m, config_.cols);
+  const std::uint32_t r = clamp_axis((north_m - south) / config_.spacing_m, config_.rows);
+  return static_cast<std::size_t>(r) * config_.cols + c;
+}
+
+const CellSector& SectorGrid::serving_sector(double east_m, double north_m) const {
+  assert(!sectors_.empty());
+  return sectors_[cell_index(east_m, north_m)];
+}
+
+std::optional<SectorId> SectorGrid::serving_sector_with_rat(double east_m, double north_m,
+                                                            Rat rat) const {
+  assert(!sectors_.empty());
+  const std::size_t home = cell_index(east_m, north_m);
+  if (sectors_[home].rats.has(rat)) return sectors_[home].id;
+  // Deterministic ring scan: nearest cells by index distance in the grid.
+  const auto home_row = static_cast<std::int64_t>(home / config_.cols);
+  const auto home_col = static_cast<std::int64_t>(home % config_.cols);
+  const std::int64_t max_radius =
+      static_cast<std::int64_t>(std::max(config_.cols, config_.rows));
+  for (std::int64_t radius = 1; radius <= max_radius; ++radius) {
+    for (std::int64_t dr = -radius; dr <= radius; ++dr) {
+      for (std::int64_t dc = -radius; dc <= radius; ++dc) {
+        if (std::max(std::abs(dr), std::abs(dc)) != radius) continue;
+        const std::int64_t r = home_row + dr;
+        const std::int64_t c = home_col + dc;
+        if (r < 0 || c < 0 || r >= static_cast<std::int64_t>(config_.rows) ||
+            c >= static_cast<std::int64_t>(config_.cols)) {
+          continue;
+        }
+        const auto idx = static_cast<std::size_t>(r) * config_.cols +
+                         static_cast<std::size_t>(c);
+        if (sectors_[idx].rats.has(rat)) return sectors_[idx].id;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace wtr::cellnet

@@ -1,0 +1,77 @@
+#pragma once
+
+// Cell sectors and per-operator sector grids. The MNO's sector catalog
+// (§4.1) provides the coordinates used as a proxy for device position; we
+// model each operator's radio plan as a jittered rectangular grid over its
+// country, with per-sector RAT support (rural 2G-heavy, urban 2G+3G+4G).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cellnet/geo.hpp"
+#include "cellnet/plmn.hpp"
+#include "cellnet/rat.hpp"
+
+namespace wtr::cellnet {
+
+using SectorId = std::uint32_t;
+
+struct CellSector {
+  SectorId id = 0;
+  Plmn operator_plmn{};
+  GeoPoint location{};
+  RatMask rats{};  // technologies deployed on this sector
+};
+
+/// A rectangular, slightly jittered grid of sectors centered at an anchor
+/// point, serving as one operator's radio plan. Lookup maps an arbitrary
+/// position to the serving sector (nearest by grid cell).
+class SectorGrid {
+ public:
+  struct Config {
+    Plmn operator_plmn{};
+    GeoPoint anchor{};        // country/city anchor
+    std::uint32_t cols = 32;  // grid width
+    std::uint32_t rows = 32;  // grid height
+    double spacing_m = 2'000.0;
+    std::uint64_t seed = 0;   // jitter + RAT plan seed
+    double share_4g = 0.55;   // fraction of sectors with 4G deployed
+    double share_3g = 0.85;   // fraction with 3G
+    double share_2g = 0.97;   // fraction with 2G (legacy is near-ubiquitous)
+    double share_nbiot = 0.0; // NB-IoT overlay (§8 extension; off by default)
+  };
+
+  SectorGrid() = default;
+  explicit SectorGrid(const Config& config);
+
+  [[nodiscard]] std::size_t size() const noexcept { return sectors_.size(); }
+  [[nodiscard]] const std::vector<CellSector>& sectors() const noexcept { return sectors_; }
+  [[nodiscard]] const CellSector& sector(SectorId id) const;
+  [[nodiscard]] Plmn operator_plmn() const noexcept { return config_.operator_plmn; }
+  [[nodiscard]] GeoPoint anchor() const noexcept { return config_.anchor; }
+
+  /// Serving sector for a position expressed as meters east/north of the
+  /// anchor (clamped to the grid edge).
+  [[nodiscard]] const CellSector& serving_sector(double east_m, double north_m) const;
+
+  /// Serving sector restricted to those supporting `rat`; falls back to a
+  /// deterministic scan ring around the home cell. Returns nullopt when the
+  /// grid deploys `rat` nowhere.
+  [[nodiscard]] std::optional<SectorId> serving_sector_with_rat(double east_m,
+                                                                double north_m,
+                                                                Rat rat) const;
+
+  /// Physical footprint half-width (meters) — used by mobility models to
+  /// keep devices on the map.
+  [[nodiscard]] double half_extent_east_m() const noexcept;
+  [[nodiscard]] double half_extent_north_m() const noexcept;
+
+ private:
+  [[nodiscard]] std::size_t cell_index(double east_m, double north_m) const;
+
+  Config config_{};
+  std::vector<CellSector> sectors_;
+};
+
+}  // namespace wtr::cellnet

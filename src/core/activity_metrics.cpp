@@ -1,0 +1,56 @@
+#include "core/activity_metrics.hpp"
+
+namespace wtr::core {
+
+ActiveDaysFigure active_days_figure(const ClassifiedPopulation& population) {
+  ActiveDaysFigure figure;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    const auto days = static_cast<double>(population.summaries[i].active_days);
+    const bool inbound = population.is_inbound(i);
+    const bool native = population.is_native_or_mvno(i);
+    switch (population.classes[i]) {
+      case ClassLabel::kM2M:
+        if (inbound) figure.inbound_m2m.add(days);
+        if (native) figure.native_m2m.add(days);
+        break;
+      case ClassLabel::kSmart:
+        if (inbound) figure.inbound_smart.add(days);
+        if (native) figure.native_smart.add(days);
+        break;
+      default:
+        break;
+    }
+  }
+  return figure;
+}
+
+std::map<std::string, stats::Ecdf> gyration_figure(const ClassifiedPopulation& population) {
+  std::map<std::string, stats::Ecdf> groups;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    const auto& summary = population.summaries[i];
+    if (!summary.has_position) continue;
+    const bool inbound = population.is_inbound(i);
+    const bool native = population.is_native_or_mvno(i);
+    if (!inbound && !native) continue;
+    const std::string key = std::string(class_label_name(population.classes[i])) + "/" +
+                            (inbound ? "inbound" : "native");
+    groups[key].add(summary.mean_daily_gyration_m);
+  }
+  return groups;
+}
+
+double gyration_share_above(const ClassifiedPopulation& population,
+                            ClassLabel device_class, bool inbound, double threshold_m) {
+  std::size_t total = 0;
+  std::size_t above = 0;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    if (population.classes[i] != device_class) continue;
+    if (population.is_inbound(i) != inbound) continue;
+    if (!population.summaries[i].has_position) continue;
+    ++total;
+    if (population.summaries[i].mean_daily_gyration_m > threshold_m) ++above;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(above) / static_cast<double>(total);
+}
+
+}  // namespace wtr::core

@@ -1,0 +1,37 @@
+#pragma once
+
+// Spatio-temporal population dynamics (§5.3): active-days distributions
+// (Fig. 7) and radius-of-gyration distributions (Fig. 8), grouped by device
+// class and roaming status.
+
+#include <map>
+#include <string>
+
+#include "core/census.hpp"
+#include "stats/ecdf.hpp"
+
+namespace wtr::core {
+
+/// Fig. 7: ECDF of the number of active days, for m2m and smartphones,
+/// split inbound-roaming (left panel) vs native (right panel).
+struct ActiveDaysFigure {
+  stats::Ecdf inbound_m2m;
+  stats::Ecdf inbound_smart;
+  stats::Ecdf native_m2m;
+  stats::Ecdf native_smart;
+};
+
+[[nodiscard]] ActiveDaysFigure active_days_figure(const ClassifiedPopulation& population);
+
+/// Fig. 8: ECDF of the mean daily radius of gyration per group. Keys are
+/// "<class>/<inbound|native>"; devices without position data are skipped.
+[[nodiscard]] std::map<std::string, stats::Ecdf> gyration_figure(
+    const ClassifiedPopulation& population);
+
+/// Share of a group's devices with gyration above a threshold (the paper
+/// quotes "only 20% of inbound M2M devices above 1 km").
+[[nodiscard]] double gyration_share_above(const ClassifiedPopulation& population,
+                                          ClassLabel device_class, bool inbound,
+                                          double threshold_m);
+
+}  // namespace wtr::core

@@ -1,0 +1,62 @@
+#include "core/baseline_classifier.hpp"
+
+#include <algorithm>
+
+namespace wtr::core {
+
+std::vector<std::string> default_m2m_vendor_list() {
+  // The paper's big three first; the tail is what a Shafiq-style manual
+  // pass over module vendors would add.
+  return {"Gemalto",  "Telit",  "Sierra Wireless", "u-blox", "Quectel",
+          "SIMCom",   "Cinterion", "Fibocom",      "Neoway", "MeiG"};
+}
+
+BaselineVendorClassifier::BaselineVendorClassifier(const cellnet::TacCatalog& catalog,
+                                                   BaselineClassifierConfig config)
+    : catalog_(&catalog),
+      vendors_(config.m2m_vendors.empty() ? default_m2m_vendor_list()
+                                          : std::move(config.m2m_vendors)) {}
+
+bool BaselineVendorClassifier::is_m2m_vendor(std::string_view vendor) const {
+  return std::any_of(vendors_.begin(), vendors_.end(),
+                     [&](const std::string& v) { return v == vendor; });
+}
+
+ClassificationResult BaselineVendorClassifier::classify(
+    std::span<const DeviceSummary> devices) const {
+  ClassificationResult result;
+  result.labels.assign(devices.size(), ClassLabel::kM2MMaybe);
+
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    const auto& device = devices[i];
+    if (device.apns.empty()) ++result.devices_without_apn;
+    const cellnet::TacInfo* info =
+        device.tac != 0 ? catalog_->lookup(device.tac) : nullptr;
+    if (info == nullptr) {
+      result.labels[i] = ClassLabel::kM2MMaybe;  // no evidence at all
+      continue;
+    }
+    // Rule 1: curated vendor list.
+    if (is_m2m_vendor(info->vendor)) {
+      result.labels[i] = ClassLabel::kM2M;
+      continue;
+    }
+    // Rule 2: GSMA label / OS heuristics.
+    if (cellnet::is_major_smartphone_os(info->os) ||
+        info->label == cellnet::GsmaLabel::kSmartphone) {
+      result.labels[i] = ClassLabel::kSmart;
+    } else if (info->label == cellnet::GsmaLabel::kFeaturePhone) {
+      result.labels[i] = ClassLabel::kFeat;
+    } else if (info->label == cellnet::GsmaLabel::kModem ||
+               info->label == cellnet::GsmaLabel::kModule) {
+      // The paper's caveat: these labels "might not necessarily imply an
+      // M2M/IoT application", but the baseline takes them at face value.
+      result.labels[i] = ClassLabel::kM2M;
+    } else {
+      result.labels[i] = ClassLabel::kM2MMaybe;
+    }
+  }
+  return result;
+}
+
+}  // namespace wtr::core

@@ -1,0 +1,55 @@
+#pragma once
+
+// The baseline the paper argues against (§4.3): classification from device
+// properties alone, after Shafiq et al. [18]. Two rules:
+//
+//   * "big players" — devices whose TAC belongs to a known M2M module
+//     vendor (Gemalto, Telit, Sierra Wireless, ... — the top vendors cover
+//     75% of inbound roamers) are m2m;
+//   * GSMA-label heuristics — smartphone label/OS ⇒ smart, feature-phone
+//     label ⇒ feat, modem/module labels ⇒ m2m.
+//
+// The paper's criticisms, which experiment V1 quantifies: the vendor list
+// needs manual curation per deployment, "modem"/"module" labels do not
+// necessarily imply an M2M application, and consumer dongles on module
+// hardware are misclassified. Kept deliberately independent from
+// DeviceClassifier so the two can be compared head-to-head.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cellnet/tac_catalog.hpp"
+#include "core/classifier.hpp"
+
+namespace wtr::core {
+
+struct BaselineClassifierConfig {
+  /// Curated M2M vendor list; empty = the paper's big three plus the other
+  /// module vendors a manual pass would find.
+  std::vector<std::string> m2m_vendors;
+};
+
+class BaselineVendorClassifier {
+ public:
+  explicit BaselineVendorClassifier(const cellnet::TacCatalog& catalog,
+                                    BaselineClassifierConfig config = {});
+
+  /// Same output contract as DeviceClassifier::classify, so validation and
+  /// the V1 harness can compare them directly. APNs are deliberately not
+  /// consulted.
+  [[nodiscard]] ClassificationResult classify(
+      std::span<const DeviceSummary> devices) const;
+
+  [[nodiscard]] bool is_m2m_vendor(std::string_view vendor) const;
+
+ private:
+  const cellnet::TacCatalog* catalog_;
+  std::vector<std::string> vendors_;
+};
+
+/// The default curated vendor list ("big players" extended by the vendors a
+/// manual verification pass over the module pool would add).
+[[nodiscard]] std::vector<std::string> default_m2m_vendor_list();
+
+}  // namespace wtr::core

@@ -1,0 +1,218 @@
+#include "core/catalog_builder.hpp"
+
+#include <algorithm>
+
+#include "stats/rng.hpp"
+
+namespace wtr::core {
+
+namespace {
+
+void insert_unique_plmn(std::vector<cellnet::Plmn>& list, cellnet::Plmn plmn) {
+  if (std::find(list.begin(), list.end(), plmn) == list.end()) list.push_back(plmn);
+}
+
+void insert_unique_string(std::vector<std::string>& list, const std::string& value) {
+  if (value.empty()) return;
+  if (std::find(list.begin(), list.end(), value) == list.end()) list.push_back(value);
+}
+
+std::uint64_t partial_key(signaling::DeviceHash device, std::int32_t day) {
+  return stats::mix64(device, static_cast<std::uint64_t>(static_cast<std::uint32_t>(day)));
+}
+
+}  // namespace
+
+CatalogAccumulator::CatalogAccumulator(Config config) : config_(std::move(config)) {
+  if (config_.family_plmns.empty()) config_.family_plmns.push_back(config_.observer_plmn);
+}
+
+bool CatalogAccumulator::in_family(cellnet::Plmn plmn) const noexcept {
+  return std::find(config_.family_plmns.begin(), config_.family_plmns.end(), plmn) !=
+         config_.family_plmns.end();
+}
+
+CatalogAccumulator::Partial& CatalogAccumulator::partial_for(
+    signaling::DeviceHash device, std::int32_t day, cellnet::Plmn sim_plmn) {
+  auto& partial = partials_[partial_key(device, day)];
+  partial.device = device;
+  partial.day = day;
+  // A dwell record may have opened this partial before any SIM-bearing
+  // record arrived; fill the identity from the first record that knows it.
+  if (!partial.sim_plmn.valid()) partial.sim_plmn = sim_plmn;
+  return partial;
+}
+
+void CatalogAccumulator::on_signaling(const signaling::SignalingTransaction& txn,
+                                      bool data_context) {
+  (void)data_context;
+  // Radio-log visibility: the observer's probes sit on its own RAN.
+  if (txn.visited_plmn != config_.observer_plmn) return;
+  ++accepted_;
+  auto& partial = partial_for(txn.device, stats::day_of(txn.time), txn.sim_plmn);
+  ++partial.signaling_events;
+  if (signaling::is_failure(txn.result)) {
+    ++partial.failed_events;
+  } else {
+    partial.radio_flags.set(txn.rat);
+  }
+  insert_unique_plmn(partial.visited_plmns, txn.visited_plmn);
+  if (txn.tac != 0) partial.tac = txn.tac;
+}
+
+void CatalogAccumulator::on_cdr(const records::Cdr& cdr) {
+  const bool on_observer_network = cdr.visited_plmn == config_.observer_plmn;
+  if (!on_observer_network && !in_family(cdr.sim_plmn)) return;
+  ++accepted_;
+  auto& partial = partial_for(cdr.device, stats::day_of(cdr.time), cdr.sim_plmn);
+  ++partial.calls;
+  partial.call_seconds += cdr.duration_s;
+  partial.voice_rats.set(cdr.rat);
+  insert_unique_plmn(partial.visited_plmns, cdr.visited_plmn);
+}
+
+void CatalogAccumulator::on_xdr(const records::Xdr& xdr) {
+  const bool on_observer_network = xdr.visited_plmn == config_.observer_plmn;
+  if (!on_observer_network && !in_family(xdr.sim_plmn)) return;
+  ++accepted_;
+  auto& partial = partial_for(xdr.device, stats::day_of(xdr.time), xdr.sim_plmn);
+  partial.bytes += xdr.bytes_total();
+  partial.data_rats.set(xdr.rat);
+  insert_unique_plmn(partial.visited_plmns, xdr.visited_plmn);
+  insert_unique_string(partial.apns, xdr.apn);
+}
+
+void CatalogAccumulator::on_dwell(signaling::DeviceHash device, std::int32_t day,
+                                  cellnet::Plmn visited_plmn,
+                                  const cellnet::GeoPoint& location, double seconds) {
+  // Sector coordinates exist only for the observer's own sectors.
+  if (visited_plmn != config_.observer_plmn) return;
+  // Dwell alone does not create a record: only devices with some observed
+  // activity that day get mobility metrics. To keep it simple (and to match
+  // "time spent on each individual sector", which accrues continuously) we
+  // accept dwell into the partial regardless; finalize() drops positionless
+  // pure-dwell records.
+  auto& partial = partials_[partial_key(device, day)];
+  if (partial.device == 0) {
+    partial.device = device;
+    partial.day = day;
+  }
+  partial.gyration.add(location, seconds);
+}
+
+records::DevicesCatalog CatalogAccumulator::finalize() {
+  records::DevicesCatalog catalog;
+  catalog.reserve(partials_.size());
+  // Deterministic output order: sort by (device, day).
+  std::vector<const Partial*> ordered;
+  ordered.reserve(partials_.size());
+  for (const auto& [_, partial] : partials_) ordered.push_back(&partial);
+  std::sort(ordered.begin(), ordered.end(), [](const Partial* a, const Partial* b) {
+    if (a->device != b->device) return a->device < b->device;
+    return a->day < b->day;
+  });
+
+  for (const Partial* partial : ordered) {
+    const bool has_activity =
+        partial->signaling_events > 0 || partial->calls > 0 || partial->bytes > 0;
+    if (!has_activity) continue;  // dwell-only artifacts
+    records::DailyDeviceRecord record;
+    record.device = partial->device;
+    record.day = partial->day;
+    record.sim_plmn = partial->sim_plmn;
+    record.visited_plmns = partial->visited_plmns;
+    std::sort(record.visited_plmns.begin(), record.visited_plmns.end());
+    record.signaling_events = partial->signaling_events;
+    record.failed_events = partial->failed_events;
+    record.calls = partial->calls;
+    record.call_seconds = partial->call_seconds;
+    record.bytes = partial->bytes;
+    record.apns = partial->apns;
+    std::sort(record.apns.begin(), record.apns.end());
+    record.tac = partial->tac;
+    record.radio_flags = partial->radio_flags;
+    record.data_rats = partial->data_rats;
+    record.voice_rats = partial->voice_rats;
+    if (!partial->gyration.empty()) {
+      record.centroid = partial->gyration.centroid();
+      record.gyration_m = partial->gyration.gyration_m();
+      record.has_position = true;
+    }
+    catalog.add(std::move(record));
+  }
+  partials_.clear();
+  return catalog;
+}
+
+bool DeviceSummary::attached_to(cellnet::Plmn plmn) const noexcept {
+  return std::find(visited_plmns.begin(), visited_plmns.end(), plmn) !=
+         visited_plmns.end();
+}
+
+std::vector<DeviceSummary> summarize(const records::DevicesCatalog& catalog) {
+  std::unordered_map<signaling::DeviceHash, DeviceSummary> by_device;
+  std::unordered_map<signaling::DeviceHash, std::pair<double, std::uint32_t>> gyration_sums;
+  by_device.reserve(catalog.size());
+
+  for (const auto& record : catalog.records()) {
+    auto [it, inserted] = by_device.try_emplace(record.device);
+    DeviceSummary& summary = it->second;
+    if (inserted) {
+      summary.device = record.device;
+      summary.sim_plmn = record.sim_plmn;
+      summary.first_day = record.day;
+      summary.last_day = record.day;
+    }
+    summary.first_day = std::min(summary.first_day, record.day);
+    summary.last_day = std::max(summary.last_day, record.day);
+    ++summary.active_days;
+    summary.signaling_events += record.signaling_events;
+    summary.failed_events += record.failed_events;
+    summary.calls += record.calls;
+    summary.call_seconds += record.call_seconds;
+    summary.bytes += record.bytes;
+    for (const auto& plmn : record.visited_plmns) {
+      if (std::find(summary.visited_plmns.begin(), summary.visited_plmns.end(), plmn) ==
+          summary.visited_plmns.end()) {
+        summary.visited_plmns.push_back(plmn);
+      }
+    }
+    for (const auto& apn : record.apns) {
+      if (std::find(summary.apns.begin(), summary.apns.end(), apn) ==
+          summary.apns.end()) {
+        summary.apns.push_back(apn);
+      }
+    }
+    if (record.tac != 0) summary.tac = record.tac;
+    summary.radio_flags = cellnet::RatMask{
+        static_cast<std::uint8_t>(summary.radio_flags.bits() | record.radio_flags.bits())};
+    summary.data_rats = cellnet::RatMask{
+        static_cast<std::uint8_t>(summary.data_rats.bits() | record.data_rats.bits())};
+    summary.voice_rats = cellnet::RatMask{
+        static_cast<std::uint8_t>(summary.voice_rats.bits() | record.voice_rats.bits())};
+    if (record.has_position) {
+      auto& [sum, days] = gyration_sums[record.device];
+      sum += record.gyration_m;
+      ++days;
+      summary.has_position = true;
+    }
+  }
+
+  std::vector<DeviceSummary> out;
+  out.reserve(by_device.size());
+  for (auto& [device, summary] : by_device) {
+    const auto it = gyration_sums.find(device);
+    if (it != gyration_sums.end() && it->second.second > 0) {
+      summary.mean_daily_gyration_m = it->second.first / it->second.second;
+    }
+    std::sort(summary.visited_plmns.begin(), summary.visited_plmns.end());
+    std::sort(summary.apns.begin(), summary.apns.end());
+    out.push_back(std::move(summary));
+  }
+  std::sort(out.begin(), out.end(), [](const DeviceSummary& a, const DeviceSummary& b) {
+    return a.device < b.device;
+  });
+  return out;
+}
+
+}  // namespace wtr::core

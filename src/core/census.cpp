@@ -1,0 +1,84 @@
+#include "core/census.hpp"
+
+#include "cellnet/country.hpp"
+
+namespace wtr::core {
+
+ClassifiedPopulation run_census(const records::DevicesCatalog& catalog,
+                                cellnet::Plmn observer,
+                                std::vector<cellnet::Plmn> mvno_plmns,
+                                const cellnet::TacCatalog& tac_catalog,
+                                ClassifierConfig config) {
+  ClassifiedPopulation population{
+      .summaries = summarize(catalog),
+      .labels = {},
+      .classes = {},
+      .classification = {},
+      .labeler = RoamingLabeler{observer, std::move(mvno_plmns)},
+  };
+
+  population.labels.reserve(population.summaries.size());
+  for (const auto& summary : population.summaries) {
+    population.labels.push_back(
+        population.labeler.label(summary.sim_plmn, summary.visited_plmns));
+  }
+
+  const DeviceClassifier classifier{tac_catalog, std::move(config)};
+  population.classification = classifier.classify(population.summaries);
+  population.classes = population.classification.labels;
+  return population;
+}
+
+stats::CategoryCounter daily_label_shares(const records::DevicesCatalog& catalog,
+                                          const RoamingLabeler& labeler) {
+  stats::CategoryCounter counter;
+  for (const auto& record : catalog.records()) {
+    const auto label = labeler.label(record.sim_plmn, record.visited_plmns);
+    counter.add(std::string(roaming_label_name(label)));
+  }
+  return counter;
+}
+
+stats::CategoryCounter inbound_home_countries(const ClassifiedPopulation& population) {
+  stats::CategoryCounter counter;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    if (!population.is_inbound(i)) continue;
+    counter.add(std::string(cellnet::iso_of_mcc(population.summaries[i].sim_plmn.mcc())));
+  }
+  return counter;
+}
+
+stats::Heatmap inbound_home_country_by_class(const ClassifiedPopulation& population) {
+  stats::Heatmap heatmap;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    if (!population.is_inbound(i)) continue;
+    heatmap.add(std::string(class_label_name(population.classes[i])),
+                std::string(cellnet::iso_of_mcc(population.summaries[i].sim_plmn.mcc())));
+  }
+  return heatmap;
+}
+
+stats::Heatmap class_vs_label(const ClassifiedPopulation& population) {
+  stats::Heatmap heatmap;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    heatmap.add(std::string(class_label_name(population.classes[i])),
+                std::string(roaming_label_name(population.labels[i])));
+  }
+  return heatmap;
+}
+
+SilentRoamerStats silent_roamers(const ClassifiedPopulation& population) {
+  SilentRoamerStats stats;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    if (!population.is_inbound(i)) continue;
+    ++stats.inbound_devices;
+    const auto& summary = population.summaries[i];
+    if (summary.signaling_events > 0 && summary.bytes == 0 && summary.calls == 0) {
+      ++stats.silent;
+      ++stats.silent_by_class[std::string(class_label_name(population.classes[i]))];
+    }
+  }
+  return stats;
+}
+
+}  // namespace wtr::core

@@ -1,0 +1,80 @@
+#pragma once
+
+// Population census from the visited MNO's perspective (§4–5): rolls the
+// devices-catalog up to per-device summaries, assigns roaming labels,
+// runs the classifier, and derives the population figures (Fig. 5 home
+// countries, Fig. 6 class-vs-label, and the in-text shares).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/catalog_builder.hpp"
+#include "core/classifier.hpp"
+#include "core/roaming_labeler.hpp"
+#include "records/devices_catalog.hpp"
+#include "stats/heatmap.hpp"
+#include "stats/histogram.hpp"
+
+namespace wtr::core {
+
+struct ClassifiedPopulation {
+  std::vector<DeviceSummary> summaries;
+  std::vector<RoamingLabel> labels;   // parallel to summaries
+  std::vector<ClassLabel> classes;    // parallel to summaries
+  ClassificationResult classification;
+  RoamingLabeler labeler;
+
+  [[nodiscard]] std::size_t size() const noexcept { return summaries.size(); }
+  [[nodiscard]] bool is_inbound(std::size_t i) const noexcept {
+    return labels[i] == kInboundRoamerLabel;
+  }
+  [[nodiscard]] bool is_native_or_mvno(std::size_t i) const noexcept {
+    return labels[i].net == NetSide::kHome &&
+           (labels[i].sim == SimSide::kHome || labels[i].sim == SimSide::kVirtual);
+  }
+};
+
+/// Build the census: summarize → label → classify.
+[[nodiscard]] ClassifiedPopulation run_census(const records::DevicesCatalog& catalog,
+                                              cellnet::Plmn observer,
+                                              std::vector<cellnet::Plmn> mvno_plmns,
+                                              const cellnet::TacCatalog& tac_catalog,
+                                              ClassifierConfig config = {});
+
+/// Per-day roaming-label shares (§4.2's "48% / 33% / 18% per day" table):
+/// every (device, day) record contributes one count to its label.
+[[nodiscard]] stats::CategoryCounter daily_label_shares(
+    const records::DevicesCatalog& catalog, const RoamingLabeler& labeler);
+
+/// Fig. 5-top: inbound roamers per home country (ISO), descending.
+[[nodiscard]] stats::CategoryCounter inbound_home_countries(
+    const ClassifiedPopulation& population);
+
+/// Fig. 5-bottom: rows = device class, cols = home country ISO, counts over
+/// inbound roamers only (normalize per row to reproduce the figure).
+[[nodiscard]] stats::Heatmap inbound_home_country_by_class(
+    const ClassifiedPopulation& population);
+
+/// Fig. 6: rows = device class, cols = roaming label. Row-normalize for the
+/// left panel, column-normalize for the right panel.
+[[nodiscard]] stats::Heatmap class_vs_label(const ClassifiedPopulation& population);
+
+/// "Silent roamers" (§8's regulatory footnote): inbound devices that occupy
+/// the signaling plane without generating any chargeable usage — no data
+/// bytes and no calls across the whole window.
+struct SilentRoamerStats {
+  std::size_t inbound_devices = 0;
+  std::size_t silent = 0;
+  std::map<std::string, std::size_t> silent_by_class;  // class-name keyed
+
+  [[nodiscard]] double share() const noexcept {
+    return inbound_devices == 0
+               ? 0.0
+               : static_cast<double>(silent) / static_cast<double>(inbound_devices);
+  }
+};
+
+[[nodiscard]] SilentRoamerStats silent_roamers(const ClassifiedPopulation& population);
+
+}  // namespace wtr::core

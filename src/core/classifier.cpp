@@ -1,0 +1,172 @@
+#include "core/classifier.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace wtr::core {
+
+std::string_view class_label_name(ClassLabel label) noexcept {
+  switch (label) {
+    case ClassLabel::kSmart: return "smart";
+    case ClassLabel::kFeat: return "feat";
+    case ClassLabel::kM2M: return "m2m";
+    case ClassLabel::kM2MMaybe: return "m2m-maybe";
+  }
+  return "?";
+}
+
+std::span<const std::string_view> default_m2m_keywords() noexcept {
+  // The 26-keyword vocabulary. Energy, automotive, logistics, wearables,
+  // payments, vending, security, telematics, e-readers, plus the generic
+  // platform markers ("intelligent.m2m", "iotsim", "m2m-platform").
+  static constexpr std::array<std::string_view, 26> kKeywords{
+      "centrica",     "rwe",          "elster",       "generalelectric",
+      "bglobal",      "scania",       "carnet",       "connecteddrive",
+      "psa-connect",  "trackunit",    "geotrack",     "assetflux",
+      "wearlink",     "kidwatch",     "paynet",       "cardstream",
+      "vendtelemetry","snackwire",    "alarmnet",     "liftline",
+      "fleetmatics",  "tachonet",     "whisperlink",  "intelligent.m2m",
+      "iotsim",       "m2m-platform",
+  };
+  return kKeywords;
+}
+
+std::span<const std::string_view> default_consumer_keywords() noexcept {
+  static constexpr std::array<std::string_view, 8> kKeywords{
+      "payandgo", "internet", "mobile.web", "broadband", "prepay",
+      "wap",      "mms",      "go.mobile",
+  };
+  return kKeywords;
+}
+
+DeviceClassifier::DeviceClassifier(const cellnet::TacCatalog& catalog,
+                                   ClassifierConfig config)
+    : catalog_(&catalog),
+      propagate_(config.propagate_device_properties),
+      nbiot_rule_(config.use_nbiot_rat_rule) {
+  if (config.m2m_keywords.empty()) {
+    for (auto keyword : default_m2m_keywords()) m2m_keywords_.emplace_back(keyword);
+  } else {
+    m2m_keywords_ = std::move(config.m2m_keywords);
+  }
+  if (config.consumer_keywords.empty()) {
+    for (auto keyword : default_consumer_keywords()) {
+      consumer_keywords_.emplace_back(keyword);
+    }
+  } else {
+    consumer_keywords_ = std::move(config.consumer_keywords);
+  }
+}
+
+bool DeviceClassifier::apn_matches_m2m(const cellnet::Apn& apn) const {
+  return std::any_of(m2m_keywords_.begin(), m2m_keywords_.end(),
+                     [&](const std::string& k) { return apn.contains_keyword(k); });
+}
+
+bool DeviceClassifier::apn_matches_consumer(const cellnet::Apn& apn) const {
+  return std::any_of(consumer_keywords_.begin(), consumer_keywords_.end(),
+                     [&](const std::string& k) { return apn.contains_keyword(k); });
+}
+
+std::size_t ClassificationResult::count_of(ClassLabel label) const {
+  return static_cast<std::size_t>(
+      std::count(labels.begin(), labels.end(), label));
+}
+
+double ClassificationResult::share_of(ClassLabel label) const {
+  if (labels.empty()) return 0.0;
+  return static_cast<double>(count_of(label)) / static_cast<double>(labels.size());
+}
+
+ClassificationResult DeviceClassifier::classify(
+    std::span<const DeviceSummary> devices) const {
+  ClassificationResult result;
+  result.labels.assign(devices.size(), ClassLabel::kM2MMaybe);
+
+  // ---- Stage 1: rank APNs, validate the M2M set via keywords.
+  std::unordered_set<std::string> all_apns;
+  std::unordered_set<std::string> m2m_apns;
+  std::unordered_set<std::string> consumer_apns;
+  for (const auto& device : devices) {
+    for (const auto& apn_string : device.apns) {
+      if (!all_apns.insert(apn_string).second) continue;
+      const auto apn = cellnet::Apn::parse(apn_string);
+      if (apn_matches_m2m(apn)) {
+        m2m_apns.insert(apn_string);
+      } else if (apn_matches_consumer(apn)) {
+        consumer_apns.insert(apn_string);
+      }
+    }
+  }
+  result.distinct_apns = all_apns.size();
+  result.validated_m2m_apns = m2m_apns.size();
+  result.consumer_apns = consumer_apns.size();
+
+  // ---- Stage 0 (§8 extension): NB-IoT activity identifies M2M by RAT
+  // alone — the technology is a dedicated LPWA platform.
+  std::vector<bool> is_m2m(devices.size(), false);
+  if (nbiot_rule_) {
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      if (devices[i].radio_flags.has(cellnet::Rat::kNbIot)) {
+        is_m2m[i] = true;
+        ++result.m2m_by_nbiot_rat;
+      }
+    }
+  }
+
+  // ---- Stage 2: devices on validated APNs are m2m; collect their TACs.
+  std::unordered_set<cellnet::Tac> m2m_tacs;
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    const auto& device = devices[i];
+    if (device.apns.empty()) ++result.devices_without_apn;
+    const bool on_m2m_apn =
+        std::any_of(device.apns.begin(), device.apns.end(),
+                    [&](const std::string& apn) { return m2m_apns.contains(apn); });
+    if (on_m2m_apn) {
+      if (!is_m2m[i]) ++result.m2m_by_apn;
+      is_m2m[i] = true;
+      if (device.tac != 0) m2m_tacs.insert(device.tac);
+    }
+  }
+
+  // ---- Stage 3: property propagation over equipment types.
+  if (propagate_) {
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      if (!is_m2m[i] && devices[i].tac != 0 && m2m_tacs.contains(devices[i].tac)) {
+        is_m2m[i] = true;
+        ++result.m2m_by_propagation;
+      }
+    }
+  }
+  result.m2m_tacs_propagated = m2m_tacs.size();
+
+  // ---- Stages 4–5: phones, then the m2m-maybe residue.
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    if (is_m2m[i]) {
+      result.labels[i] = ClassLabel::kM2M;
+      continue;
+    }
+    const auto& device = devices[i];
+    const cellnet::TacInfo* info =
+        device.tac != 0 ? catalog_->lookup(device.tac) : nullptr;
+    const bool has_consumer_apn =
+        std::any_of(device.apns.begin(), device.apns.end(),
+                    [&](const std::string& apn) { return consumer_apns.contains(apn); });
+
+    if (info != nullptr && cellnet::is_major_smartphone_os(info->os)) {
+      result.labels[i] = ClassLabel::kSmart;
+      continue;
+    }
+    if ((info != nullptr && info->label == cellnet::GsmaLabel::kFeaturePhone) ||
+        has_consumer_apn) {
+      result.labels[i] = ClassLabel::kFeat;
+      continue;
+    }
+    // Neither phone-like nor on a validated APN: the m2m-maybe residue
+    // (§4.3 — typically voice-only devices; no APN is ever reported).
+    result.labels[i] = ClassLabel::kM2MMaybe;
+  }
+  return result;
+}
+
+}  // namespace wtr::core

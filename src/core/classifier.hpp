@@ -1,0 +1,91 @@
+#pragma once
+
+// The multi-step M2M device classifier (§4.3) — the paper's central
+// methodological contribution. Stages:
+//
+//   1. Keyword → APN validation. A small keyword vocabulary (the paper
+//      curates 26 from the top APNs) marks APN strings as M2M-vertical.
+//   2. Devices using a validated APN are m2m.
+//   3. Device-property propagation: every equipment type (TAC) observed on
+//      a stage-2 m2m device extends the m2m class to all devices with the
+//      same properties — this is what catches the ~21% of devices exposing
+//      no APN at all.
+//   4. Phones: a major smartphone OS ⇒ smart; a GSMA feature-phone label or
+//      a consumer APN ⇒ feat.
+//   5. Whatever remains that is neither phone-like nor APN-bearing is
+//      m2m-maybe (voice-only devices whose class cannot be finalized).
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "cellnet/apn.hpp"
+#include "cellnet/tac_catalog.hpp"
+#include "core/catalog_builder.hpp"
+
+namespace wtr::core {
+
+enum class ClassLabel : std::uint8_t { kSmart, kFeat, kM2M, kM2MMaybe };
+
+inline constexpr int kClassLabelCount = 4;
+
+[[nodiscard]] std::string_view class_label_name(ClassLabel label) noexcept;
+
+/// The default M2M keyword vocabulary (kept in sync with the vertical
+/// company catalog in devices/verticals.cpp — a test cross-checks; the
+/// companies with empty keywords there are deliberately missing here).
+[[nodiscard]] std::span<const std::string_view> default_m2m_keywords() noexcept;
+
+/// Consumer-APN keywords ("payandgo", "internet", ...).
+[[nodiscard]] std::span<const std::string_view> default_consumer_keywords() noexcept;
+
+struct ClassifierConfig {
+  std::vector<std::string> m2m_keywords;       // empty = defaults
+  std::vector<std::string> consumer_keywords;  // empty = defaults
+  bool propagate_device_properties = true;     // stage 3 (ablation A1 switch)
+  /// §8 extension: NB-IoT is a dedicated LPWA platform, so the RAT alone
+  /// identifies a device as M2M ("NB-IoT will enable visited MNOs to easily
+  /// detect the inbound roaming IoT devices"). Stage 0 of the pipeline.
+  bool use_nbiot_rat_rule = true;
+};
+
+struct ClassificationResult {
+  std::vector<ClassLabel> labels;  // parallel to the input summaries
+
+  // Pipeline introspection, mirroring the numbers the paper reports.
+  std::size_t distinct_apns = 0;          // 4,603 in the paper
+  std::size_t validated_m2m_apns = 0;     // 1,719
+  std::size_t consumer_apns = 0;          // 2,178
+  std::size_t m2m_tacs_propagated = 0;    // stage-3 property set size
+  std::size_t devices_without_apn = 0;    // ~21% of the population
+  std::size_t m2m_by_apn = 0;             // classified in stage 2
+  std::size_t m2m_by_propagation = 0;     // added by stage 3
+  std::size_t m2m_by_nbiot_rat = 0;       // stage 0 (NB-IoT RAT rule, §8)
+
+  [[nodiscard]] std::size_t count_of(ClassLabel label) const;
+  [[nodiscard]] double share_of(ClassLabel label) const;
+};
+
+class DeviceClassifier {
+ public:
+  explicit DeviceClassifier(const cellnet::TacCatalog& catalog,
+                            ClassifierConfig config = {});
+
+  [[nodiscard]] ClassificationResult classify(
+      std::span<const DeviceSummary> devices) const;
+
+  /// Stage-1 primitives, exposed for tests.
+  [[nodiscard]] bool apn_matches_m2m(const cellnet::Apn& apn) const;
+  [[nodiscard]] bool apn_matches_consumer(const cellnet::Apn& apn) const;
+
+ private:
+  const cellnet::TacCatalog* catalog_;
+  std::vector<std::string> m2m_keywords_;
+  std::vector<std::string> consumer_keywords_;
+  bool propagate_;
+  bool nbiot_rule_;
+};
+
+}  // namespace wtr::core

@@ -1,0 +1,102 @@
+#include "core/classifier_validation.hpp"
+
+namespace wtr::core {
+
+namespace {
+
+bool lenient_match(devices::DeviceClass truth, ClassLabel predicted) {
+  switch (truth) {
+    case devices::DeviceClass::kSmartphone: return predicted == ClassLabel::kSmart;
+    case devices::DeviceClass::kFeaturePhone: return predicted == ClassLabel::kFeat;
+    case devices::DeviceClass::kM2M:
+      return predicted == ClassLabel::kM2M || predicted == ClassLabel::kM2MMaybe;
+  }
+  return false;
+}
+
+bool strict_match(devices::DeviceClass truth, ClassLabel predicted) {
+  switch (truth) {
+    case devices::DeviceClass::kSmartphone: return predicted == ClassLabel::kSmart;
+    case devices::DeviceClass::kFeaturePhone: return predicted == ClassLabel::kFeat;
+    case devices::DeviceClass::kM2M: return predicted == ClassLabel::kM2M;
+  }
+  return false;
+}
+
+struct PrCounts {
+  std::uint64_t true_positive = 0;
+  std::uint64_t predicted = 0;
+  std::uint64_t actual = 0;
+
+  [[nodiscard]] double precision() const {
+    return predicted == 0 ? 0.0
+                          : static_cast<double>(true_positive) /
+                                static_cast<double>(predicted);
+  }
+  [[nodiscard]] double recall() const {
+    return actual == 0 ? 0.0
+                       : static_cast<double>(true_positive) /
+                             static_cast<double>(actual);
+  }
+};
+
+}  // namespace
+
+ValidationReport validate_classification(const ClassifiedPopulation& population,
+                                         const GroundTruth& truth) {
+  ValidationReport report;
+  std::uint64_t strict_hits = 0;
+  std::uint64_t lenient_hits = 0;
+  PrCounts m2m;
+  PrCounts smart;
+  PrCounts feat;
+
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    const auto it = truth.find(population.summaries[i].device);
+    if (it == truth.end()) {
+      ++report.unmatched;
+      continue;
+    }
+    ++report.matched;
+    const devices::DeviceClass actual = it->second;
+    const ClassLabel predicted = population.classes[i];
+    ++report.confusion[static_cast<std::size_t>(actual)]
+                      [static_cast<std::size_t>(predicted)];
+    if (strict_match(actual, predicted)) ++strict_hits;
+    if (lenient_match(actual, predicted)) ++lenient_hits;
+
+    const bool predicted_m2m =
+        predicted == ClassLabel::kM2M || predicted == ClassLabel::kM2MMaybe;
+    if (predicted_m2m) ++m2m.predicted;
+    if (actual == devices::DeviceClass::kM2M) {
+      ++m2m.actual;
+      if (predicted_m2m) ++m2m.true_positive;
+    }
+    if (predicted == ClassLabel::kSmart) ++smart.predicted;
+    if (actual == devices::DeviceClass::kSmartphone) {
+      ++smart.actual;
+      if (predicted == ClassLabel::kSmart) ++smart.true_positive;
+    }
+    if (predicted == ClassLabel::kFeat) ++feat.predicted;
+    if (actual == devices::DeviceClass::kFeaturePhone) {
+      ++feat.actual;
+      if (predicted == ClassLabel::kFeat) ++feat.true_positive;
+    }
+  }
+
+  if (report.matched > 0) {
+    report.strict_accuracy =
+        static_cast<double>(strict_hits) / static_cast<double>(report.matched);
+    report.lenient_accuracy =
+        static_cast<double>(lenient_hits) / static_cast<double>(report.matched);
+  }
+  report.m2m_precision = m2m.precision();
+  report.m2m_recall = m2m.recall();
+  report.smart_precision = smart.precision();
+  report.smart_recall = smart.recall();
+  report.feat_precision = feat.precision();
+  report.feat_recall = feat.recall();
+  return report;
+}
+
+}  // namespace wtr::core

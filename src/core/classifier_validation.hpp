@@ -1,0 +1,44 @@
+#pragma once
+
+// Classifier validation against simulator ground truth — the evaluation the
+// paper could not run (operators have no labels). Since our traces come
+// from a generative model, every device's true class is known; this module
+// produces the confusion matrix and per-class precision/recall (experiment
+// V1 in DESIGN.md), including the ablation of stage-3 property propagation.
+
+#include <array>
+#include <unordered_map>
+
+#include "core/census.hpp"
+#include "devices/device_class.hpp"
+
+namespace wtr::core {
+
+using GroundTruth =
+    std::unordered_map<signaling::DeviceHash, devices::DeviceClass>;
+
+struct ValidationReport {
+  /// confusion[true class][predicted label] over matched devices.
+  std::array<std::array<std::uint64_t, kClassLabelCount>, devices::kDeviceClassCount>
+      confusion{};
+  std::size_t matched = 0;    // devices with ground truth
+  std::size_t unmatched = 0;  // observed devices missing from the truth map
+
+  /// Strict: m2m-maybe counts as a miss for true-m2m devices.
+  double strict_accuracy = 0.0;
+  /// Lenient: m2m-maybe counts as m2m (the paper sets those devices aside
+  /// rather than calling them wrong).
+  double lenient_accuracy = 0.0;
+
+  double m2m_precision = 0.0;  // lenient
+  double m2m_recall = 0.0;     // lenient
+  double smart_precision = 0.0;
+  double smart_recall = 0.0;
+  double feat_precision = 0.0;
+  double feat_recall = 0.0;
+};
+
+[[nodiscard]] ValidationReport validate_classification(
+    const ClassifiedPopulation& population, const GroundTruth& truth);
+
+}  // namespace wtr::core

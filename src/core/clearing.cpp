@@ -1,0 +1,107 @@
+#include "core/clearing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wtr::core {
+
+ClearingHouse::ClearingHouse(Config config) : config_(std::move(config)) {
+  if (config_.family.empty()) config_.family.push_back(config_.self);
+}
+
+bool ClearingHouse::in_family(cellnet::Plmn plmn) const {
+  return std::find(config_.family.begin(), config_.family.end(), plmn) !=
+         config_.family.end();
+}
+
+cellnet::Plmn ClearingHouse::partner_for(cellnet::Plmn sim,
+                                         cellnet::Plmn visited) const {
+  switch (config_.side) {
+    case Side::kVisited:
+      // I carried the traffic: bill the (international) home operator.
+      // Family SIMs (self + hosted MVNOs, which may sit on a different MCC
+      // like the UK's 234/235 split) and national partners settle through
+      // other channels.
+      if (visited != config_.self) return {};
+      if (in_family(sim)) return {};
+      if (sim.mcc() == config_.self.mcc()) return {};  // national roaming
+      return sim;
+    case Side::kHome:
+      // My SIM roamed elsewhere: accrue the visited network's invoice.
+      if (!in_family(sim)) return {};
+      if (visited.mcc() == config_.self.mcc()) return {};  // at home
+      return visited;
+  }
+  return {};
+}
+
+void ClearingHouse::on_cdr(const records::Cdr& cdr) {
+  const auto partner = partner_for(cdr.sim_plmn, cdr.visited_plmn);
+  if (!partner.valid()) return;
+  auto& books = books_[partner];
+  books.devices.insert(cdr.device);
+  books.voice_minutes += cdr.duration_s / 60.0;
+}
+
+void ClearingHouse::on_xdr(const records::Xdr& xdr) {
+  const auto partner = partner_for(xdr.sim_plmn, xdr.visited_plmn);
+  if (!partner.valid()) return;
+  auto& books = books_[partner];
+  books.devices.insert(xdr.device);
+  books.data_mb += static_cast<double>(xdr.bytes_total()) / (1024.0 * 1024.0);
+}
+
+std::vector<SettlementStatement> ClearingHouse::statements() const {
+  std::vector<SettlementStatement> out;
+  out.reserve(books_.size());
+  for (const auto& [partner, books] : books_) {
+    SettlementStatement statement;
+    statement.partner = partner;
+    statement.devices = books.devices.size();
+    statement.data_mb = books.data_mb;
+    statement.voice_minutes = books.voice_minutes;
+    statement.amount = books.data_mb * config_.tariffs.wholesale_data_per_mb +
+                       books.voice_minutes * config_.tariffs.wholesale_voice_per_minute;
+    out.push_back(statement);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SettlementStatement& a, const SettlementStatement& b) {
+              if (a.amount != b.amount) return a.amount > b.amount;
+              return a.partner < b.partner;
+            });
+  return out;
+}
+
+double ClearingHouse::total_billed() const {
+  double total = 0.0;
+  for (const auto& statement : statements()) total += statement.amount;
+  return total;
+}
+
+const SettlementStatement* find_statement(
+    std::span<const SettlementStatement> statements, cellnet::Plmn partner) {
+  const auto it = std::find_if(
+      statements.begin(), statements.end(),
+      [&](const SettlementStatement& s) { return s.partner == partner; });
+  return it == statements.end() ? nullptr : &*it;
+}
+
+ReconciliationReport reconcile_pair(std::span<const SettlementStatement> vmno_claims,
+                                    cellnet::Plmn home,
+                                    std::span<const SettlementStatement> hmno_accruals,
+                                    cellnet::Plmn visited) {
+  ReconciliationReport report;
+  const auto* claim = find_statement(vmno_claims, home);
+  const auto* accrual = find_statement(hmno_accruals, visited);
+  if (claim == nullptr || accrual == nullptr) return report;
+  report.both_sides_present = true;
+  report.claim_amount = claim->amount;
+  report.accrual_amount = accrual->amount;
+  report.amount_gap = std::abs(claim->amount - accrual->amount);
+  report.device_gap = claim->devices > accrual->devices
+                          ? claim->devices - accrual->devices
+                          : accrual->devices - claim->devices;
+  return report;
+}
+
+}  // namespace wtr::core

@@ -1,0 +1,103 @@
+#pragma once
+
+// Inter-operator wholesale clearing (§2.1): "The roaming partners must each
+// record the activity of roaming clients in a given VMNO. Then, by
+// exchanging and comparing these records, the VMNO can claim revenue from
+// the partner HMNO." §9 lists "data and financial clearing" among the
+// stress M2M puts on the interconnection ecosystem.
+//
+// ClearingHouse is a streaming RecordSink that builds TAP-like settlement
+// statements per partner operator, from either side of the relationship:
+//   * the visited side bills each home operator for its inbound roamers;
+//   * the home side accrues the invoices it expects from each visited
+//     network carrying its outbound roamers.
+// reconcile() then plays the §2.1 record-comparison step.
+
+#include <map>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "core/revenue.hpp"
+#include "sim/device_agent.hpp"
+
+namespace wtr::core {
+
+struct SettlementStatement {
+  cellnet::Plmn partner{};     // the operator on the other side
+  std::size_t devices = 0;     // distinct roaming devices covered
+  double data_mb = 0.0;
+  double voice_minutes = 0.0;
+  double amount = 0.0;         // at wholesale rates
+
+  friend bool operator==(const SettlementStatement&,
+                         const SettlementStatement&) = default;
+};
+
+class ClearingHouse final : public sim::RecordSink {
+ public:
+  enum class Side {
+    kVisited,  // I am the VMNO: bill home operators for inbound usage
+    kHome,     // I am the HMNO: accrue expected invoices per visited network
+  };
+
+  struct Config {
+    cellnet::Plmn self{};                  // the operator running the books
+    std::vector<cellnet::Plmn> family;     // self + MVNOs (home side only)
+    Side side = Side::kVisited;
+    TariffSchedule tariffs{};
+  };
+
+  explicit ClearingHouse(Config config);
+
+  void on_cdr(const records::Cdr& cdr) override;
+  void on_xdr(const records::Xdr& xdr) override;
+
+  /// Statements per partner, largest amount first. Deterministic order.
+  [[nodiscard]] std::vector<SettlementStatement> statements() const;
+
+  [[nodiscard]] double total_billed() const;
+
+ private:
+  struct Books {
+    std::set<signaling::DeviceHash> devices;
+    double data_mb = 0.0;
+    double voice_minutes = 0.0;
+  };
+
+  /// Which partner a record settles against, or invalid PLMN if the record
+  /// is out of scope for this side.
+  [[nodiscard]] cellnet::Plmn partner_for(cellnet::Plmn sim,
+                                          cellnet::Plmn visited) const;
+  [[nodiscard]] bool in_family(cellnet::Plmn plmn) const;
+
+  Config config_;
+  std::map<cellnet::Plmn, Books> books_;
+};
+
+struct ReconciliationReport {
+  bool both_sides_present = false;
+  double claim_amount = 0.0;    // what the visited side bills
+  double accrual_amount = 0.0;  // what the home side expected
+  double amount_gap = 0.0;      // |claim − accrual|
+  std::size_t device_gap = 0;   // |devices_claimed − devices_expected|
+
+  [[nodiscard]] bool clean() const noexcept {
+    return both_sides_present && amount_gap < 1e-6 && device_gap == 0;
+  }
+};
+
+/// Find the statement against a given partner; nullptr when absent.
+[[nodiscard]] const SettlementStatement* find_statement(
+    std::span<const SettlementStatement> statements, cellnet::Plmn partner);
+
+/// The §2.1 record-comparison step for one V↔H pair: the VMNO's claim
+/// against home operator H versus H's accrual for the VMNO V. Both record
+/// streams are derived from the same usage, so in a lossless exchange the
+/// report is clean; discrepancies mean records were dropped or double
+/// counted somewhere between the partners.
+[[nodiscard]] ReconciliationReport reconcile_pair(
+    std::span<const SettlementStatement> vmno_claims, cellnet::Plmn home,
+    std::span<const SettlementStatement> hmno_accruals, cellnet::Plmn visited);
+
+}  // namespace wtr::core

@@ -1,0 +1,70 @@
+#include "core/mobility_metrics.hpp"
+
+#include <cmath>
+
+namespace wtr::core {
+
+namespace {
+constexpr double kEarthRadiusM = 6'371'000.0;
+constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+}  // namespace
+
+void GyrationAccumulator::to_local(const cellnet::GeoPoint& p, double& east_m,
+                                   double& north_m) const noexcept {
+  north_m = (p.lat - ref_.lat) * kDegToRad * kEarthRadiusM;
+  east_m = (p.lon - ref_.lon) * kDegToRad * kEarthRadiusM * cos_ref_lat_;
+}
+
+void GyrationAccumulator::add(const cellnet::GeoPoint& location, double weight) noexcept {
+  if (weight <= 0.0) return;
+  if (!has_ref_) {
+    has_ref_ = true;
+    ref_ = location;
+    cos_ref_lat_ = std::cos(ref_.lat * kDegToRad);
+    if (std::abs(cos_ref_lat_) < 1e-9) cos_ref_lat_ = 1e-9;
+  }
+  double east_m = 0.0;
+  double north_m = 0.0;
+  to_local(location, east_m, north_m);
+  total_weight_ += weight;
+  sum_e_ += weight * east_m;
+  sum_n_ += weight * north_m;
+  sum_sq_ += weight * (east_m * east_m + north_m * north_m);
+}
+
+void GyrationAccumulator::merge(const GyrationAccumulator& other) noexcept {
+  if (other.empty()) return;
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  // Re-express the other accumulator's moments in this frame. The frames
+  // differ by a translation (and a negligible scale difference in east).
+  double de = 0.0;
+  double dn = 0.0;
+  to_local(other.ref_, de, dn);
+  total_weight_ += other.total_weight_;
+  sum_e_ += other.sum_e_ + other.total_weight_ * de;
+  sum_n_ += other.sum_n_ + other.total_weight_ * dn;
+  // |p + d|^2 = |p|^2 + 2 p·d + |d|^2 summed with weights.
+  sum_sq_ += other.sum_sq_ + 2.0 * (other.sum_e_ * de + other.sum_n_ * dn) +
+             other.total_weight_ * (de * de + dn * dn);
+}
+
+cellnet::GeoPoint GyrationAccumulator::centroid() const noexcept {
+  if (empty()) return ref_;
+  const double mean_e = sum_e_ / total_weight_;
+  const double mean_n = sum_n_ / total_weight_;
+  return cellnet::offset_m(ref_, mean_e, mean_n);
+}
+
+double GyrationAccumulator::gyration_m() const noexcept {
+  if (empty()) return 0.0;
+  const double mean_e = sum_e_ / total_weight_;
+  const double mean_n = sum_n_ / total_weight_;
+  const double mean_sq = sum_sq_ / total_weight_;
+  const double variance = mean_sq - (mean_e * mean_e + mean_n * mean_n);
+  return variance <= 0.0 ? 0.0 : std::sqrt(variance);
+}
+
+}  // namespace wtr::core

@@ -1,0 +1,42 @@
+#pragma once
+
+// Streaming mobility metrics. The paper computes, per device and day, a
+// time-weighted centroid over the serving sectors and a radius of gyration
+// around it (§4.1, Fig. 8). GyrationAccumulator does this in O(1) memory by
+// keeping weighted first and second moments in a local tangent frame
+// anchored at the first observed point — exact for the flat-frame geometry
+// the metric is defined in.
+
+#include "cellnet/geo.hpp"
+
+namespace wtr::core {
+
+class GyrationAccumulator {
+ public:
+  /// Add `weight` (e.g. seconds of dwell) at a location.
+  void add(const cellnet::GeoPoint& location, double weight) noexcept;
+
+  void merge(const GyrationAccumulator& other) noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return total_weight_ <= 0.0; }
+  [[nodiscard]] double total_weight() const noexcept { return total_weight_; }
+
+  /// Weighted centroid; requires !empty().
+  [[nodiscard]] cellnet::GeoPoint centroid() const noexcept;
+
+  /// Weighted radius of gyration in meters; 0 for a single point or empty.
+  [[nodiscard]] double gyration_m() const noexcept;
+
+ private:
+  bool has_ref_ = false;
+  cellnet::GeoPoint ref_{};
+  double cos_ref_lat_ = 1.0;
+  double total_weight_ = 0.0;
+  double sum_e_ = 0.0;   // weighted east meters
+  double sum_n_ = 0.0;   // weighted north meters
+  double sum_sq_ = 0.0;  // weighted east^2 + north^2
+
+  void to_local(const cellnet::GeoPoint& p, double& east_m, double& north_m) const noexcept;
+};
+
+}  // namespace wtr::core

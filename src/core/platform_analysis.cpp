@@ -1,0 +1,171 @@
+#include "core/platform_analysis.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "cellnet/country.hpp"
+
+namespace wtr::core {
+
+PlatformTraceAccumulator::PlatformTraceAccumulator(Config config)
+    : config_(std::move(config)) {}
+
+void PlatformTraceAccumulator::on_signaling(const signaling::SignalingTransaction& txn,
+                                            bool data_context) {
+  (void)data_context;
+  if (!records::platform_probe_captures(txn)) return;
+  if (std::find(config_.hmno_plmns.begin(), config_.hmno_plmns.end(), txn.sim_plmn) ==
+      config_.hmno_plmns.end()) {
+    return;
+  }
+  ++total_records_;
+  auto& device = devices_[txn.device];
+  device.sim_plmn = txn.sim_plmn;
+  ++device.records;
+  if (!signaling::is_failure(txn.result)) ++device.ok_records;
+
+  const bool roaming = txn.visited_plmn.mcc() != txn.sim_plmn.mcc();
+  if (roaming) {
+    device.roamed = true;
+    ++device.roaming_records;
+  }
+  if (std::find(device.vmnos.begin(), device.vmnos.end(), txn.visited_plmn) ==
+      device.vmnos.end()) {
+    device.vmnos.push_back(txn.visited_plmn);
+  }
+  if (device.has_last && device.last_vmno != txn.visited_plmn) ++device.switches;
+  device.last_vmno = txn.visited_plmn;
+  device.has_last = true;
+}
+
+PlatformStats PlatformTraceAccumulator::finalize() const {
+  PlatformStats stats;
+  stats.total_devices = devices_.size();
+  stats.total_records = total_records_;
+
+  struct HmnoWork {
+    HmnoStats stats;
+    std::set<std::string> countries;
+    std::set<cellnet::Plmn> networks;
+  };
+  std::unordered_map<cellnet::Plmn, HmnoWork> hmnos;
+  for (const auto& plmn : config_.hmno_plmns) {
+    auto& work = hmnos[plmn];
+    work.stats.plmn = plmn;
+    work.stats.home_iso = std::string(cellnet::iso_of_mcc(plmn.mcc()));
+  }
+
+  std::uint64_t failed_only = 0;
+  std::uint64_t es_failed_only = 0;
+  std::uint64_t multi_vmno = 0;
+
+  // ES concentration working set.
+  std::vector<const PerDevice*> es_devices;
+  std::uint64_t es_records = 0;
+  std::uint64_t es_roaming_records = 0;
+  std::uint64_t es_nonroaming_devices = 0;
+
+  for (const auto& [hash, device] : devices_) {
+    (void)hash;
+    auto& work = hmnos[device.sim_plmn];
+    ++work.stats.devices;
+    work.stats.records += device.records;
+    if (device.roamed) {
+      ++work.stats.roaming_devices;
+      work.stats.roaming_records += device.roaming_records;
+    }
+    for (const auto& vmno : device.vmnos) {
+      work.networks.insert(vmno);
+      work.countries.insert(std::string(cellnet::iso_of_mcc(vmno.mcc())));
+      stats.footprint.add(work.stats.home_iso,
+                          std::string(cellnet::iso_of_mcc(vmno.mcc())));
+    }
+
+    const auto records = static_cast<double>(device.records);
+    stats.records_all.add(records);
+    if (device.ok_records > 0) {
+      stats.records_4g_ok.add(records);
+    } else {
+      ++failed_only;
+      if (work.stats.home_iso == "ES") ++es_failed_only;
+      stats.max_vmnos_failed_only =
+          std::max(stats.max_vmnos_failed_only, device.vmnos.size());
+    }
+    if (device.roamed) {
+      stats.records_roaming.add(records);
+      stats.vmnos_per_roaming_device.add(static_cast<double>(device.vmnos.size()));
+    } else {
+      stats.records_native.add(records);
+    }
+    if (device.vmnos.size() >= 2) {
+      ++multi_vmno;
+      stats.switches_multi_vmno.add(static_cast<double>(device.switches));
+    }
+
+    if (work.stats.home_iso == "ES") {
+      es_devices.push_back(&device);
+      es_records += device.records;
+      es_roaming_records += device.roaming_records;
+      if (!device.roamed) ++es_nonroaming_devices;
+    }
+  }
+
+  for (auto& [plmn, work] : hmnos) {
+    (void)plmn;
+    work.stats.visited_countries = work.countries.size();
+    work.stats.visited_networks = work.networks.size();
+    stats.per_hmno.push_back(work.stats);
+  }
+  std::sort(stats.per_hmno.begin(), stats.per_hmno.end(),
+            [](const HmnoStats& a, const HmnoStats& b) {
+              if (a.devices != b.devices) return a.devices > b.devices;
+              return a.home_iso < b.home_iso;
+            });
+
+  if (stats.total_devices > 0) {
+    stats.fraction_failed_only =
+        static_cast<double>(failed_only) / static_cast<double>(stats.total_devices);
+    stats.fraction_any_success = 1.0 - stats.fraction_failed_only;
+    stats.share_multi_vmno_devices =
+        static_cast<double>(multi_vmno) / static_cast<double>(stats.total_devices);
+  }
+
+  // ES concentration: smallest share of (record-heavy) devices that covers
+  // 75% of the ES signaling, and the geographic spread of that heavy set.
+  if (!es_devices.empty()) {
+    stats.es_fraction_failed_only =
+        static_cast<double>(es_failed_only) / static_cast<double>(es_devices.size());
+  }
+  if (!es_devices.empty() && es_records > 0) {
+    stats.es_signaling_share =
+        static_cast<double>(es_records) / static_cast<double>(stats.total_records);
+    stats.es_roaming_signaling_share =
+        static_cast<double>(es_roaming_records) / static_cast<double>(es_records);
+    stats.es_nonroaming_device_share = static_cast<double>(es_nonroaming_devices) /
+                                       static_cast<double>(es_devices.size());
+    std::sort(es_devices.begin(), es_devices.end(),
+              [](const PerDevice* a, const PerDevice* b) { return a->records > b->records; });
+    const auto target = static_cast<std::uint64_t>(0.75 * static_cast<double>(es_records));
+    std::uint64_t running = 0;
+    std::set<std::string> heavy_countries;
+    std::set<cellnet::Plmn> heavy_networks;
+    std::size_t heavy_devices = 0;
+    for (const PerDevice* device : es_devices) {
+      if (running >= target) break;
+      running += device->records;
+      ++heavy_devices;
+      for (const auto& vmno : device->vmnos) {
+        heavy_networks.insert(vmno);
+        heavy_countries.insert(std::string(cellnet::iso_of_mcc(vmno.mcc())));
+      }
+    }
+    stats.es_device_share_for_75pct_signaling =
+        static_cast<double>(heavy_devices) / static_cast<double>(es_devices.size());
+    stats.es_heavy_countries = heavy_countries.size();
+    stats.es_heavy_vmnos = heavy_networks.size();
+  }
+
+  return stats;
+}
+
+}  // namespace wtr::core

@@ -1,0 +1,109 @@
+#pragma once
+
+// M2M platform analysis (§3): a streaming accumulator over the platform's
+// probe view (4G authentication / update-location / cancel-location near
+// the HMNOs) and the statistics behind Fig. 2, Fig. 3 and the in-text
+// shares of §3.2–3.3.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "records/platform_transaction.hpp"
+#include "sim/device_agent.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/heatmap.hpp"
+
+namespace wtr::core {
+
+struct HmnoStats {
+  std::string home_iso;           // "ES", "MX", ...
+  cellnet::Plmn plmn{};
+  std::uint64_t devices = 0;
+  std::uint64_t records = 0;
+  std::uint64_t roaming_devices = 0;   // devices seen on a foreign network
+  std::uint64_t roaming_records = 0;   // records emitted while roaming
+  std::size_t visited_countries = 0;   // distinct countries (incl. home)
+  std::size_t visited_networks = 0;    // distinct VMNOs
+
+  [[nodiscard]] double device_share(std::uint64_t total) const {
+    return total == 0 ? 0.0 : static_cast<double>(devices) / static_cast<double>(total);
+  }
+};
+
+struct PlatformStats {
+  std::uint64_t total_devices = 0;
+  std::uint64_t total_records = 0;
+  std::vector<HmnoStats> per_hmno;  // descending by device count
+
+  /// Fig. 2: rows = HMNO home ISO, cols = visited country ISO; a device
+  /// contributes one count per (HMNO, visited country) it appeared in.
+  stats::Heatmap footprint;
+
+  /// Fig. 3-left: signaling records per device.
+  stats::Ecdf records_all;
+  stats::Ecdf records_4g_ok;    // devices with ≥1 successful 4G procedure
+  stats::Ecdf records_roaming;  // roaming devices
+  stats::Ecdf records_native;   // never-roaming devices
+
+  /// Fig. 3-center: distinct VMNOs per roaming device.
+  stats::Ecdf vmnos_per_roaming_device;
+  /// Max VMNOs attempted by a pure-failure device (§3.3 quotes 19).
+  std::size_t max_vmnos_failed_only = 0;
+
+  /// Fig. 3-right: inter-VMNO switches for devices using ≥2 VMNOs.
+  stats::Ecdf switches_multi_vmno;
+  double share_multi_vmno_devices = 0.0;
+
+  /// §3.3: devices with only failed procedures vs ≥1 success. The paper's
+  /// 40%/60% split is quoted for the ES-connected population, so that share
+  /// is tracked separately.
+  double fraction_failed_only = 0.0;
+  double fraction_any_success = 0.0;
+  double es_fraction_failed_only = 0.0;
+
+  /// ES concentration (§3.2): smallest device fraction covering 75% of the
+  /// ES signaling, and the country/VMNO counts those heavy hitters span.
+  double es_device_share_for_75pct_signaling = 0.0;
+  std::size_t es_heavy_countries = 0;
+  std::size_t es_heavy_vmnos = 0;
+  double es_signaling_share = 0.0;           // of all records
+  double es_roaming_signaling_share = 0.0;   // of ES records, from roamers
+  double es_nonroaming_device_share = 0.0;   // of ES devices, never roaming
+};
+
+class PlatformTraceAccumulator final : public sim::RecordSink {
+ public:
+  struct Config {
+    /// SIM PLMNs whose traffic the probes capture (the platform's HMNOs).
+    std::vector<cellnet::Plmn> hmno_plmns;
+  };
+
+  explicit PlatformTraceAccumulator(Config config);
+
+  void on_signaling(const signaling::SignalingTransaction& txn,
+                    bool data_context) override;
+
+  [[nodiscard]] std::uint64_t captured_records() const noexcept { return total_records_; }
+
+  [[nodiscard]] PlatformStats finalize() const;
+
+ private:
+  struct PerDevice {
+    cellnet::Plmn sim_plmn{};
+    std::uint64_t records = 0;
+    std::uint64_t ok_records = 0;
+    std::uint64_t roaming_records = 0;
+    std::vector<cellnet::Plmn> vmnos;  // distinct networks attempted
+    cellnet::Plmn last_vmno{};
+    bool has_last = false;
+    std::uint64_t switches = 0;
+    bool roamed = false;
+  };
+
+  Config config_;
+  std::unordered_map<signaling::DeviceHash, PerDevice> devices_;
+  std::uint64_t total_records_ = 0;
+};
+
+}  // namespace wtr::core

@@ -1,0 +1,25 @@
+#include "core/rat_usage.hpp"
+
+namespace wtr::core {
+
+RatUsageFigure rat_usage_figure(const ClassifiedPopulation& population) {
+  RatUsageFigure figure;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    const auto device_class = population.classes[i];
+    if (device_class == ClassLabel::kM2MMaybe) continue;
+    const auto& summary = population.summaries[i];
+    const std::string row{class_label_name(device_class)};
+    figure.connectivity.add(row, std::string(cellnet::rat_mask_label(summary.radio_flags)));
+    figure.data.add(row, std::string(cellnet::rat_mask_label(summary.data_rats)));
+    figure.voice.add(row, std::string(cellnet::rat_mask_label(summary.voice_rats)));
+  }
+  return figure;
+}
+
+double class_mask_share(const stats::Heatmap& panel, ClassLabel device_class,
+                        std::string_view mask_label) {
+  return panel.row_share(std::string(class_label_name(device_class)),
+                         std::string(mask_label));
+}
+
+}  // namespace wtr::core

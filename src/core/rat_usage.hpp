@@ -1,0 +1,28 @@
+#pragma once
+
+// Radio-technology dependence (§6.1, Fig. 9): for each device class, the
+// share of devices per RAT-combination, separately for overall
+// connectivity, the data interfaces and the voice interfaces. This is the
+// evidence behind the paper's 2G-sunset discussion: 77.4% of M2M devices
+// live on 2G only.
+
+#include "core/census.hpp"
+#include "stats/heatmap.hpp"
+
+namespace wtr::core {
+
+struct RatUsageFigure {
+  // Rows = device class name, cols = RAT-mask label ("2G", "2G+3G", "none"...).
+  stats::Heatmap connectivity;  // Fig. 9-left  (any successful radio use)
+  stats::Heatmap data;          // Fig. 9-center
+  stats::Heatmap voice;         // Fig. 9-right
+};
+
+[[nodiscard]] RatUsageFigure rat_usage_figure(const ClassifiedPopulation& population);
+
+/// Share of a class's devices whose connectivity mask matches exactly
+/// (e.g. 2G-only). Convenience for the harness's paper-vs-measured rows.
+[[nodiscard]] double class_mask_share(const stats::Heatmap& panel, ClassLabel device_class,
+                                      std::string_view mask_label);
+
+}  // namespace wtr::core

@@ -1,0 +1,37 @@
+#include "core/revenue.hpp"
+
+#include "core/traffic_metrics.hpp"
+
+namespace wtr::core {
+
+std::map<std::string, RevenueBreakdown> revenue_by_group(
+    const ClassifiedPopulation& population, const TariffSchedule& tariffs) {
+  std::map<std::string, RevenueBreakdown> groups;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    const bool inbound = population.is_inbound(i);
+    const bool native = population.is_native_or_mvno(i);
+    if (!inbound && !native) continue;
+    const auto device_class = population.classes[i];
+    if (device_class == ClassLabel::kM2MMaybe) continue;
+
+    const auto& summary = population.summaries[i];
+    auto& group = groups[traffic_group_key(device_class, inbound)];
+    ++group.devices;
+    group.device_days += summary.active_days;
+
+    const double mb = static_cast<double>(summary.bytes) / (1024.0 * 1024.0);
+    const double minutes = summary.call_seconds / 60.0;
+    if (inbound) {
+      group.data_revenue += mb * tariffs.wholesale_data_per_mb;
+      group.voice_revenue += minutes * tariffs.wholesale_voice_per_minute;
+    } else {
+      group.data_revenue += mb * tariffs.retail_data_per_mb;
+      group.voice_revenue += minutes * tariffs.retail_voice_per_minute;
+    }
+    group.signaling_cost +=
+        static_cast<double>(summary.signaling_events) * tariffs.cost_per_signaling_event;
+  }
+  return groups;
+}
+
+}  // namespace wtr::core

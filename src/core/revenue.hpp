@@ -1,0 +1,59 @@
+#pragma once
+
+// Revenue analysis (extension of §6): the paper's economic argument is that
+// M2M devices "occupy radio resources … and exploit the MNO's
+// interconnections … [but] do not generate traffic that would allow MNOs to
+// accrue revenue". This module quantifies that: a wholesale/retail tariff
+// schedule is applied to each device's observed usage, and the signaling it
+// generated is costed as infrastructure load, yielding revenue-vs-load per
+// device class and roaming status.
+
+#include <map>
+#include <string>
+
+#include "core/census.hpp"
+
+namespace wtr::core {
+
+/// Money amounts are in abstract currency units (think EUR cents); only
+/// ratios between groups are meaningful.
+struct TariffSchedule {
+  // Wholesale inter-operator tariffs charged to roaming partners (§2.1's
+  // revenue-retrieval records are exactly the CDRs/xDRs we aggregate).
+  double wholesale_data_per_mb = 0.40;
+  double wholesale_voice_per_minute = 2.0;
+  // Effective retail yield on native usage (post-bundle, much lower).
+  double retail_data_per_mb = 0.08;
+  double retail_voice_per_minute = 1.0;
+  // Infrastructure cost proxy per control-plane event (MME/HSS/MSC load).
+  double cost_per_signaling_event = 0.002;
+};
+
+struct RevenueBreakdown {
+  std::size_t devices = 0;
+  std::uint64_t device_days = 0;
+  double data_revenue = 0.0;
+  double voice_revenue = 0.0;
+  double signaling_cost = 0.0;
+
+  [[nodiscard]] double gross() const noexcept { return data_revenue + voice_revenue; }
+  [[nodiscard]] double net() const noexcept { return gross() - signaling_cost; }
+  [[nodiscard]] double revenue_per_device_day() const noexcept {
+    return device_days == 0 ? 0.0 : gross() / static_cast<double>(device_days);
+  }
+  [[nodiscard]] double cost_per_device_day() const noexcept {
+    return device_days == 0 ? 0.0 : signaling_cost / static_cast<double>(device_days);
+  }
+  /// Gross revenue per unit of signaling cost — the "worth the load" ratio.
+  [[nodiscard]] double revenue_to_load() const noexcept {
+    return signaling_cost <= 0.0 ? 0.0 : gross() / signaling_cost;
+  }
+};
+
+/// Revenue per "<class>/<inbound|native>" group (same keys as
+/// traffic_figure). Inbound usage is priced wholesale, native usage retail;
+/// m2m-maybe devices are excluded, matching §4.3.
+[[nodiscard]] std::map<std::string, RevenueBreakdown> revenue_by_group(
+    const ClassifiedPopulation& population, const TariffSchedule& tariffs = {});
+
+}  // namespace wtr::core

@@ -1,0 +1,54 @@
+#include "core/roaming_labeler.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace wtr::core {
+
+std::string_view roaming_label_name(RoamingLabel label) noexcept {
+  const bool home = label.net == NetSide::kHome;
+  switch (label.sim) {
+    case SimSide::kHome: return home ? "H:H" : "H:A";
+    case SimSide::kVirtual: return home ? "V:H" : "V:A";
+    case SimSide::kNational: return home ? "N:H" : "N:A";
+    case SimSide::kInternational: return home ? "I:H" : "I:A";
+  }
+  return "?";
+}
+
+std::span<const RoamingLabel> observable_labels() noexcept {
+  static constexpr std::array<RoamingLabel, 6> kLabels{{
+      {SimSide::kHome, NetSide::kHome},
+      {SimSide::kVirtual, NetSide::kHome},
+      {SimSide::kNational, NetSide::kHome},
+      {SimSide::kInternational, NetSide::kHome},
+      {SimSide::kHome, NetSide::kAbroad},
+      {SimSide::kVirtual, NetSide::kAbroad},
+  }};
+  return kLabels;
+}
+
+RoamingLabeler::RoamingLabeler(cellnet::Plmn observer, std::vector<cellnet::Plmn> mvnos)
+    : observer_(observer), mvnos_(std::move(mvnos)) {}
+
+SimSide RoamingLabeler::sim_side(cellnet::Plmn sim) const {
+  if (sim == observer_) return SimSide::kHome;
+  if (std::find(mvnos_.begin(), mvnos_.end(), sim) != mvnos_.end()) {
+    return SimSide::kVirtual;
+  }
+  if (sim.mcc() == observer_.mcc()) return SimSide::kNational;
+  return SimSide::kInternational;
+}
+
+RoamingLabel RoamingLabeler::label(cellnet::Plmn sim,
+                                   std::span<const cellnet::Plmn> visited) const {
+  RoamingLabel out;
+  out.sim = sim_side(sim);
+  out.net = std::any_of(visited.begin(), visited.end(),
+                        [&](cellnet::Plmn plmn) { return plmn == observer_; })
+                ? NetSide::kHome
+                : NetSide::kAbroad;
+  return out;
+}
+
+}  // namespace wtr::core

@@ -1,0 +1,57 @@
+#pragma once
+
+// Roaming labels <X:Y> (§4.2). X describes the SIM relative to the
+// observing MNO: H (its own), V (one of its MVNOs), N (another MNO of the
+// same country), I (foreign). Y describes where the device is attached:
+// H (the observer's network) or A (abroad / another network). The observer
+// can only ever see six of the eight combinations — records of foreign
+// SIMs outside its network never reach it.
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "cellnet/plmn.hpp"
+
+namespace wtr::core {
+
+enum class SimSide : std::uint8_t { kHome, kVirtual, kNational, kInternational };
+enum class NetSide : std::uint8_t { kHome, kAbroad };
+
+struct RoamingLabel {
+  SimSide sim = SimSide::kHome;
+  NetSide net = NetSide::kHome;
+
+  friend constexpr bool operator==(RoamingLabel, RoamingLabel) noexcept = default;
+};
+
+/// "H:H", "I:H", "V:A", ...
+[[nodiscard]] std::string_view roaming_label_name(RoamingLabel label) noexcept;
+
+/// The six labels an observer can produce, in the paper's display order.
+[[nodiscard]] std::span<const RoamingLabel> observable_labels() noexcept;
+
+inline constexpr RoamingLabel kNativeLabel{SimSide::kHome, NetSide::kHome};
+inline constexpr RoamingLabel kInboundRoamerLabel{SimSide::kInternational, NetSide::kHome};
+
+class RoamingLabeler {
+ public:
+  /// `observer` is the studied MNO's PLMN; `mvnos` the PLMNs of MVNOs
+  /// hosted on it.
+  RoamingLabeler(cellnet::Plmn observer, std::vector<cellnet::Plmn> mvnos);
+
+  /// Label from a SIM PLMN and the set of visited PLMNs the record saw that
+  /// period (Y = H when any visited network is the observer's).
+  [[nodiscard]] RoamingLabel label(cellnet::Plmn sim,
+                                   std::span<const cellnet::Plmn> visited) const;
+
+  [[nodiscard]] SimSide sim_side(cellnet::Plmn sim) const;
+  [[nodiscard]] cellnet::Plmn observer() const noexcept { return observer_; }
+
+ private:
+  cellnet::Plmn observer_;
+  std::vector<cellnet::Plmn> mvnos_;
+};
+
+}  // namespace wtr::core

@@ -1,0 +1,53 @@
+#include "core/smip_analysis.hpp"
+
+namespace wtr::core {
+
+namespace {
+
+void accumulate(SmipGroupStats& group, const DeviceSummary& summary,
+                std::int32_t horizon_days) {
+  ++group.devices;
+  const auto days = static_cast<double>(summary.active_days);
+  group.active_days.add(days);
+  if (summary.first_day == 0) group.active_days_day0.add(days);
+  group.signaling_per_day.add(summary.signaling_per_day());
+  if (summary.active_days >= static_cast<std::uint32_t>(horizon_days)) {
+    group.fraction_full_period += 1.0;
+  }
+  if (summary.failed_events > 0) group.fraction_with_failures += 1.0;
+  group.rat_usage.add(std::string(cellnet::rat_mask_label(summary.radio_flags)));
+}
+
+void finish(SmipGroupStats& group) {
+  if (group.devices == 0) return;
+  group.fraction_full_period /= static_cast<double>(group.devices);
+  group.fraction_with_failures /= static_cast<double>(group.devices);
+  group.mean_signaling_per_day =
+      group.signaling_per_day.empty() ? 0.0 : group.signaling_per_day.mean();
+}
+
+}  // namespace
+
+SmipAnalysis analyze_smip(std::span<const DeviceSummary> summaries,
+                          const std::unordered_set<signaling::DeviceHash>& native,
+                          const std::unordered_set<signaling::DeviceHash>& roaming,
+                          std::int32_t horizon_days,
+                          const cellnet::TacCatalog& tac_catalog) {
+  SmipAnalysis analysis;
+  for (const auto& summary : summaries) {
+    if (native.contains(summary.device)) {
+      accumulate(analysis.native, summary, horizon_days);
+    } else if (roaming.contains(summary.device)) {
+      accumulate(analysis.roaming, summary, horizon_days);
+      analysis.roaming_home_operators.add(summary.sim_plmn.to_string());
+      if (const auto* info = tac_catalog.lookup(summary.tac)) {
+        analysis.roaming_vendors.add(info->vendor);
+      }
+    }
+  }
+  finish(analysis.native);
+  finish(analysis.roaming);
+  return analysis;
+}
+
+}  // namespace wtr::core

@@ -1,0 +1,55 @@
+#pragma once
+
+// Smart-meter (SMIP) analysis (§7.1 / §4.4): compares the MNO's native
+// meters (dedicated IMSI range) with the inbound-roaming meters on global
+// IoT SIMs — activity longevity, background-signaling volume, failure
+// incidence, RAT usage (Fig. 11), and the provenance findings (single Dutch
+// home operator, Gemalto/Telit modules only).
+
+#include <unordered_set>
+
+#include "cellnet/tac_catalog.hpp"
+#include "core/catalog_builder.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/histogram.hpp"
+
+namespace wtr::core {
+
+struct SmipGroupStats {
+  std::size_t devices = 0;
+  stats::Ecdf active_days;        // Fig. 11-a, all devices of the group
+  stats::Ecdf active_days_day0;   // Fig. 11-a, devices present on day 0
+  stats::Ecdf signaling_per_day;  // Fig. 11-b
+  double mean_signaling_per_day = 0.0;
+  double fraction_full_period = 0.0;    // active on every day of the window
+  double fraction_with_failures = 0.0;  // ≥1 failed signaling event
+  stats::CategoryCounter rat_usage;     // connectivity mask labels
+};
+
+struct SmipAnalysis {
+  SmipGroupStats native;
+  SmipGroupStats roaming;
+
+  // Provenance of the roaming fleet (§4.4 / T3).
+  stats::CategoryCounter roaming_home_operators;  // PLMN strings
+  stats::CategoryCounter roaming_vendors;         // module vendors via TAC
+
+  /// Roaming-to-native ratio of mean signaling per device-day (the paper
+  /// reports ≈10×).
+  [[nodiscard]] double signaling_ratio() const {
+    return native.mean_signaling_per_day <= 0.0
+               ? 0.0
+               : roaming.mean_signaling_per_day / native.mean_signaling_per_day;
+  }
+};
+
+/// `native` / `roaming` identify the two meter fleets by device hash;
+/// devices outside both sets are ignored. `horizon_days` is the window
+/// length used to define "active the whole period".
+[[nodiscard]] SmipAnalysis analyze_smip(
+    std::span<const DeviceSummary> summaries,
+    const std::unordered_set<signaling::DeviceHash>& native,
+    const std::unordered_set<signaling::DeviceHash>& roaming,
+    std::int32_t horizon_days, const cellnet::TacCatalog& tac_catalog);
+
+}  // namespace wtr::core

@@ -1,0 +1,77 @@
+#include "core/trace_replay.hpp"
+
+#include <string>
+
+#include "io/csv.hpp"
+#include "records/cdr.hpp"
+#include "records/xdr.hpp"
+
+namespace wtr::core {
+
+namespace {
+
+/// Generic line pump: validates the header, then parses/delivers each row.
+template <typename ParseFn, typename DeliverFn>
+ReplayStats replay(std::istream& in, const std::vector<std::string>& expected_header,
+                   ParseFn parse, DeliverFn deliver) {
+  ReplayStats stats;
+  std::string line;
+  bool header_checked = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = io::csv_decode_row(line);
+    if (!header_checked) {
+      header_checked = true;
+      if (fields && *fields == expected_header) continue;  // header consumed
+      // No (or wrong) header: fall through and treat the line as data.
+    }
+    ++stats.rows;
+    if (!fields) {
+      ++stats.malformed;
+      continue;
+    }
+    if (const auto record = parse(*fields)) {
+      deliver(*record);
+      ++stats.delivered;
+    } else {
+      ++stats.malformed;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+ReplayStats replay_signaling_csv(std::istream& in, sim::RecordSink& sink) {
+  return replay(
+      in, signaling::csv_header(),
+      [](const std::vector<std::string>& fields) {
+        return signaling::from_csv_fields(fields);
+      },
+      [&](const signaling::SignalingTransaction& txn) {
+        // The export does not record the interface family; derive it from
+        // the RAT (voice-context signaling is only the CSFB-style events,
+        // which aggregate identically in the catalog).
+        sink.on_signaling(txn, /*data_context=*/true);
+      });
+}
+
+ReplayStats replay_cdr_csv(std::istream& in, sim::RecordSink& sink) {
+  return replay(
+      in, records::cdr_csv_header(),
+      [](const std::vector<std::string>& fields) {
+        return records::cdr_from_csv_fields(fields);
+      },
+      [&](const records::Cdr& cdr) { sink.on_cdr(cdr); });
+}
+
+ReplayStats replay_xdr_csv(std::istream& in, sim::RecordSink& sink) {
+  return replay(
+      in, records::xdr_csv_header(),
+      [](const std::vector<std::string>& fields) {
+        return records::xdr_from_csv_fields(fields);
+      },
+      [&](const records::Xdr& xdr) { sink.on_xdr(xdr); });
+}
+
+}  // namespace wtr::core

@@ -1,0 +1,30 @@
+#pragma once
+
+// Trace replay: feed exported (or schema-compatible external) CSV traces
+// back through any RecordSink — the bridge between this reproduction and
+// real operator logs. An operator with radio/CDR/xDR extracts in the wire
+// format of records/*.hpp can run the paper's full §4–7 pipeline on them
+// by replaying into a CatalogAccumulator.
+
+#include <istream>
+
+#include "sim/device_agent.hpp"
+
+namespace wtr::core {
+
+struct ReplayStats {
+  std::uint64_t rows = 0;          // data rows seen (excl. header)
+  std::uint64_t delivered = 0;     // parsed and delivered to the sink
+  std::uint64_t malformed = 0;     // skipped: bad CSV or failed field parse
+
+  [[nodiscard]] bool clean() const noexcept { return malformed == 0; }
+};
+
+/// Each function expects a header line first (validated against the
+/// canonical header) and tolerates blank lines. Malformed rows are counted
+/// and skipped, never fatal — real exports have dirty tails.
+ReplayStats replay_signaling_csv(std::istream& in, sim::RecordSink& sink);
+ReplayStats replay_cdr_csv(std::istream& in, sim::RecordSink& sink);
+ReplayStats replay_xdr_csv(std::istream& in, sim::RecordSink& sink);
+
+}  // namespace wtr::core

@@ -1,0 +1,27 @@
+#include "core/traffic_metrics.hpp"
+
+namespace wtr::core {
+
+std::string traffic_group_key(ClassLabel device_class, bool inbound) {
+  return std::string(class_label_name(device_class)) + "/" +
+         (inbound ? "inbound" : "native");
+}
+
+TrafficFigure traffic_figure(const ClassifiedPopulation& population) {
+  TrafficFigure figure;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    const bool inbound = population.is_inbound(i);
+    const bool native = population.is_native_or_mvno(i);
+    if (!inbound && !native) continue;
+    const auto device_class = population.classes[i];
+    if (device_class == ClassLabel::kM2MMaybe) continue;  // excluded in §4.3
+    const auto& summary = population.summaries[i];
+    const std::string key = traffic_group_key(device_class, inbound);
+    figure.signaling_per_day[key].add(summary.signaling_per_day());
+    figure.calls_per_day[key].add(summary.calls_per_day());
+    figure.bytes_per_day[key].add(summary.bytes_per_day());
+  }
+  return figure;
+}
+
+}  // namespace wtr::core

@@ -1,0 +1,28 @@
+#pragma once
+
+// Traffic volume analysis (§6.2, Fig. 10): per-device daily signaling
+// events, voice calls and data bytes, grouped by class × roaming status.
+// This is where the paper's revenue argument lives: M2M devices occupy
+// radio resources but move almost no chargeable traffic.
+
+#include <map>
+#include <string>
+
+#include "core/census.hpp"
+#include "stats/ecdf.hpp"
+
+namespace wtr::core {
+
+/// Keys are "<class>/<inbound|native>" for class ∈ {smart, feat, m2m}.
+struct TrafficFigure {
+  std::map<std::string, stats::Ecdf> signaling_per_day;  // Fig. 10-left
+  std::map<std::string, stats::Ecdf> calls_per_day;      // Fig. 10-center
+  std::map<std::string, stats::Ecdf> bytes_per_day;      // Fig. 10-right
+};
+
+[[nodiscard]] TrafficFigure traffic_figure(const ClassifiedPopulation& population);
+
+/// Group key helper shared with the harnesses.
+[[nodiscard]] std::string traffic_group_key(ClassLabel device_class, bool inbound);
+
+}  // namespace wtr::core

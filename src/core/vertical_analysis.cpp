@@ -1,0 +1,49 @@
+#include "core/vertical_analysis.hpp"
+
+namespace wtr::core {
+
+std::optional<devices::Vertical> vertical_from_apn(const cellnet::Apn& apn) {
+  for (int v = 1; v < devices::kVerticalCount; ++v) {
+    const auto vertical = static_cast<devices::Vertical>(v);
+    for (const auto& company : devices::companies_of(vertical)) {
+      if (!company.keyword.empty() && apn.contains_keyword(company.keyword)) {
+        return vertical;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<devices::Vertical> vertical_of_device(const DeviceSummary& summary) {
+  for (const auto& apn_string : summary.apns) {
+    if (const auto vertical = vertical_from_apn(cellnet::Apn::parse(apn_string))) {
+      return vertical;
+    }
+  }
+  return std::nullopt;
+}
+
+VerticalFigure vertical_figure(const ClassifiedPopulation& population) {
+  VerticalFigure figure;
+  auto add = [&](const std::string& key, const DeviceSummary& summary) {
+    if (summary.has_position) figure.gyration_m[key].add(summary.mean_daily_gyration_m);
+    figure.signaling_per_day[key].add(summary.signaling_per_day());
+    figure.bytes_per_day[key].add(summary.bytes_per_day());
+  };
+
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    if (!population.is_inbound(i)) continue;
+    const auto& summary = population.summaries[i];
+    if (population.classes[i] == ClassLabel::kSmart) {
+      add("smartphone", summary);
+      continue;
+    }
+    if (population.classes[i] != ClassLabel::kM2M) continue;
+    if (const auto vertical = vertical_of_device(summary)) {
+      add(std::string(devices::vertical_name(*vertical)), summary);
+    }
+  }
+  return figure;
+}
+
+}  // namespace wtr::core

@@ -1,0 +1,37 @@
+#pragma once
+
+// Per-vertical traffic analysis (§7.2, Fig. 12): the exposed APN keywords
+// let the MNO separate inbound-roaming IoT devices into verticals; the
+// paper contrasts connected cars (mobile, chatty) against smart meters
+// (stationary, quiet), with inbound-roaming smartphones as reference.
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/census.hpp"
+#include "devices/verticals.hpp"
+#include "stats/ecdf.hpp"
+
+namespace wtr::core {
+
+/// Map an APN to a vertical via the company keyword catalog; nullopt when
+/// no vertical keyword matches.
+[[nodiscard]] std::optional<devices::Vertical> vertical_from_apn(const cellnet::Apn& apn);
+
+/// First recognizable vertical across a device's APNs.
+[[nodiscard]] std::optional<devices::Vertical> vertical_of_device(
+    const DeviceSummary& summary);
+
+struct VerticalFigure {
+  // Keys: vertical names ("connected-car", "smart-meter", ...) plus
+  // "smartphone" for the inbound-smartphone reference group.
+  std::map<std::string, stats::Ecdf> gyration_m;         // Fig. 12-left
+  std::map<std::string, stats::Ecdf> signaling_per_day;  // Fig. 12-center
+  std::map<std::string, stats::Ecdf> bytes_per_day;      // Fig. 12-right
+};
+
+/// Restricted to inbound roamers, as in the paper.
+[[nodiscard]] VerticalFigure vertical_figure(const ClassifiedPopulation& population);
+
+}  // namespace wtr::core

@@ -1,0 +1,14 @@
+#include "devices/device_class.hpp"
+
+namespace wtr::devices {
+
+std::string_view device_class_name(DeviceClass device_class) noexcept {
+  switch (device_class) {
+    case DeviceClass::kSmartphone: return "smart";
+    case DeviceClass::kFeaturePhone: return "feat";
+    case DeviceClass::kM2M: return "m2m";
+  }
+  return "?";
+}
+
+}  // namespace wtr::devices

@@ -1,0 +1,23 @@
+#pragma once
+
+// Ground-truth device classes. The paper splits the MNO population into
+// smart (smartphones), feat (feature phones) and m2m (§4.3); the simulator
+// assigns these as ground truth, and the classifier in core/ must recover
+// them from observable properties only.
+
+#include <cstdint>
+#include <string_view>
+
+namespace wtr::devices {
+
+enum class DeviceClass : std::uint8_t {
+  kSmartphone = 0,
+  kFeaturePhone = 1,
+  kM2M = 2,
+};
+
+inline constexpr int kDeviceClassCount = 3;
+
+[[nodiscard]] std::string_view device_class_name(DeviceClass device_class) noexcept;
+
+}  // namespace wtr::devices

@@ -1,0 +1,139 @@
+#include "devices/verticals.hpp"
+
+#include <array>
+
+namespace wtr::devices {
+
+std::string_view vertical_name(Vertical vertical) noexcept {
+  switch (vertical) {
+    case Vertical::kNone: return "none";
+    case Vertical::kSmartMeter: return "smart-meter";
+    case Vertical::kConnectedCar: return "connected-car";
+    case Vertical::kLogisticsTracker: return "logistics";
+    case Vertical::kWearable: return "wearable";
+    case Vertical::kPosTerminal: return "pos-terminal";
+    case Vertical::kVendingMachine: return "vending";
+    case Vertical::kSecurityAlarm: return "security-alarm";
+    case Vertical::kFleetTelematics: return "telematics";
+    case Vertical::kEbookReader: return "ebook-reader";
+  }
+  return "?";
+}
+
+namespace {
+
+// The keyword column must stay in sync with core/classifier.cpp's
+// vocabulary (a test cross-checks the two). Companies with an empty keyword
+// are deliberately NOT in the vocabulary.
+constexpr std::array<VerticalCompany, 6> kEnergy{{
+    {"centricaplc.com", "centrica", 0.30},
+    {"rwe.com", "rwe", 0.22},
+    {"elster.co.uk", "elster", 0.18},
+    {"generalelectric.com", "generalelectric", 0.15},
+    {"bglobalservices.co.uk", "bglobal", 0.10},
+    {"edfmetering.net", "", 0.05},
+}};
+
+constexpr std::array<VerticalCompany, 5> kAutomotive{{
+    {"scania.com", "scania", 0.30},
+    {"vwcarnet.de", "carnet", 0.25},
+    {"bmw-connecteddrive.de", "connecteddrive", 0.20},
+    {"psa-connect.fr", "psa-connect", 0.15},
+    {"autolinkservices.net", "", 0.10},
+}};
+
+constexpr std::array<VerticalCompany, 4> kLogistics{{
+    {"trackunit.com", "trackunit", 0.35},
+    {"geotracking.net", "geotrack", 0.30},
+    {"assetflux.io", "assetflux", 0.20},
+    {"cargosense.net", "", 0.15},
+}};
+
+constexpr std::array<VerticalCompany, 3> kWearables{{
+    {"wearlink.net", "wearlink", 0.5},
+    {"kidwatch.io", "kidwatch", 0.3},
+    {"fitsync.net", "", 0.2},
+}};
+
+constexpr std::array<VerticalCompany, 3> kPayments{{
+    {"paynet-terminals.com", "paynet", 0.5},
+    {"cardstream.net", "cardstream", 0.3},
+    {"tillpoint.io", "", 0.2},
+}};
+
+constexpr std::array<VerticalCompany, 3> kVending{{
+    {"vendtelemetry.com", "vendtelemetry", 0.5},
+    {"snackwire.net", "snackwire", 0.3},
+    {"coolermetrics.io", "", 0.2},
+}};
+
+constexpr std::array<VerticalCompany, 3> kSecurity{{
+    {"alarmnet.com", "alarmnet", 0.5},
+    {"liftline.net", "liftline", 0.3},
+    {"guardwire.io", "", 0.2},
+}};
+
+constexpr std::array<VerticalCompany, 3> kTelematics{{
+    {"fleetmatics.com", "fleetmatics", 0.5},
+    {"tachonet.eu", "tachonet", 0.3},
+    {"haulsense.net", "", 0.2},
+}};
+
+constexpr std::array<VerticalCompany, 2> kEreaders{{
+    {"whisperlink.net", "whisperlink", 0.7},
+    {"pagecloud.io", "", 0.3},
+}};
+
+constexpr std::array<std::string_view, 6> kServiceTokens{
+    "smhp", "telemetry", "m2m", "iot", "data", "remote"};
+
+constexpr std::array<std::string_view, 8> kConsumerNames{
+    "internet",       "payandgo.mobile", "mobile.web", "broadband.home",
+    "prepay.surf", "wap.consumer",    "mms.media",  "go.mobile"};
+
+constexpr std::array<std::string_view, 4> kPlatformNames{
+    "intelligent.m2m.provider.net", "global.iotsim.net", "m2m-platform.carrier.com",
+    "roamiot.services.net"};
+
+}  // namespace
+
+std::span<const VerticalCompany> companies_of(Vertical vertical) noexcept {
+  switch (vertical) {
+    case Vertical::kNone: return {};
+    case Vertical::kSmartMeter: return kEnergy;
+    case Vertical::kConnectedCar: return kAutomotive;
+    case Vertical::kLogisticsTracker: return kLogistics;
+    case Vertical::kWearable: return kWearables;
+    case Vertical::kPosTerminal: return kPayments;
+    case Vertical::kVendingMachine: return kVending;
+    case Vertical::kSecurityAlarm: return kSecurity;
+    case Vertical::kFleetTelematics: return kTelematics;
+    case Vertical::kEbookReader: return kEreaders;
+  }
+  return {};
+}
+
+std::span<const VerticalCompany> smip_energy_companies() noexcept {
+  // The first five energy companies carry the recognizable keywords.
+  return std::span<const VerticalCompany>{kEnergy}.first(5);
+}
+
+cellnet::Apn make_vertical_apn(const VerticalCompany& company, cellnet::Plmn home,
+                               stats::Rng& rng) {
+  const std::string_view service = kServiceTokens[rng.below(kServiceTokens.size())];
+  return cellnet::Apn{std::string(service) + "." + std::string(company.domain), home};
+}
+
+cellnet::Apn make_consumer_apn(cellnet::Plmn home, stats::Rng& rng) {
+  const std::string_view name = kConsumerNames[rng.below(kConsumerNames.size())];
+  // Consumer APNs frequently omit the operator identifier.
+  if (rng.bernoulli(0.5)) return cellnet::Apn{std::string(name)};
+  return cellnet::Apn{std::string(name), home};
+}
+
+cellnet::Apn make_platform_apn(cellnet::Plmn home, stats::Rng& rng) {
+  const std::string_view name = kPlatformNames[rng.below(kPlatformNames.size())];
+  return cellnet::Apn{std::string(name), home};
+}
+
+}  // namespace wtr::devices

@@ -1,0 +1,66 @@
+#pragma once
+
+// IoT verticals and the APN vocabulary they leave in traces. §4.3 finds
+// 4,603 distinct APN strings, identifies 26 vertical keywords (scania →
+// automotive, rwe → energy, intelligent.m2m → global IoT SIM platform, …),
+// and maps 1,719 APNs to M2M via those keywords. We generate APNs from the
+// same grammar: <service>.<company domain>[.mncXXX.mccYYY.gprs].
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "cellnet/apn.hpp"
+#include "cellnet/plmn.hpp"
+#include "stats/rng.hpp"
+
+namespace wtr::devices {
+
+enum class Vertical : std::uint8_t {
+  kNone = 0,         // phones
+  kSmartMeter,       // energy (§7's SMIP population)
+  kConnectedCar,     // automotive (§7.2's comparison vertical)
+  kLogisticsTracker,
+  kWearable,
+  kPosTerminal,      // payment terminals (§2.2's reliability-first example)
+  kVendingMachine,
+  kSecurityAlarm,    // the voice-only M2M devices of §6.2
+  kFleetTelematics,
+  kEbookReader,
+};
+
+inline constexpr int kVerticalCount = 10;
+
+[[nodiscard]] std::string_view vertical_name(Vertical vertical) noexcept;
+
+/// A company operating devices within a vertical; its domain shows up in
+/// APN network identifiers. `keyworded` companies embed a keyword that the
+/// classifier's vocabulary covers; non-keyworded ones model the "other IoT
+/// services we could [not] clearly identify" the paper mentions — their
+/// devices must be caught by device-property propagation instead.
+struct VerticalCompany {
+  std::string_view domain;   // "centricaplc.com"
+  std::string_view keyword;  // "centrica" — empty when not in the vocabulary
+  double weight = 1.0;       // relative share of the vertical's fleet
+};
+
+/// Companies for a vertical (static catalog).
+[[nodiscard]] std::span<const VerticalCompany> companies_of(Vertical vertical) noexcept;
+
+/// The five energy companies §4.4 identifies in SMIP-roaming APNs.
+[[nodiscard]] std::span<const VerticalCompany> smip_energy_companies() noexcept;
+
+/// Build a vertical APN for a company: "<service>.<domain>" with the home
+/// operator identifier appended. The service token varies per device batch.
+[[nodiscard]] cellnet::Apn make_vertical_apn(const VerticalCompany& company,
+                                             cellnet::Plmn home, stats::Rng& rng);
+
+/// Consumer APN ("internet", "payandgo.mobile", ...) used by phones.
+[[nodiscard]] cellnet::Apn make_consumer_apn(cellnet::Plmn home, stats::Rng& rng);
+
+/// Generic operator M2M platform APN ("intelligent.m2m.provider.net") used
+/// by global IoT SIMs that do not expose the end customer.
+[[nodiscard]] cellnet::Apn make_platform_apn(cellnet::Plmn home, stats::Rng& rng);
+
+}  // namespace wtr::devices

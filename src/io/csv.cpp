@@ -1,0 +1,101 @@
+#include "io/csv.hpp"
+
+#include <charconv>
+
+namespace wtr::io {
+
+namespace {
+bool needs_quoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+std::string quote(std::string_view field) {
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+}  // namespace
+
+std::string csv_encode_row(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    if (needs_quoting(fields[i])) {
+      out += quote(fields[i]);
+    } else {
+      out += fields[i];
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<std::string>> csv_decode_row(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else {
+      if (c == '"') {
+        in_quotes = true;
+      } else if (c == ',') {
+        fields.push_back(std::move(current));
+        current.clear();
+      } else if (c == '\r') {
+        // tolerate CRLF line endings
+      } else {
+        current.push_back(c);
+      }
+    }
+    ++i;
+  }
+  if (in_quotes) return std::nullopt;
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::int64_t> parse_i64(std::string_view text) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  out_ << csv_encode_row(fields) << '\n';
+  ++rows_;
+}
+
+}  // namespace wtr::io

@@ -1,0 +1,43 @@
+#pragma once
+
+// Minimal CSV reading/writing for trace export/import. Handles quoting of
+// fields containing commas/quotes/newlines (RFC 4180 subset). Traces in this
+// project are plain ASCII, so no encoding handling is needed.
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wtr::io {
+
+/// Serialize one row, quoting fields as needed.
+[[nodiscard]] std::string csv_encode_row(const std::vector<std::string>& fields);
+
+/// Parse one logical CSV line into fields. Returns std::nullopt when the
+/// line is malformed (unterminated quote). Embedded newlines inside quotes
+/// are not supported by this line-at-a-time API.
+[[nodiscard]] std::optional<std::vector<std::string>> csv_decode_row(std::string_view line);
+
+/// Strict numeric field parsers (whole-string match; nullopt otherwise).
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text);
+[[nodiscard]] std::optional<std::int64_t> parse_i64(std::string_view text);
+[[nodiscard]] std::optional<double> parse_double(std::string_view text);
+
+/// Streaming writer over any std::ostream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace wtr::io

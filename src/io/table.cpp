@@ -1,0 +1,101 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace wtr::io {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  for (char c : cell) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' && c != '+' &&
+        c != '%' && c != ',' && c != 'e' && c != 'x') {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row, bool align_numeric) {
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      const std::size_t pad = widths[c] - cell.size();
+      const bool right = align_numeric && looks_numeric(cell);
+      os << ' ';
+      if (right) os << std::string(pad, ' ');
+      os << cell;
+      if (!right) os << std::string(pad, ' ');
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_, false);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row, true);
+  return os.str();
+}
+
+std::string format_percent(double fraction, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_count(std::uint64_t value) {
+  // Thousands separators for readability.
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string figure_banner(const std::string& figure_id, const std::string& caption) {
+  std::ostringstream os;
+  const std::string title = figure_id + " — " + caption;
+  os << '\n' << std::string(title.size() + 4, '=') << '\n'
+     << "= " << title << " =\n"
+     << std::string(title.size() + 4, '=') << '\n';
+  return os.str();
+}
+
+}  // namespace wtr::io

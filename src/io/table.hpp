@@ -1,0 +1,37 @@
+#pragma once
+
+// Plain-text table rendering for the figure-reproduction harnesses: every
+// bench binary prints "paper vs measured" rows through this formatter so the
+// output is uniform and diffable.
+
+#include <string>
+#include <vector>
+
+namespace wtr::io {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment; numeric-looking cells are right-aligned.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by the harnesses.
+[[nodiscard]] std::string format_percent(double fraction, int decimals = 1);
+[[nodiscard]] std::string format_fixed(double value, int decimals = 2);
+[[nodiscard]] std::string format_count(std::uint64_t value);
+
+/// Banner printed at the top of each figure harness.
+[[nodiscard]] std::string figure_banner(const std::string& figure_id,
+                                        const std::string& caption);
+
+}  // namespace wtr::io

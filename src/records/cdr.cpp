@@ -1,0 +1,40 @@
+#include "records/cdr.hpp"
+
+#include "io/csv.hpp"
+#include "io/table.hpp"
+
+namespace wtr::records {
+
+std::vector<std::string> cdr_csv_header() {
+  return {"device", "time", "sim_plmn", "visited_plmn", "duration_s", "rat"};
+}
+
+std::vector<std::string> to_csv_fields(const Cdr& cdr) {
+  return {std::to_string(cdr.device),
+          std::to_string(cdr.time),
+          cdr.sim_plmn.to_string(),
+          cdr.visited_plmn.to_string(),
+          io::format_fixed(cdr.duration_s, 1),
+          std::string(cellnet::rat_name(cdr.rat))};
+}
+
+std::optional<Cdr> cdr_from_csv_fields(std::span<const std::string> fields) {
+  if (fields.size() != cdr_csv_header().size()) return std::nullopt;
+  const auto device = io::parse_u64(fields[0]);
+  const auto time = io::parse_i64(fields[1]);
+  const auto sim = cellnet::Plmn::parse(fields[2]);
+  const auto visited = cellnet::Plmn::parse(fields[3]);
+  const auto duration = io::parse_double(fields[4]);
+  const auto rat = cellnet::rat_from_name(fields[5]);
+  if (!device || !time || !sim || !visited || !duration || !rat) return std::nullopt;
+  Cdr cdr;
+  cdr.device = *device;
+  cdr.time = *time;
+  cdr.sim_plmn = *sim;
+  cdr.visited_plmn = *visited;
+  cdr.duration_s = *duration;
+  cdr.rat = *rat;
+  return cdr;
+}
+
+}  // namespace wtr::records

@@ -1,0 +1,34 @@
+#pragma once
+
+// Call Detail Records: aggregate voice usage (§4.1). Unlike radio logs,
+// CDRs are produced for outbound roamers too — they are the basis of
+// roaming revenue reconciliation between partners (§2.1).
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cellnet/plmn.hpp"
+#include "cellnet/rat.hpp"
+#include "signaling/transaction.hpp"
+#include "stats/sim_time.hpp"
+
+namespace wtr::records {
+
+struct Cdr {
+  signaling::DeviceHash device = 0;
+  stats::SimTime time = 0;
+  cellnet::Plmn sim_plmn{};
+  cellnet::Plmn visited_plmn{};
+  double duration_s = 0.0;
+  cellnet::Rat rat = cellnet::Rat::kTwoG;
+};
+
+[[nodiscard]] std::vector<std::string> to_csv_fields(const Cdr& cdr);
+[[nodiscard]] std::vector<std::string> cdr_csv_header();
+
+/// Inverse of to_csv_fields; nullopt on malformed rows.
+[[nodiscard]] std::optional<Cdr> cdr_from_csv_fields(std::span<const std::string> fields);
+
+}  // namespace wtr::records

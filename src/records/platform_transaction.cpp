@@ -1,0 +1,19 @@
+#include "records/platform_transaction.hpp"
+
+namespace wtr::records {
+
+bool platform_probe_captures(const signaling::SignalingTransaction& txn) {
+  if (txn.rat != cellnet::Rat::kFourG) return false;  // no 2G/3G visibility
+  return signaling::visible_to_platform_probes(txn.procedure);
+}
+
+std::vector<signaling::SignalingTransaction> platform_view(
+    const std::vector<signaling::SignalingTransaction>& stream) {
+  std::vector<signaling::SignalingTransaction> out;
+  for (const auto& txn : stream) {
+    if (platform_probe_captures(txn)) out.push_back(txn);
+  }
+  return out;
+}
+
+}  // namespace wtr::records

@@ -1,0 +1,22 @@
+#pragma once
+
+// The M2M platform trace (§3.1): the HMNO-side probes see only the roaming
+// interconnect control plane — authentication / update location / cancel
+// location — and only for 4G attachments. This filter turns the simulator's
+// full signaling stream into exactly that view.
+
+#include <vector>
+
+#include "signaling/transaction.hpp"
+
+namespace wtr::records {
+
+/// True when a transaction would be captured by the platform's probes:
+/// a 4G procedure of the types monitored near the HMNO.
+[[nodiscard]] bool platform_probe_captures(const signaling::SignalingTransaction& txn);
+
+/// Filtered copy of a stream (keeps order).
+[[nodiscard]] std::vector<signaling::SignalingTransaction> platform_view(
+    const std::vector<signaling::SignalingTransaction>& stream);
+
+}  // namespace wtr::records

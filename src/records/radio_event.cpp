@@ -1,0 +1,13 @@
+#include "records/radio_event.hpp"
+
+namespace wtr::records {
+
+RadioEvent make_radio_event(const signaling::SignalingTransaction& txn,
+                            bool data_context) {
+  RadioEvent event;
+  event.txn = txn;
+  event.iface = cellnet::interface_for(txn.rat, data_context);
+  return event;
+}
+
+}  // namespace wtr::records

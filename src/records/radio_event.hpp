@@ -1,0 +1,26 @@
+#pragma once
+
+// Radio-interface event log: what the MNO's probes capture on the IuCS,
+// IuPS, A, Gb and S1 interfaces (§4.1). Each event is a signaling
+// transaction seen on a specific interface at a specific sector; outbound
+// roamers do NOT appear here (their radio signaling stays in the visited
+// country), which the catalog builder must honour.
+
+#include <vector>
+
+#include "cellnet/rat.hpp"
+#include "signaling/transaction.hpp"
+
+namespace wtr::records {
+
+struct RadioEvent {
+  signaling::SignalingTransaction txn{};
+  cellnet::RadioInterface iface = cellnet::RadioInterface::kA;
+};
+
+/// Convenience: the interface an event belongs on, derived from RAT and
+/// whether the triggering activity was data or voice.
+[[nodiscard]] RadioEvent make_radio_event(const signaling::SignalingTransaction& txn,
+                                          bool data_context);
+
+}  // namespace wtr::records

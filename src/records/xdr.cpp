@@ -1,0 +1,45 @@
+#include "records/xdr.hpp"
+
+#include "io/csv.hpp"
+
+namespace wtr::records {
+
+std::vector<std::string> xdr_csv_header() {
+  return {"device", "time", "sim_plmn", "visited_plmn", "bytes_up", "bytes_down",
+          "apn", "rat"};
+}
+
+std::vector<std::string> to_csv_fields(const Xdr& xdr) {
+  return {std::to_string(xdr.device),
+          std::to_string(xdr.time),
+          xdr.sim_plmn.to_string(),
+          xdr.visited_plmn.to_string(),
+          std::to_string(xdr.bytes_up),
+          std::to_string(xdr.bytes_down),
+          xdr.apn,
+          std::string(cellnet::rat_name(xdr.rat))};
+}
+
+std::optional<Xdr> xdr_from_csv_fields(std::span<const std::string> fields) {
+  if (fields.size() != xdr_csv_header().size()) return std::nullopt;
+  const auto device = io::parse_u64(fields[0]);
+  const auto time = io::parse_i64(fields[1]);
+  const auto sim = cellnet::Plmn::parse(fields[2]);
+  const auto visited = cellnet::Plmn::parse(fields[3]);
+  const auto up = io::parse_u64(fields[4]);
+  const auto down = io::parse_u64(fields[5]);
+  const auto rat = cellnet::rat_from_name(fields[7]);
+  if (!device || !time || !sim || !visited || !up || !down || !rat) return std::nullopt;
+  Xdr xdr;
+  xdr.device = *device;
+  xdr.time = *time;
+  xdr.sim_plmn = *sim;
+  xdr.visited_plmn = *visited;
+  xdr.bytes_up = *up;
+  xdr.bytes_down = *down;
+  xdr.apn = fields[6];
+  xdr.rat = *rat;
+  return xdr;
+}
+
+}  // namespace wtr::records

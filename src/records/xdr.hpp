@@ -1,0 +1,41 @@
+#pragma once
+
+// eXtended Detail Records: aggregate data usage (§4.1). Carries the APN
+// string — the classifier's key signal — and, like CDRs, covers outbound
+// roamers as well.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cellnet/apn.hpp"
+#include "cellnet/plmn.hpp"
+#include "cellnet/rat.hpp"
+#include "signaling/transaction.hpp"
+#include "stats/sim_time.hpp"
+
+namespace wtr::records {
+
+struct Xdr {
+  signaling::DeviceHash device = 0;
+  stats::SimTime time = 0;
+  cellnet::Plmn sim_plmn{};
+  cellnet::Plmn visited_plmn{};
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
+  std::string apn;  // full wire form
+  cellnet::Rat rat = cellnet::Rat::kTwoG;
+
+  [[nodiscard]] std::uint64_t bytes_total() const noexcept {
+    return bytes_up + bytes_down;
+  }
+};
+
+[[nodiscard]] std::vector<std::string> to_csv_fields(const Xdr& xdr);
+[[nodiscard]] std::vector<std::string> xdr_csv_header();
+
+/// Inverse of to_csv_fields; nullopt on malformed rows.
+[[nodiscard]] std::optional<Xdr> xdr_from_csv_fields(std::span<const std::string> fields);
+
+}  // namespace wtr::records

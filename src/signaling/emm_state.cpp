@@ -1,0 +1,70 @@
+#include "signaling/emm_state.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace wtr::signaling {
+
+std::string_view emm_state_name(EmmState state) noexcept {
+  switch (state) {
+    case EmmState::kDetached: return "DETACHED";
+    case EmmState::kAuthenticating: return "AUTHENTICATING";
+    case EmmState::kUpdatingLocation: return "UPDATING_LOCATION";
+    case EmmState::kAttached: return "ATTACHED";
+  }
+  return "?";
+}
+
+Procedure EmmStateMachine::begin_attach(topology::OperatorId visited) {
+  assert(state_ == EmmState::kDetached);
+  state_ = EmmState::kAuthenticating;
+  serving_ = visited;
+  count(Procedure::kAttach);
+  count(Procedure::kAuthentication);
+  return Procedure::kAuthentication;
+}
+
+std::optional<Procedure> EmmStateMachine::on_attach_step_result(ResultCode result) {
+  assert(state_ == EmmState::kAuthenticating || state_ == EmmState::kUpdatingLocation);
+  if (is_failure(result)) {
+    state_ = EmmState::kDetached;
+    serving_.reset();
+    return std::nullopt;
+  }
+  if (state_ == EmmState::kAuthenticating) {
+    state_ = EmmState::kUpdatingLocation;
+    count(Procedure::kUpdateLocation);
+    return Procedure::kUpdateLocation;
+  }
+  state_ = EmmState::kAttached;
+  return std::nullopt;
+}
+
+Procedure EmmStateMachine::area_update(bool on_lte) noexcept {
+  assert(state_ == EmmState::kAttached);
+  const Procedure procedure =
+      on_lte ? Procedure::kTrackingAreaUpdate : Procedure::kRoutingAreaUpdate;
+  count(procedure);
+  return procedure;
+}
+
+Procedure EmmStateMachine::detach() noexcept {
+  assert(state_ == EmmState::kAttached);
+  state_ = EmmState::kDetached;
+  serving_.reset();
+  count(Procedure::kDetach);
+  return Procedure::kDetach;
+}
+
+Procedure EmmStateMachine::cancel_location() noexcept {
+  state_ = EmmState::kDetached;
+  serving_.reset();
+  count(Procedure::kCancelLocation);
+  return Procedure::kCancelLocation;
+}
+
+std::uint64_t EmmStateMachine::total_procedures() const noexcept {
+  return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+}
+
+}  // namespace wtr::signaling

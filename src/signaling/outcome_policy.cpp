@@ -1,0 +1,48 @@
+#include "signaling/outcome_policy.hpp"
+
+namespace wtr::signaling {
+
+ResultCode OutcomePolicy::evaluate(const topology::World& world,
+                                   topology::OperatorId home,
+                                   topology::OperatorId visited, cellnet::Rat rat,
+                                   cellnet::RatMask device_rats, cellnet::RatMask sim_rats,
+                                   bool subscription_ok, stats::Rng& rng) const {
+  const auto& operators = world.operators();
+  const auto& home_op = operators.get(home);
+  const auto& visited_op = operators.get(visited);
+
+  // Hardware without the radio cannot even try; treated as unsupported.
+  if (!device_rats.has(rat)) return ResultCode::kFeatureUnsupported;
+
+  // SIM provisioning scope: the HSS rejects technologies the subscription
+  // does not cover (e.g. no LTE enablement on a legacy M2M SIM).
+  if (!sim_rats.has(rat)) return ResultCode::kFeatureUnsupported;
+
+  // The visited network must deploy the RAT.
+  if (!visited_op.deployed_rats.has(rat)) return ResultCode::kFeatureUnsupported;
+
+  const bool at_home = operators.radio_network_of(home) ==
+                       operators.radio_network_of(visited);
+  if (!at_home) {
+    // National roaming between distinct local MNOs requires an agreement
+    // just like international roaming does.
+    const auto roaming = world.resolve_roaming(home, visited);
+    if (roaming.path == topology::RoamingPath::kNone) {
+      return ResultCode::kRoamingNotAllowed;
+    }
+    if (!roaming.terms.allowed_rats.has(rat)) {
+      return ResultCode::kFeatureUnsupported;
+    }
+  }
+  (void)home_op;
+
+  if (!subscription_ok || rng.bernoulli(config_.unknown_subscription_rate)) {
+    return ResultCode::kUnknownSubscription;
+  }
+  if (rng.bernoulli(config_.transient_failure_rate)) {
+    return ResultCode::kNetworkFailure;
+  }
+  return ResultCode::kOk;
+}
+
+}  // namespace wtr::signaling

@@ -1,0 +1,43 @@
+#pragma once
+
+// Decides how the visited core network answers a procedure: OK, or one of
+// the rejection codes seen in the platform trace. The decision follows the
+// commercial topology (no roaming path → RoamingNotAllowed), the agreement
+// and hardware RAT scope (→ FeatureUnsupported), subscription state
+// (→ UnknownSubscription) and a small transient failure rate.
+
+#include "cellnet/rat.hpp"
+#include "signaling/result_code.hpp"
+#include "stats/rng.hpp"
+#include "topology/world.hpp"
+
+namespace wtr::signaling {
+
+struct OutcomePolicyConfig {
+  double transient_failure_rate = 0.005;  // core hiccups on otherwise-OK calls
+  double unknown_subscription_rate = 0.0; // set per-fleet for bad provisioning
+};
+
+class OutcomePolicy {
+ public:
+  OutcomePolicy() = default;
+  explicit OutcomePolicy(OutcomePolicyConfig config) : config_(config) {}
+
+  /// Evaluate a procedure attempt by a SIM of `home` on the radio network
+  /// of `visited` using `rat`. `device_rats` is the hardware capability and
+  /// `sim_rats` the SIM's provisioning scope; `subscription_ok` is false
+  /// for deactivated/misprovisioned SIMs.
+  [[nodiscard]] ResultCode evaluate(const topology::World& world,
+                                    topology::OperatorId home,
+                                    topology::OperatorId visited, cellnet::Rat rat,
+                                    cellnet::RatMask device_rats,
+                                    cellnet::RatMask sim_rats, bool subscription_ok,
+                                    stats::Rng& rng) const;
+
+  [[nodiscard]] const OutcomePolicyConfig& config() const noexcept { return config_; }
+
+ private:
+  OutcomePolicyConfig config_{};
+};
+
+}  // namespace wtr::signaling

@@ -1,0 +1,24 @@
+#include "signaling/result_code.hpp"
+
+namespace wtr::signaling {
+
+std::string_view result_code_name(ResultCode code) noexcept {
+  switch (code) {
+    case ResultCode::kOk: return "OK";
+    case ResultCode::kRoamingNotAllowed: return "RoamingNotAllowed";
+    case ResultCode::kUnknownSubscription: return "UnknownSubscription";
+    case ResultCode::kFeatureUnsupported: return "FeatureUnsupported";
+    case ResultCode::kNetworkFailure: return "NetworkFailure";
+  }
+  return "?";
+}
+
+std::optional<ResultCode> result_code_from_name(std::string_view name) noexcept {
+  for (int i = 0; i < kResultCodeCount; ++i) {
+    const auto code = static_cast<ResultCode>(i);
+    if (result_code_name(code) == name) return code;
+  }
+  return std::nullopt;
+}
+
+}  // namespace wtr::signaling

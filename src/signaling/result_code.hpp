@@ -1,0 +1,33 @@
+#pragma once
+
+// Outcome codes attached to every signaling record — the paper's trace
+// enumerates OK, RoamingNotAllowed, UnknownSubscription and
+// FeatureUnsupported (§3.1/§3.3); we add a transient NetworkFailure used by
+// the failure-injection tests.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace wtr::signaling {
+
+enum class ResultCode : std::uint8_t {
+  kOk = 0,
+  kRoamingNotAllowed,    // no commercial path between home and visited
+  kUnknownSubscription,  // HSS does not recognize the IMSI
+  kFeatureUnsupported,   // RAT / service outside the agreement or hardware
+  kNetworkFailure,       // transient core-network error
+};
+
+inline constexpr int kResultCodeCount = 5;
+
+[[nodiscard]] std::string_view result_code_name(ResultCode code) noexcept;
+
+/// Inverse of result_code_name; nullopt for unknown names.
+[[nodiscard]] std::optional<ResultCode> result_code_from_name(std::string_view name) noexcept;
+
+[[nodiscard]] constexpr bool is_failure(ResultCode code) noexcept {
+  return code != ResultCode::kOk;
+}
+
+}  // namespace wtr::signaling

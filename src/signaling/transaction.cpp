@@ -1,0 +1,53 @@
+#include "signaling/transaction.hpp"
+
+#include "io/csv.hpp"
+
+namespace wtr::signaling {
+
+std::vector<std::string> csv_header() {
+  return {"device", "time",   "sim_plmn", "visited_plmn",
+          "procedure", "result", "rat",      "sector", "tac"};
+}
+
+std::vector<std::string> to_csv_fields(const SignalingTransaction& txn) {
+  return {std::to_string(txn.device),
+          std::to_string(txn.time),
+          txn.sim_plmn.to_string(),
+          txn.visited_plmn.to_string(),
+          std::string(procedure_name(txn.procedure)),
+          std::string(result_code_name(txn.result)),
+          std::string(cellnet::rat_name(txn.rat)),
+          std::to_string(txn.sector),
+          std::to_string(txn.tac)};
+}
+
+std::optional<SignalingTransaction> from_csv_fields(
+    std::span<const std::string> fields) {
+  if (fields.size() != csv_header().size()) return std::nullopt;
+  SignalingTransaction txn;
+  const auto device = io::parse_u64(fields[0]);
+  const auto time = io::parse_i64(fields[1]);
+  const auto sim = cellnet::Plmn::parse(fields[2]);
+  const auto visited = cellnet::Plmn::parse(fields[3]);
+  const auto procedure = procedure_from_name(fields[4]);
+  const auto result = result_code_from_name(fields[5]);
+  const auto rat = cellnet::rat_from_name(fields[6]);
+  const auto sector = io::parse_u64(fields[7]);
+  const auto tac = io::parse_u64(fields[8]);
+  if (!device || !time || !sim || !visited || !procedure || !result || !rat ||
+      !sector || !tac) {
+    return std::nullopt;
+  }
+  txn.device = *device;
+  txn.time = *time;
+  txn.sim_plmn = *sim;
+  txn.visited_plmn = *visited;
+  txn.procedure = *procedure;
+  txn.result = *result;
+  txn.rat = *rat;
+  txn.sector = static_cast<cellnet::SectorId>(*sector);
+  txn.tac = static_cast<cellnet::Tac>(*tac);
+  return txn;
+}
+
+}  // namespace wtr::signaling

@@ -1,0 +1,341 @@
+#include "sim/device_agent.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "cellnet/country.hpp"
+#include "stats/distributions.hpp"
+
+namespace wtr::sim {
+
+using stats::SimTime;
+
+DeviceAgent::DeviceAgent(devices::Device device, AgentOptions options, stats::Rng rng)
+    : device_(std::move(device)), options_(std::move(options)), rng_(rng) {}
+
+SimTime DeviceAgent::departure_time() const noexcept {
+  return stats::day_start(device_.departure_day);
+}
+
+std::optional<SimTime> DeviceAgent::first_wake() {
+  if (device_.departure_day <= device_.arrival_day) return std::nullopt;
+  const SimTime start = stats::day_start(device_.arrival_day);
+  const SimTime offset =
+      static_cast<SimTime>(rng_.uniform() * static_cast<double>(stats::kSecondsPerDay));
+  const SimTime first = start + offset;
+  last_wake_ = first;
+  dwell_since_ = first;
+  return first;
+}
+
+std::optional<SimTime> DeviceAgent::schedule_next(SimTime now) {
+  // Session process: exponential inter-arrival at the device's rate,
+  // modulated by the profile's diurnal shape. Unattached devices retry
+  // faster (registration storms — the Fig. 3 signaling-flood tail).
+  double rate_per_s =
+      device_.sessions_per_day / static_cast<double>(stats::kSecondsPerDay);
+  // Registration retries back off only from *failed* attach attempts; a
+  // device that detached voluntarily wakes at its normal session rate.
+  if (!emm_.attached() && last_attach_failed_) rate_per_s *= options_.retry_rate_boost;
+  const double weight = stats::diurnal_weight(now, device_.profile.diurnal_floor);
+  rate_per_s *= std::max(0.02, weight);
+  double dt = stats::sample_exponential(rng_, std::max(rate_per_s, 1e-9));
+  dt = stats::clamped(dt, 30.0, 7.0 * stats::kSecondsPerDay);
+  SimTime next = now + static_cast<SimTime>(dt);
+  if (next >= departure_time()) next = departure_time();
+  if (next <= now) next = now + 1;
+  return next;
+}
+
+DeviceAgent::Serving DeviceAgent::locate(const AgentContext& ctx,
+                                         const NetworkChoice& choice) const {
+  Serving serving;
+  serving.visited = choice.visited;
+  serving.rat = choice.rat;
+  serving.is_home = choice.is_home_network;
+  const auto radio = ctx.world->operators().radio_network_of(choice.visited);
+  if (ctx.world->coverage().has_grid(radio)) {
+    const auto& grid = ctx.world->coverage().grid(radio);
+    // Devices camp on the nearest sector. If that sector does not deploy
+    // the desired RAT but deploys a lower one the hardware supports, the
+    // RAT degrades in place (rural 2G pockets); only a device with no
+    // usable technology on the local sector hunts for a farther one.
+    const auto& local = grid.serving_sector(device_.east_m, device_.north_m);
+    if (local.rats.has(choice.rat)) {
+      serving.sector = local.id;
+      serving.location = local.location;
+    } else {
+      const auto usable = device_.capability.intersect(local.rats);
+      if (usable.any()) {
+        serving.sector = local.id;
+        serving.location = local.location;
+        if (usable.has(cellnet::Rat::kFourG)) {
+          serving.rat = cellnet::Rat::kFourG;
+        } else if (usable.has(cellnet::Rat::kThreeG)) {
+          serving.rat = cellnet::Rat::kThreeG;
+        } else if (usable.has(cellnet::Rat::kTwoG)) {
+          serving.rat = cellnet::Rat::kTwoG;
+        } else {
+          serving.rat = cellnet::Rat::kNbIot;
+        }
+      } else {
+        const auto sector_id =
+            grid.serving_sector_with_rat(device_.east_m, device_.north_m, choice.rat);
+        const auto& sector = grid.sector(sector_id ? *sector_id : local.id);
+        serving.sector = sector.id;
+        serving.location = sector.location;
+      }
+    }
+  } else {
+    // Coverage disabled: approximate position from the country anchor.
+    const auto country = cellnet::country_by_iso(device_.current_country);
+    const cellnet::GeoPoint anchor =
+        country ? cellnet::GeoPoint{country->lat, country->lon} : cellnet::GeoPoint{};
+    serving.sector = 0;
+    serving.location = cellnet::offset_m(anchor, device_.east_m, device_.north_m);
+  }
+  return serving;
+}
+
+void DeviceAgent::emit_signaling(const AgentContext& ctx, SimTime now,
+                                 signaling::Procedure procedure,
+                                 signaling::ResultCode result, cellnet::Rat rat,
+                                 bool data_context) {
+  signaling::SignalingTransaction txn;
+  txn.device = device_.id;
+  txn.time = now;
+  txn.sim_plmn = ctx.world->operators().get(device_.home_operator).plmn;
+  txn.visited_plmn = ctx.world->operators().get(serving_.visited).plmn;
+  txn.procedure = procedure;
+  txn.result = result;
+  txn.rat = rat;
+  txn.sector = serving_.sector;
+  txn.tac = device_.imei.tac();
+  ctx.sink->on_signaling(txn, data_context);
+}
+
+void DeviceAgent::flush_dwell(const AgentContext& ctx, SimTime now) {
+  if (!emm_.attached() || now <= dwell_since_) {
+    dwell_since_ = now;
+    return;
+  }
+  // Split the dwell interval on day boundaries so daily mobility metrics
+  // see exactly the time spent within each day.
+  const auto visited_plmn = ctx.world->operators().get(serving_.visited).plmn;
+  SimTime from = dwell_since_;
+  while (from < now) {
+    const std::int32_t day = stats::day_of(from);
+    const SimTime day_end = stats::day_start(day + 1);
+    const SimTime to = std::min(now, day_end);
+    ctx.sink->on_dwell(device_.id, day, visited_plmn, serving_.location,
+                       static_cast<double>(to - from));
+    from = to;
+  }
+  dwell_since_ = now;
+}
+
+bool DeviceAgent::try_attach(const AgentContext& ctx, SimTime now,
+                             std::optional<topology::OperatorId> exclude) {
+  assert(!emm_.attached());
+  auto candidates = ctx.selector->scan(device_, exclude, rng_);
+  // Stickiness: move the last successfully used network to the front.
+  if (preferred_visited_ && (!exclude || *exclude != *preferred_visited_)) {
+    const auto it = std::find_if(candidates.begin(), candidates.end(),
+                                 [&](const NetworkChoice& c) {
+                                   return c.visited == *preferred_visited_;
+                                 });
+    if (it != candidates.end()) {
+      std::rotate(candidates.begin(), it, it + 1);
+    }
+  }
+  int attempts = 0;
+  for (const auto& candidate : candidates) {
+    if (attempts >= options_.max_attach_attempts) break;
+    // Conservative retry behaviour: once a network has been chosen (the
+    // sticky preferred one, or the first scanned), a rejection usually ends
+    // this wake's registration attempt instead of walking the PLMN list.
+    if (attempts > 0 && !rng_.bernoulli(options_.p_explore_after_failure)) break;
+    ++attempts;
+    if (!preferred_visited_) preferred_visited_ = candidate.visited;
+    std::optional<cellnet::Rat> rat = candidate.rat;
+    // The chain is 4G → 3G → 2G; locate() may bend the RAT per-sector, so a
+    // hard bound keeps the walk finite under any sector/hardware geometry.
+    int chain_steps = 0;
+    while (rat && chain_steps++ < 4) {
+      serving_ =
+          locate(ctx, NetworkChoice{candidate.visited, *rat, candidate.is_home_network});
+      const cellnet::Rat effective_rat = serving_.rat;  // may degrade per-sector
+      emm_.begin_attach(candidate.visited);
+      const auto auth_result = ctx.outcomes->evaluate(
+          *ctx.world, device_.home_operator, candidate.visited, effective_rat,
+          device_.capability, device_.sim_allowed_rats, device_.subscription_ok, rng_);
+      emit_signaling(ctx, now, signaling::Procedure::kAuthentication, auth_result,
+                     effective_rat, /*data_context=*/true);
+      auto next_step = emm_.on_attach_step_result(auth_result);
+      if (next_step) {
+        const auto update_result = ctx.outcomes->evaluate(
+            *ctx.world, device_.home_operator, candidate.visited, effective_rat,
+            device_.capability, device_.sim_allowed_rats, device_.subscription_ok, rng_);
+        emit_signaling(ctx, now, signaling::Procedure::kUpdateLocation, update_result,
+                       effective_rat, /*data_context=*/true);
+        emm_.on_attach_step_result(update_result);
+      }
+      if (emm_.attached()) {
+        dwell_since_ = now;
+        preferred_visited_ = candidate.visited;
+        last_attach_failed_ = false;
+        return true;
+      }
+      // RAT fallback on the same network (4G → 3G → 2G).
+      rat = ctx.selector->radio_fallback_rat(device_, candidate.visited, effective_rat);
+    }
+  }
+  serving_ = Serving{};
+  last_attach_failed_ = true;
+  return false;
+}
+
+void DeviceAgent::do_session(const AgentContext& ctx, SimTime now) {
+  assert(emm_.attached());
+  const auto& profile = device_.profile;
+
+  // Mobility-management chatter riding on the session.
+  const auto updates = stats::sample_poisson(rng_, profile.area_updates_per_session);
+  for (std::uint64_t i = 0; i < updates; ++i) {
+    const bool on_lte = serving_.rat == cellnet::Rat::kFourG;
+    const auto procedure = emm_.area_update(on_lte);
+    const auto result = ctx.outcomes->evaluate(
+        *ctx.world, device_.home_operator, serving_.visited, serving_.rat,
+        device_.capability, device_.sim_allowed_rats, device_.subscription_ok, rng_);
+    emit_signaling(ctx, now, procedure, result, serving_.rat, /*data_context=*/true);
+  }
+
+  const auto sim_plmn = ctx.world->operators().get(device_.home_operator).plmn;
+  const auto visited_plmn = ctx.world->operators().get(serving_.visited).plmn;
+
+  // Data usage.
+  if (device_.uses_data()) {
+    const double mean_session_bytes =
+        device_.bytes_per_day / std::max(0.05, device_.sessions_per_day);
+    const double noise = stats::sample_lognormal(rng_, -0.125, 0.5);  // mean ≈ 1
+    const auto bytes = static_cast<std::uint64_t>(
+        stats::clamped(mean_session_bytes * noise, 1.0, 1.0e11));
+    const double up_fraction = device_.profile.device_class == devices::DeviceClass::kM2M
+                                   ? options_.uplink_fraction_m2m
+                                   : options_.uplink_fraction_phone;
+    records::Xdr xdr;
+    xdr.device = device_.id;
+    xdr.time = now;
+    xdr.sim_plmn = sim_plmn;
+    xdr.visited_plmn = visited_plmn;
+    xdr.bytes_up = static_cast<std::uint64_t>(static_cast<double>(bytes) * up_fraction);
+    xdr.bytes_down = bytes - xdr.bytes_up;
+    xdr.apn = device_.apn.to_string();
+    xdr.rat = serving_.rat;
+    ctx.sink->on_xdr(xdr);
+  }
+
+  // Voice usage, thinned to the device's call rate.
+  if (device_.uses_voice()) {
+    const double p_call =
+        std::min(1.0, device_.calls_per_day / std::max(0.05, device_.sessions_per_day));
+    if (rng_.bernoulli(p_call)) {
+      records::Cdr cdr;
+      cdr.device = device_.id;
+      cdr.time = now;
+      cdr.sim_plmn = sim_plmn;
+      cdr.visited_plmn = visited_plmn;
+      cdr.duration_s = stats::sample_exponential(
+          rng_, 1.0 / std::max(1.0, device_.profile.call_seconds_mean));
+      // Voice rides the circuit-switched interface of the serving RAT; on
+      // LTE-only attachments it falls back (CSFB) to the best legacy RAT.
+      cdr.rat = serving_.rat == cellnet::Rat::kFourG
+                    ? (device_.capability.has(cellnet::Rat::kThreeG)
+                           ? cellnet::Rat::kThreeG
+                           : cellnet::Rat::kTwoG)
+                    : serving_.rat;
+      ctx.sink->on_cdr(cdr);
+      // The call itself needs radio resources: one CS signaling event.
+      emit_signaling(ctx, now, signaling::Procedure::kAttach, signaling::ResultCode::kOk,
+                     cdr.rat, /*data_context=*/false);
+    }
+  }
+}
+
+void DeviceAgent::finalize(SimTime now, const AgentContext& ctx) {
+  if (finalized_) return;
+  // The departure instant is the first second *outside* the active window;
+  // stamp the cleanup one tick earlier so the final detach (and dwell)
+  // lands on the device's last active day, not a phantom extra day.
+  const SimTime stamp = std::min(now, departure_time() - 1);
+  flush_dwell(ctx, stamp);
+  if (emm_.attached()) {
+    const auto rat = serving_.rat;
+    emm_.detach();
+    emit_signaling(ctx, stamp, signaling::Procedure::kDetach, signaling::ResultCode::kOk,
+                   rat, /*data_context=*/true);
+  }
+  finalized_ = true;
+}
+
+std::optional<SimTime> DeviceAgent::on_wake(SimTime now, const AgentContext& ctx) {
+  assert(ctx.world && ctx.selector && ctx.outcomes && ctx.sink);
+  if (finalized_) return std::nullopt;
+  if (now >= departure_time()) {
+    finalize(now, ctx);
+    return std::nullopt;
+  }
+
+  // Dwell at the previous location accrues until this wake.
+  flush_dwell(ctx, now);
+
+  const std::string country_before = device_.current_country;
+  advance_position(device_, static_cast<double>(now - last_wake_), options_.corridor,
+                   rng_);
+  last_wake_ = now;
+  const bool crossed_border = device_.current_country != country_before;
+  if (crossed_border) preferred_visited_.reset();
+
+  // Reselection: border crossings force it; roamers churn with the
+  // profile's switch propensity (§3.3's inter-VMNO switch distribution).
+  if (emm_.attached()) {
+    const bool roaming_switch =
+        !serving_.is_home && rng_.bernoulli(device_.profile.p_vmno_switch);
+    if (crossed_border || roaming_switch) {
+      const auto old_visited = serving_.visited;
+      emm_.cancel_location();
+      emit_signaling(ctx, now, signaling::Procedure::kCancelLocation,
+                     signaling::ResultCode::kOk, serving_.rat, /*data_context=*/true);
+      try_attach(ctx, now, crossed_border ? std::nullopt
+                                          : std::optional<topology::OperatorId>{old_visited});
+    } else {
+      // Position may have moved within the same network: refresh the sector.
+      serving_ = locate(ctx, NetworkChoice{serving_.visited, serving_.rat,
+                                           serving_.is_home});
+    }
+  } else {
+    try_attach(ctx, now, std::nullopt);
+  }
+
+  if (emm_.attached()) {
+    do_session(ctx, now);
+    if (rng_.bernoulli(device_.profile.p_detach_after_session)) {
+      flush_dwell(ctx, now);
+      const auto rat = serving_.rat;
+      emm_.detach();
+      emit_signaling(ctx, now, signaling::Procedure::kDetach,
+                     signaling::ResultCode::kOk, rat, /*data_context=*/true);
+    }
+  }
+
+  const auto next = schedule_next(now);
+  if (next && *next >= departure_time()) {
+    // The next beat would fall outside the active window: one last event at
+    // the departure instant cleans up (detach + final dwell).
+    return departure_time();
+  }
+  return next;
+}
+
+}  // namespace wtr::sim

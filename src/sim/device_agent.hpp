@@ -1,0 +1,132 @@
+#pragma once
+
+// DeviceAgent: the per-device behaviour process. On every wake it advances
+// mobility, maintains its attachment (attach / reselect / fall back across
+// RATs, emitting the exact signaling the paper's probes would capture),
+// generates service usage (CDRs/xDRs), and schedules its next wake from its
+// session-intensity process. Failed attach attempts reschedule aggressively,
+// which is what produces the signaling-flood tail of Fig. 3-left.
+
+#include <optional>
+
+#include "devices/device.hpp"
+#include "records/cdr.hpp"
+#include "records/xdr.hpp"
+#include "signaling/emm_state.hpp"
+#include "signaling/outcome_policy.hpp"
+#include "sim/mobility.hpp"
+#include "sim/network_selection.hpp"
+#include "stats/rng.hpp"
+
+namespace wtr::sim {
+
+/// Streaming consumer of simulation output. Implementations aggregate in
+/// place (catalog builders, platform-stat accumulators) or buffer raw rows
+/// (trace exporters). Default no-ops let consumers subscribe selectively.
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+
+  /// `data_context` tells which radio interface family the event rides on.
+  virtual void on_signaling(const signaling::SignalingTransaction& txn,
+                            bool data_context) {
+    (void)txn;
+    (void)data_context;
+  }
+  virtual void on_cdr(const records::Cdr& cdr) { (void)cdr; }
+  virtual void on_xdr(const records::Xdr& xdr) { (void)xdr; }
+  /// Time spent attached at a location within a single day (already split
+  /// on day boundaries). Basis of the centroid/gyration metrics. Carries
+  /// the visited network so observers can keep only their own sectors.
+  virtual void on_dwell(signaling::DeviceHash device, std::int32_t day,
+                        cellnet::Plmn visited_plmn, const cellnet::GeoPoint& location,
+                        double seconds) {
+    (void)device;
+    (void)day;
+    (void)visited_plmn;
+    (void)location;
+    (void)seconds;
+  }
+};
+
+/// Shared (per-engine) context handed to agents on every wake.
+struct AgentContext {
+  const topology::World* world = nullptr;
+  const NetworkSelector* selector = nullptr;
+  const signaling::OutcomePolicy* outcomes = nullptr;
+  RecordSink* sink = nullptr;
+};
+
+struct AgentOptions {
+  TravelCorridor corridor;       // long-haul destinations
+  int max_attach_attempts = 3;   // networks tried per wake before giving up
+  double retry_rate_boost = 15.0;  // wake-rate multiplier while unattached
+  /// After the (sticky) primary network rejects the device, probability of
+  /// trying further networks this wake rather than backing off. Real UE
+  /// firmware retries its stored PLMN list conservatively; this is what
+  /// keeps even pure-failure devices from spraying across every VMNO.
+  double p_explore_after_failure = 0.25;
+  double uplink_fraction_m2m = 0.70;   // M2M traffic is uplink-heavy
+  double uplink_fraction_phone = 0.25;
+};
+
+class DeviceAgent {
+ public:
+  DeviceAgent(devices::Device device, AgentOptions options, stats::Rng rng);
+
+  /// First wake time (within the device's arrival day), or nullopt for a
+  /// device whose active window is empty.
+  [[nodiscard]] std::optional<stats::SimTime> first_wake();
+
+  /// Handle a wake at `now`; returns the next wake time, or nullopt when
+  /// the device is done for the simulation.
+  std::optional<stats::SimTime> on_wake(stats::SimTime now, const AgentContext& ctx);
+
+  [[nodiscard]] const devices::Device& device() const noexcept { return device_; }
+  [[nodiscard]] const signaling::EmmStateMachine& emm() const noexcept { return emm_; }
+
+ private:
+  struct Serving {
+    topology::OperatorId visited = topology::kInvalidOperator;
+    cellnet::Rat rat = cellnet::Rat::kTwoG;
+    cellnet::SectorId sector = 0;
+    cellnet::GeoPoint location{};
+    bool is_home = false;
+  };
+
+  [[nodiscard]] stats::SimTime departure_time() const noexcept;
+  [[nodiscard]] std::optional<stats::SimTime> schedule_next(stats::SimTime now);
+  void finalize(stats::SimTime now, const AgentContext& ctx);
+
+  /// Locate the serving sector / position for an attachment.
+  [[nodiscard]] Serving locate(const AgentContext& ctx, const NetworkChoice& choice) const;
+
+  void emit_signaling(const AgentContext& ctx, stats::SimTime now,
+                      signaling::Procedure procedure, signaling::ResultCode result,
+                      cellnet::Rat rat, bool data_context);
+  void flush_dwell(const AgentContext& ctx, stats::SimTime now);
+
+  /// Try to attach somewhere; emits all attempt signaling. Returns true on
+  /// success (serving_ becomes valid).
+  bool try_attach(const AgentContext& ctx, stats::SimTime now,
+                  std::optional<topology::OperatorId> exclude);
+
+  void do_session(const AgentContext& ctx, stats::SimTime now);
+
+  devices::Device device_;
+  AgentOptions options_;
+  stats::Rng rng_;
+  signaling::EmmStateMachine emm_;
+  Serving serving_{};
+  /// Last successfully used network: real devices are sticky — they camp on
+  /// the network that worked until steering, failure or a border crossing
+  /// forces a change. This is what keeps 65% of roaming devices on a single
+  /// VMNO (Fig. 3-center) despite many attach cycles.
+  std::optional<topology::OperatorId> preferred_visited_;
+  stats::SimTime last_wake_ = 0;
+  stats::SimTime dwell_since_ = 0;
+  bool last_attach_failed_ = false;  // drives the retry-rate boost
+  bool finalized_ = false;
+};
+
+}  // namespace wtr::sim

@@ -1,0 +1,61 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wtr::sim {
+
+Engine::Engine(const topology::World& world, Config config)
+    : world_(world),
+      config_(config),
+      selector_(world),
+      outcomes_(config.outcomes),
+      rng_(config.seed) {}
+
+void Engine::add_fleet(std::vector<devices::Device> fleet, AgentOptions options) {
+  assert(!ran_);
+  agents_.reserve(agents_.size() + fleet.size());
+  for (auto& device : fleet) {
+    // Clamp the device's window to the engine horizon.
+    device.departure_day = std::min(device.departure_day, config_.horizon_days);
+    auto agent = std::make_unique<DeviceAgent>(std::move(device), options,
+                                               rng_.fork(agents_.size() + 1));
+    if (const auto first = agent->first_wake()) {
+      queue_.schedule(*first, static_cast<AgentIndex>(agents_.size()));
+      agents_.push_back(std::move(agent));
+    }
+  }
+}
+
+void Engine::run(std::vector<RecordSink*> sinks) {
+  assert(!ran_);
+  ran_ = true;
+
+  MultiSink fanout;
+  for (auto* sink : sinks) fanout.add(sink);
+
+  AgentContext ctx;
+  ctx.world = &world_;
+  ctx.selector = &selector_;
+  ctx.outcomes = &outcomes_;
+  ctx.sink = &fanout;
+
+  const stats::SimTime horizon_end = stats::day_start(config_.horizon_days);
+  while (!queue_.empty()) {
+    const Event event = queue_.pop();
+    if (event.time > horizon_end) break;
+    ++wakes_;
+    if (const char* dbg = ::getenv("WTR_DEBUG_WAKES"); dbg && wakes_ % 2'000'000 == 0) {
+      std::fprintf(stderr, "[engine] wakes=%llu t=%lld agent=%u queue=%zu\n",
+                   (unsigned long long)wakes_, (long long)event.time, event.agent,
+                   queue_.size());
+    }
+    auto& agent = *agents_[event.agent];
+    if (const auto next = agent.on_wake(event.time, ctx)) {
+      queue_.schedule(*next, event.agent);
+    }
+  }
+}
+
+}  // namespace wtr::sim

@@ -1,0 +1,85 @@
+#pragma once
+
+// The simulation engine: owns the agents and the event queue, fans records
+// out to the registered sinks, and runs the clock from day 0 to the horizon.
+// Deterministic: (world seed, engine seed, fleet composition) fixes the
+// entire output.
+
+#include <memory>
+#include <vector>
+
+#include "signaling/outcome_policy.hpp"
+#include "sim/device_agent.hpp"
+#include "sim/event_queue.hpp"
+
+namespace wtr::sim {
+
+/// Fan-out sink: forwards every record to each registered consumer.
+class MultiSink final : public RecordSink {
+ public:
+  void add(RecordSink* sink) { sinks_.push_back(sink); }
+
+  void on_signaling(const signaling::SignalingTransaction& txn,
+                    bool data_context) override {
+    for (auto* sink : sinks_) sink->on_signaling(txn, data_context);
+  }
+  void on_cdr(const records::Cdr& cdr) override {
+    for (auto* sink : sinks_) sink->on_cdr(cdr);
+  }
+  void on_xdr(const records::Xdr& xdr) override {
+    for (auto* sink : sinks_) sink->on_xdr(xdr);
+  }
+  void on_dwell(signaling::DeviceHash device, std::int32_t day,
+                cellnet::Plmn visited_plmn, const cellnet::GeoPoint& location,
+                double seconds) override {
+    for (auto* sink : sinks_) {
+      sink->on_dwell(device, day, visited_plmn, location, seconds);
+    }
+  }
+
+ private:
+  std::vector<RecordSink*> sinks_;
+};
+
+class Engine {
+ public:
+  struct Config {
+    std::uint64_t seed = 7;
+    std::int32_t horizon_days = 22;
+    signaling::OutcomePolicyConfig outcomes{};
+  };
+
+  Engine(const topology::World& world, Config config);
+
+  /// Add a fleet of devices, all sharing the same agent options. Devices
+  /// whose active window is empty are dropped silently.
+  void add_fleet(std::vector<devices::Device> fleet, AgentOptions options);
+
+  /// Number of agents registered.
+  [[nodiscard]] std::size_t agent_count() const noexcept { return agents_.size(); }
+
+  /// Read access to an agent's device (e.g. ground truth for validation).
+  [[nodiscard]] const devices::Device& device(std::size_t index) const {
+    return agents_[index]->device();
+  }
+
+  /// Run to the horizon, delivering records to the sinks. May be called
+  /// once per engine.
+  void run(std::vector<RecordSink*> sinks);
+
+  /// Total wake events processed by the last run.
+  [[nodiscard]] std::uint64_t wakes_processed() const noexcept { return wakes_; }
+
+ private:
+  const topology::World& world_;
+  Config config_;
+  NetworkSelector selector_;
+  signaling::OutcomePolicy outcomes_;
+  stats::Rng rng_;
+  std::vector<std::unique_ptr<DeviceAgent>> agents_;
+  EventQueue queue_;
+  std::uint64_t wakes_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace wtr::sim

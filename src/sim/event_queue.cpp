@@ -1,0 +1,23 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace wtr::sim {
+
+void EventQueue::schedule(stats::SimTime time, AgentIndex agent) {
+  heap_.push(Event{time, next_seq_++, agent});
+}
+
+std::optional<stats::SimTime> EventQueue::next_time() const {
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().time;
+}
+
+Event EventQueue::pop() {
+  assert(!heap_.empty());
+  Event event = heap_.top();
+  heap_.pop();
+  return event;
+}
+
+}  // namespace wtr::sim

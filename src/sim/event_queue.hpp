@@ -1,0 +1,47 @@
+#pragma once
+
+// Discrete-event scheduler core: a min-heap of (time, sequence) keyed
+// events. Sequence numbers break ties deterministically so that identical
+// seeds replay identically regardless of heap implementation details.
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "stats/sim_time.hpp"
+
+namespace wtr::sim {
+
+using AgentIndex = std::uint32_t;
+
+struct Event {
+  stats::SimTime time = 0;
+  std::uint64_t seq = 0;  // global monotonic tie-breaker
+  AgentIndex agent = 0;
+};
+
+class EventQueue {
+ public:
+  void schedule(stats::SimTime time, AgentIndex agent);
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::optional<stats::SimTime> next_time() const;
+
+  /// Pop the earliest event; requires non-empty.
+  Event pop();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace wtr::sim

@@ -1,0 +1,90 @@
+#include "stats/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wtr::stats {
+
+double sample_standard_normal(Rng& rng) noexcept {
+  // Box-Muller; guard against log(0).
+  double u1 = rng.uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = rng.uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return r * std::cos(kTwoPi * u2);
+}
+
+double sample_exponential(Rng& rng, double rate) noexcept {
+  assert(rate > 0.0);
+  double u = rng.uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+std::uint64_t sample_poisson(Rng& rng, double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= rng.uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction.
+  const double x = mean + std::sqrt(mean) * sample_standard_normal(rng) + 0.5;
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x);
+}
+
+double sample_lognormal(Rng& rng, double mu, double sigma) noexcept {
+  return std::exp(mu + sigma * sample_standard_normal(rng));
+}
+
+double sample_pareto(Rng& rng, double x_min, double alpha) noexcept {
+  assert(x_min > 0.0 && alpha > 0.0);
+  double u = rng.uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return x_min / std::pow(u, 1.0 / alpha);
+}
+
+std::uint64_t sample_geometric(Rng& rng, double p) noexcept {
+  assert(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  double u = rng.uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  assert(n > 0);
+  std::vector<double> weights(n);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    weights[rank] = 1.0 / std::pow(static_cast<double>(rank + 1), exponent);
+  }
+  double total = 0.0;
+  for (double w : weights) total += w;
+  pmf_.resize(n);
+  for (std::size_t rank = 0; rank < n; ++rank) pmf_[rank] = weights[rank] / total;
+  sampler_ = DiscreteSampler{weights};
+}
+
+double ZipfSampler::pmf(std::size_t rank) const noexcept {
+  assert(rank < pmf_.size());
+  return pmf_[rank];
+}
+
+double LogNormalMixture::sample(Rng& rng) const noexcept {
+  if (rng.bernoulli(weight_tail)) {
+    return sample_lognormal(rng, tail_mu, tail_sigma);
+  }
+  return sample_lognormal(rng, bulk_mu, bulk_sigma);
+}
+
+double clamped(double value, double lo, double hi) noexcept {
+  return std::min(std::max(value, lo), hi);
+}
+
+}  // namespace wtr::stats

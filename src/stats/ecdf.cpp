@@ -1,0 +1,92 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace wtr::stats {
+
+Ecdf::Ecdf(std::vector<double> samples) : samples_(std::move(samples)), sorted_(false) {
+  ensure_sorted();
+}
+
+void Ecdf::add(double value) {
+  samples_.push_back(value);
+  sorted_ = false;
+}
+
+void Ecdf::add_count(double value, std::size_t count) {
+  samples_.insert(samples_.end(), count, value);
+  sorted_ = false;
+}
+
+void Ecdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Ecdf::fraction_at_most(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(std::distance(samples_.begin(), it)) /
+         static_cast<double>(samples_.size());
+}
+
+double Ecdf::fraction_above(double x) const { return 1.0 - fraction_at_most(x); }
+
+double Ecdf::quantile(double q) const {
+  assert(!samples_.empty());
+  ensure_sorted();
+  const double clamped_q = std::min(std::max(q, 0.0), 1.0);
+  if (samples_.size() == 1) return samples_.front();
+  const double pos = clamped_q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+}
+
+double Ecdf::min() const {
+  assert(!samples_.empty());
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Ecdf::max() const {
+  assert(!samples_.empty());
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Ecdf::mean() const {
+  assert(!samples_.empty());
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<double> Ecdf::evaluate(std::span<const double> points) const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (double p : points) out.push_back(fraction_at_most(p));
+  return out;
+}
+
+const std::vector<double>& Ecdf::sorted_samples() const {
+  ensure_sorted();
+  return samples_;
+}
+
+std::string Ecdf::describe() const {
+  if (samples_.empty()) return "(empty)";
+  std::ostringstream os;
+  os << "n=" << samples_.size() << " mean=" << mean() << " p50=" << quantile(0.5)
+     << " p90=" << quantile(0.9) << " p99=" << quantile(0.99) << " max=" << max();
+  return os.str();
+}
+
+}  // namespace wtr::stats

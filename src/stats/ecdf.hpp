@@ -1,0 +1,64 @@
+#pragma once
+
+// Empirical CDFs are the paper's main reporting device (Figs. 3, 7, 8, 10,
+// 11, 12 are all ECDF panels). Ecdf collects samples and answers both
+// directions: F(x) and the quantile function.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wtr::stats {
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::vector<double> samples);
+
+  void add(double value);
+  void add_count(double value, std::size_t count);
+
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+
+  /// Fraction of samples <= x, in [0, 1]. Returns 0 for an empty ECDF.
+  [[nodiscard]] double fraction_at_most(double x) const;
+
+  /// Fraction of samples strictly greater than x.
+  [[nodiscard]] double fraction_above(double x) const;
+
+  /// q-quantile with linear interpolation, q in [0, 1]. Requires non-empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+
+  /// Evaluate F at each point (for plotting a series alongside the paper's
+  /// figures).
+  [[nodiscard]] std::vector<double> evaluate(std::span<const double> points) const;
+
+  /// The sorted sample vector (useful for exporting full curves).
+  [[nodiscard]] const std::vector<double>& sorted_samples() const;
+
+  /// Render "p50=... p90=... p99=..." style one-line summary.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Convenience: build an ECDF over a projection of a range.
+template <typename Range, typename Projection>
+Ecdf make_ecdf(const Range& range, Projection projection) {
+  Ecdf ecdf;
+  for (const auto& item : range) ecdf.add(static_cast<double>(projection(item)));
+  return ecdf;
+}
+
+}  // namespace wtr::stats

@@ -1,0 +1,76 @@
+#include "stats/heatmap.hpp"
+
+#include <algorithm>
+
+namespace wtr::stats {
+
+void Heatmap::add(const std::string& row, const std::string& col, std::uint64_t count) {
+  cells_[row][col] += count;
+  row_totals_[row] += count;
+  col_totals_[col] += count;
+  total_ += count;
+}
+
+std::uint64_t Heatmap::at(const std::string& row, const std::string& col) const {
+  const auto row_it = cells_.find(row);
+  if (row_it == cells_.end()) return 0;
+  const auto col_it = row_it->second.find(col);
+  return col_it == row_it->second.end() ? 0 : col_it->second;
+}
+
+std::uint64_t Heatmap::row_total(const std::string& row) const {
+  const auto it = row_totals_.find(row);
+  return it == row_totals_.end() ? 0 : it->second;
+}
+
+std::uint64_t Heatmap::col_total(const std::string& col) const {
+  const auto it = col_totals_.find(col);
+  return it == col_totals_.end() ? 0 : it->second;
+}
+
+double Heatmap::row_share(const std::string& row, const std::string& col) const {
+  const std::uint64_t rt = row_total(row);
+  return rt == 0 ? 0.0 : static_cast<double>(at(row, col)) / static_cast<double>(rt);
+}
+
+double Heatmap::col_share(const std::string& row, const std::string& col) const {
+  const std::uint64_t ct = col_total(col);
+  return ct == 0 ? 0.0 : static_cast<double>(at(row, col)) / static_cast<double>(ct);
+}
+
+double Heatmap::global_share(const std::string& row, const std::string& col) const {
+  return total_ == 0 ? 0.0 : static_cast<double>(at(row, col)) / static_cast<double>(total_);
+}
+
+namespace {
+std::vector<std::string> sorted_by_total(const std::map<std::string, std::uint64_t>& totals) {
+  std::vector<std::pair<std::string, std::uint64_t>> items(totals.begin(), totals.end());
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<std::string> labels;
+  labels.reserve(items.size());
+  for (const auto& [label, _] : items) labels.push_back(label);
+  return labels;
+}
+}  // namespace
+
+std::vector<std::string> Heatmap::rows_by_total() const { return sorted_by_total(row_totals_); }
+
+std::vector<std::string> Heatmap::cols_by_total() const { return sorted_by_total(col_totals_); }
+
+Heatmap Heatmap::with_minor_cols_grouped(double threshold, const std::string& other_label) const {
+  Heatmap out;
+  for (const auto& [row, cols] : cells_) {
+    for (const auto& [col, count] : cols) {
+      const double share =
+          total_ == 0 ? 0.0
+                      : static_cast<double>(col_total(col)) / static_cast<double>(total_);
+      out.add(row, share < threshold ? other_label : col, count);
+    }
+  }
+  return out;
+}
+
+}  // namespace wtr::stats

@@ -1,0 +1,44 @@
+#pragma once
+
+// Labeled 2D count tables with row/column normalization. Figures 2, 5-bottom
+// and 6 in the paper are exactly this shape: categories on both axes,
+// normalized per row or per column.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wtr::stats {
+
+class Heatmap {
+ public:
+  void add(const std::string& row, const std::string& col, std::uint64_t count = 1);
+
+  [[nodiscard]] std::uint64_t at(const std::string& row, const std::string& col) const;
+  [[nodiscard]] std::uint64_t row_total(const std::string& row) const;
+  [[nodiscard]] std::uint64_t col_total(const std::string& col) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Cell value as a fraction of its row / column / grand total.
+  [[nodiscard]] double row_share(const std::string& row, const std::string& col) const;
+  [[nodiscard]] double col_share(const std::string& row, const std::string& col) const;
+  [[nodiscard]] double global_share(const std::string& row, const std::string& col) const;
+
+  /// Labels sorted by descending marginal total (ties by label).
+  [[nodiscard]] std::vector<std::string> rows_by_total() const;
+  [[nodiscard]] std::vector<std::string> cols_by_total() const;
+
+  /// Collapse every column whose global share is below `threshold` into a
+  /// single "Other" column (the paper's Fig. 2 groups countries under 0.1%).
+  [[nodiscard]] Heatmap with_minor_cols_grouped(double threshold,
+                                                const std::string& other_label) const;
+
+ private:
+  std::map<std::string, std::map<std::string, std::uint64_t>> cells_;
+  std::map<std::string, std::uint64_t> row_totals_;
+  std::map<std::string, std::uint64_t> col_totals_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace wtr::stats

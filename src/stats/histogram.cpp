@@ -1,0 +1,94 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wtr::stats {
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void LinearHistogram::add(double value, std::uint64_t count) {
+  total_ += count;
+  if (value < lo_) {
+    underflow_ += count;
+    return;
+  }
+  if (value >= hi_) {
+    overflow_ += count;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((value - lo_) / width_);
+  bin = std::min(bin, counts_.size() - 1);
+  counts_[bin] += count;
+}
+
+double LinearHistogram::bin_lower(std::size_t bin) const {
+  assert(bin < counts_.size());
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double LinearHistogram::bin_upper(std::size_t bin) const {
+  assert(bin < counts_.size());
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+std::uint64_t LinearHistogram::bin_value(std::size_t bin) const {
+  assert(bin < counts_.size());
+  return counts_[bin];
+}
+
+LogHistogram::LogHistogram(std::size_t max_exponent) : counts_(max_exponent + 1, 0) {}
+
+void LogHistogram::add(double value, std::uint64_t count) {
+  total_ += count;
+  if (value < 1.0) {
+    zero_ += count;
+    return;
+  }
+  auto exponent = static_cast<std::size_t>(std::floor(std::log2(value)));
+  exponent = std::min(exponent, counts_.size() - 1);
+  counts_[exponent] += count;
+}
+
+std::uint64_t LogHistogram::bin_value(std::size_t exponent) const {
+  assert(exponent < counts_.size());
+  return counts_[exponent];
+}
+
+void CategoryCounter::add(const std::string& key, std::uint64_t count) {
+  counts_[key] += count;
+  total_ += count;
+}
+
+std::uint64_t CategoryCounter::count(const std::string& key) const {
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double CategoryCounter::share(const std::string& key) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(key)) / static_cast<double>(total_);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> CategoryCounter::sorted() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out(counts_.begin(), counts_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+double CategoryCounter::top_k_share(std::size_t k) const {
+  if (total_ == 0) return 0.0;
+  const auto ranked = sorted();
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < std::min(k, ranked.size()); ++i) sum += ranked[i].second;
+  return static_cast<double>(sum) / static_cast<double>(total_);
+}
+
+}  // namespace wtr::stats

@@ -1,0 +1,80 @@
+#pragma once
+
+// Linear- and log-binned histograms used by the figure harnesses to print
+// distribution shapes, plus a categorical counter used everywhere the paper
+// reports shares ("26% m2m", "top-20 countries hold 93%").
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wtr::stats {
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range samples land in
+/// the underflow/overflow counters.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double value, std::uint64_t count = 1);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_lower(std::size_t bin) const;
+  [[nodiscard]] double bin_upper(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t bin_value(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Log2-binned histogram for heavy-tailed counts (signaling records/device).
+/// Bin k covers [2^k, 2^(k+1)); values < 1 go to a dedicated zero bin.
+class LogHistogram {
+ public:
+  explicit LogHistogram(std::size_t max_exponent = 40);
+
+  void add(double value, std::uint64_t count = 1);
+
+  [[nodiscard]] std::uint64_t zero_bin() const noexcept { return zero_; }
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_value(std::size_t exponent) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t zero_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Counter over string categories with share computation, sorted output.
+class CategoryCounter {
+ public:
+  void add(const std::string& key, std::uint64_t count = 1);
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t count(const std::string& key) const;
+  [[nodiscard]] double share(const std::string& key) const;
+  [[nodiscard]] std::size_t distinct() const noexcept { return counts_.size(); }
+
+  /// Categories sorted by descending count (ties by key for determinism).
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> sorted() const;
+
+  /// Combined share of the top-k categories.
+  [[nodiscard]] double top_k_share(std::size_t k) const;
+
+ private:
+  std::map<std::string, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace wtr::stats

@@ -1,0 +1,120 @@
+#include "stats/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wtr::stats {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return splitmix64(s);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  assert(n > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    const std::uint64_t t = -n % n;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) noexcept {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) noexcept {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += std::max(0.0, w);
+  assert(total > 0.0);
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= std::max(0.0, weights[i]);
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork(std::uint64_t tag) const noexcept {
+  const std::uint64_t material =
+      mix64(mix64(state_[0], state_[2]), mix64(state_[1] ^ tag, state_[3]));
+  return Rng{material};
+}
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  assert(!weights.empty());
+  cdf_.reserve(weights.size());
+  double running = 0.0;
+  for (double w : weights) {
+    running += std::max(0.0, w);
+    cdf_.push_back(running);
+  }
+  assert(running > 0.0);
+  for (double& c : cdf_) c /= running;
+  cdf_.back() = 1.0;
+}
+
+std::size_t DiscreteSampler::sample(Rng& rng) const noexcept {
+  assert(!cdf_.empty());
+  const double x = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), x);
+  return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+}
+
+}  // namespace wtr::stats

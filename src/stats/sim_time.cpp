@@ -1,0 +1,47 @@
+#include "stats/sim_time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wtr::stats {
+
+std::int32_t day_of(SimTime t) noexcept {
+  SimTime d = t / kSecondsPerDay;
+  if (t < 0 && t % kSecondsPerDay != 0) --d;
+  return static_cast<std::int32_t>(d);
+}
+
+double hour_of_day(SimTime t) noexcept {
+  const SimTime day = day_start(day_of(t));
+  return static_cast<double>(t - day) / static_cast<double>(kSecondsPerHour);
+}
+
+SimTime day_start(std::int32_t day) noexcept {
+  return static_cast<SimTime>(day) * kSecondsPerDay;
+}
+
+std::string format_sim_time(SimTime t) {
+  const std::int32_t day = day_of(t);
+  const SimTime rem = t - day_start(day);
+  const int h = static_cast<int>(rem / kSecondsPerHour);
+  const int m = static_cast<int>((rem % kSecondsPerHour) / kSecondsPerMinute);
+  const int s = static_cast<int>(rem % kSecondsPerMinute);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "d%02d %02d:%02d:%02d", day, h, m, s);
+  return buf;
+}
+
+double diurnal_weight(SimTime t, double floor) noexcept {
+  constexpr double kPi = 3.14159265358979323846;
+  const double h = hour_of_day(t);
+  // Cosine trough at 04:00, peak at 16:00-20:00; a second harmonic skews
+  // the peak toward the evening.
+  const double base = 0.5 * (1.0 - std::cos((h - 4.0) / 24.0 * 2.0 * kPi));
+  const double skew = 0.15 * std::sin((h - 10.0) / 24.0 * 4.0 * kPi);
+  double w = base + skew;
+  if (w < 0.0) w = 0.0;
+  if (w > 1.0) w = 1.0;
+  return floor + (1.0 - floor) * w;
+}
+
+}  // namespace wtr::stats

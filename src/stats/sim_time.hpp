@@ -1,0 +1,39 @@
+#pragma once
+
+// Simulation time. Scenarios run over an epoch measured in seconds; the
+// paper's analyses aggregate per day ("active days", "per-day label
+// shares"), so day arithmetic and a diurnal activity modulation live here.
+
+#include <cstdint>
+#include <string>
+
+namespace wtr::stats {
+
+/// Seconds since the scenario epoch (t=0 is midnight of day 0).
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSecondsPerMinute = 60;
+inline constexpr SimTime kSecondsPerHour = 3600;
+inline constexpr SimTime kSecondsPerDay = 86400;
+
+/// Day index (0-based) containing the instant. Negative times map to
+/// negative day indices (floor division).
+[[nodiscard]] std::int32_t day_of(SimTime t) noexcept;
+
+/// Hour-of-day in [0, 24).
+[[nodiscard]] double hour_of_day(SimTime t) noexcept;
+
+/// Start of a given day.
+[[nodiscard]] SimTime day_start(std::int32_t day) noexcept;
+
+/// "d03 07:15:42" style rendering for logs and trace dumps.
+[[nodiscard]] std::string format_sim_time(SimTime t);
+
+/// Smooth diurnal weight in [floor, 1]: peaks in the evening (~20h), lowest
+/// around 4am — the human-traffic shape. `floor` is the night-time fraction
+/// of peak activity. M2M traffic famously lacks this modulation, which is
+/// one of the separating features noted by the paper (§1, citing Shafiq et
+/// al.); device profiles pick their own floor.
+[[nodiscard]] double diurnal_weight(SimTime t, double floor) noexcept;
+
+}  // namespace wtr::stats

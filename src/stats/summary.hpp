@@ -1,0 +1,37 @@
+#pragma once
+
+// Streaming summary statistics (Welford's online algorithm) — used where a
+// full sample vector is unnecessary (per-day aggregates across millions of
+// records).
+
+#include <cstdint>
+#include <string>
+
+namespace wtr::stats {
+
+class Summary {
+ public:
+  void add(double value) noexcept;
+  void merge(const Summary& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept;
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace wtr::stats

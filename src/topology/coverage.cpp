@@ -1,0 +1,37 @@
+#include "topology/coverage.hpp"
+
+#include <cassert>
+
+namespace wtr::topology {
+
+void CoverageMap::build_grid(const Operator& op, cellnet::GeoPoint anchor,
+                             const GridPlan& plan, std::uint64_t seed) {
+  assert(op.kind == OperatorKind::kMno);
+  cellnet::SectorGrid::Config config;
+  config.operator_plmn = op.plmn;
+  config.anchor = anchor;
+  config.cols = plan.cols;
+  config.rows = plan.rows;
+  config.spacing_m = plan.spacing_m;
+  config.seed = seed;
+  config.share_4g = op.deployed_rats.has(cellnet::Rat::kFourG) ? plan.share_4g : 0.0;
+  config.share_3g = op.deployed_rats.has(cellnet::Rat::kThreeG) ? plan.share_3g : 0.0;
+  config.share_2g = op.deployed_rats.has(cellnet::Rat::kTwoG) ? plan.share_2g : 0.0;
+  config.share_nbiot =
+      op.deployed_rats.has(cellnet::Rat::kNbIot) ? plan.share_nbiot : 0.0;
+  grids_.insert_or_assign(op.id, cellnet::SectorGrid{config});
+}
+
+const cellnet::SectorGrid& CoverageMap::grid(OperatorId id) const {
+  const auto it = grids_.find(id);
+  assert(it != grids_.end());
+  return it->second;
+}
+
+std::size_t CoverageMap::total_sectors() const {
+  std::size_t total = 0;
+  for (const auto& [_, grid] : grids_) total += grid.size();
+  return total;
+}
+
+}  // namespace wtr::topology

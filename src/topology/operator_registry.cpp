@@ -1,0 +1,67 @@
+#include "topology/operator_registry.hpp"
+
+#include <cassert>
+
+namespace wtr::topology {
+
+OperatorId OperatorRegistry::add_mno(cellnet::Plmn plmn, std::string name,
+                                     std::string country_iso,
+                                     cellnet::RatMask deployed_rats) {
+  assert(plmn.valid());
+  assert(!by_plmn_.contains(plmn));
+  Operator op;
+  op.id = static_cast<OperatorId>(operators_.size());
+  op.plmn = plmn;
+  op.name = std::move(name);
+  op.country_iso = std::move(country_iso);
+  op.kind = OperatorKind::kMno;
+  op.deployed_rats = deployed_rats;
+  by_plmn_.emplace(plmn, op.id);
+  operators_.push_back(std::move(op));
+  return operators_.back().id;
+}
+
+OperatorId OperatorRegistry::add_mvno(cellnet::Plmn plmn, std::string name,
+                                      OperatorId host) {
+  assert(plmn.valid());
+  assert(!by_plmn_.contains(plmn));
+  const Operator& host_op = get(host);
+  assert(host_op.kind == OperatorKind::kMno);
+  Operator op;
+  op.id = static_cast<OperatorId>(operators_.size());
+  op.plmn = plmn;
+  op.name = std::move(name);
+  op.country_iso = host_op.country_iso;
+  op.kind = OperatorKind::kMvno;
+  op.host = host;
+  op.deployed_rats = host_op.deployed_rats;
+  by_plmn_.emplace(plmn, op.id);
+  operators_.push_back(std::move(op));
+  return operators_.back().id;
+}
+
+const Operator& OperatorRegistry::get(OperatorId id) const {
+  assert(static_cast<std::size_t>(id) < operators_.size());
+  return operators_[id];
+}
+
+std::optional<OperatorId> OperatorRegistry::by_plmn(cellnet::Plmn plmn) const {
+  const auto it = by_plmn_.find(plmn);
+  if (it == by_plmn_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<OperatorId> OperatorRegistry::mnos_in_country(std::string_view iso) const {
+  std::vector<OperatorId> out;
+  for (const auto& op : operators_) {
+    if (op.kind == OperatorKind::kMno && op.country_iso == iso) out.push_back(op.id);
+  }
+  return out;
+}
+
+OperatorId OperatorRegistry::radio_network_of(OperatorId id) const {
+  const Operator& op = get(id);
+  return op.kind == OperatorKind::kMvno ? op.host : op.id;
+}
+
+}  // namespace wtr::topology

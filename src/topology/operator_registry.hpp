@@ -1,0 +1,62 @@
+#pragma once
+
+// Registry of mobile operators: MNOs with their own radio network and PLMN,
+// and MVNOs that ride a host MNO's network under their own PLMN. The MNO
+// dataset's roaming labels (§4.2) distinguish home / virtual / national /
+// international SIMs — all of which are relations between entries here.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cellnet/plmn.hpp"
+#include "cellnet/rat.hpp"
+
+namespace wtr::topology {
+
+using OperatorId = std::uint32_t;
+inline constexpr OperatorId kInvalidOperator = ~OperatorId{0};
+
+enum class OperatorKind : std::uint8_t { kMno, kMvno };
+
+struct Operator {
+  OperatorId id = kInvalidOperator;
+  cellnet::Plmn plmn{};
+  std::string name;
+  std::string country_iso;  // ISO alpha-2 of the home country
+  OperatorKind kind = OperatorKind::kMno;
+  OperatorId host = kInvalidOperator;  // hosting MNO, for MVNOs
+  cellnet::RatMask deployed_rats{};    // technologies on the radio network
+};
+
+class OperatorRegistry {
+ public:
+  /// Register a facilities-based MNO. PLMN must be unique.
+  OperatorId add_mno(cellnet::Plmn plmn, std::string name, std::string country_iso,
+                     cellnet::RatMask deployed_rats);
+
+  /// Register an MVNO hosted on an existing MNO (same country; inherits the
+  /// host's radio network).
+  OperatorId add_mvno(cellnet::Plmn plmn, std::string name, OperatorId host);
+
+  [[nodiscard]] const Operator& get(OperatorId id) const;
+  [[nodiscard]] std::optional<OperatorId> by_plmn(cellnet::Plmn plmn) const;
+  [[nodiscard]] std::size_t size() const noexcept { return operators_.size(); }
+  [[nodiscard]] const std::vector<Operator>& all() const noexcept { return operators_; }
+
+  /// MNOs (not MVNOs) whose home country matches.
+  [[nodiscard]] std::vector<OperatorId> mnos_in_country(std::string_view iso) const;
+
+  /// The MNO whose radio network an operator's customers use at home:
+  /// itself for an MNO, the host for an MVNO.
+  [[nodiscard]] OperatorId radio_network_of(OperatorId id) const;
+
+ private:
+  std::vector<Operator> operators_;
+  std::unordered_map<cellnet::Plmn, OperatorId> by_plmn_;
+};
+
+}  // namespace wtr::topology

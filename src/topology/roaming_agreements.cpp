@@ -1,0 +1,55 @@
+#include "topology/roaming_agreements.hpp"
+
+#include <algorithm>
+
+namespace wtr::topology {
+
+std::string_view breakout_name(BreakoutType type) noexcept {
+  switch (type) {
+    case BreakoutType::kHomeRouted: return "home-routed";
+    case BreakoutType::kLocalBreakout: return "local-breakout";
+    case BreakoutType::kIpxHubBreakout: return "ipx-hub-breakout";
+  }
+  return "?";
+}
+
+void RoamingAgreementGraph::add(OperatorId home, OperatorId visited,
+                                AgreementTerms terms) {
+  const auto [it, inserted] = terms_.insert_or_assign(key(home, visited), terms);
+  (void)it;
+  if (inserted) {
+    auto& list = partners_[home];
+    if (std::find(list.begin(), list.end(), visited) == list.end()) {
+      list.push_back(visited);
+    }
+  }
+}
+
+void RoamingAgreementGraph::add_bilateral(OperatorId a, OperatorId b,
+                                          AgreementTerms terms) {
+  add(a, b, terms);
+  add(b, a, terms);
+}
+
+std::optional<AgreementTerms> RoamingAgreementGraph::find(OperatorId home,
+                                                          OperatorId visited) const {
+  const auto it = terms_.find(key(home, visited));
+  if (it == terms_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool RoamingAgreementGraph::allows(OperatorId home, OperatorId visited,
+                                   cellnet::Rat rat) const {
+  const auto terms = find(home, visited);
+  return terms && terms->allowed_rats.has(rat);
+}
+
+std::vector<OperatorId> RoamingAgreementGraph::partners_of(OperatorId home) const {
+  const auto it = partners_.find(home);
+  if (it == partners_.end()) return {};
+  auto out = it->second;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace wtr::topology

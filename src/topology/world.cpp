@@ -1,0 +1,199 @@
+#include "topology/world.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "cellnet/country.hpp"
+#include "stats/rng.hpp"
+
+namespace wtr::topology {
+
+namespace {
+
+bool contains(const std::vector<std::string>& haystack, std::string_view needle) {
+  return std::any_of(haystack.begin(), haystack.end(),
+                     [&](const std::string& s) { return s == needle; });
+}
+
+cellnet::RatMask full_rats() {
+  cellnet::RatMask rats;
+  rats.set(cellnet::Rat::kTwoG);
+  rats.set(cellnet::Rat::kThreeG);
+  rats.set(cellnet::Rat::kFourG);
+  return rats;
+}
+
+cellnet::RatMask no_2g_rats() {
+  cellnet::RatMask rats;
+  rats.set(cellnet::Rat::kThreeG);
+  rats.set(cellnet::Rat::kFourG);
+  return rats;
+}
+
+}  // namespace
+
+World World::build(const WorldConfig& config) {
+  World world;
+  world.config_ = config;
+  stats::Rng rng{config.seed};
+
+  // --- Operators: `mnos_per_country` MNOs per country, MNC = 01, 03, 05...
+  // A few well-known PLMNs are pinned so traces carry recognizable codes:
+  // the NL IoT provisioner is 204-04 (the paper's example APN decodes to
+  // mnc004.mcc204) and the ES HMNO is 214-07.
+  for (const auto& country : cellnet::all_countries()) {
+    const bool sunset_2g = contains(config.two_g_sunset_isos, country.iso);
+    const bool nbiot = contains(config.nbiot_isos, country.iso);
+    for (std::uint32_t i = 0; i < config.mnos_per_country; ++i) {
+      const auto mnc = static_cast<std::uint16_t>(1 + 2 * i);
+      const cellnet::Plmn plmn{country.mcc, mnc, 2};
+      const std::string name =
+          std::string(country.iso) + "-MNO" + std::to_string(i + 1);
+      auto rats = sunset_2g ? no_2g_rats() : full_rats();
+      if (nbiot && i == 0) rats.set(cellnet::Rat::kNbIot);  // leading MNO only
+      world.operators_.add_mno(plmn, name, std::string(country.iso), rats);
+    }
+  }
+
+  // Pinned special operators (added on top of the per-country set).
+  world.well_known_.es_hmno = world.operators_.add_mno(
+      cellnet::Plmn{214, 7, 2}, "ES-GlobalIoT", "ES", full_rats());
+  world.well_known_.de_hmno = world.operators_.add_mno(
+      cellnet::Plmn{262, 12, 2}, "DE-GlobalIoT", "DE", full_rats());
+  world.well_known_.mx_hmno = world.operators_.add_mno(
+      cellnet::Plmn{334, 20, 2}, "MX-GlobalIoT", "MX", full_rats());
+  world.well_known_.ar_hmno = world.operators_.add_mno(
+      cellnet::Plmn{722, 34, 2}, "AR-GlobalIoT", "AR", full_rats());
+  world.well_known_.nl_iot_provisioner = world.operators_.add_mno(
+      cellnet::Plmn{204, 4, 2}, "NL-IoTProvisioner", "NL", full_rats());
+
+  // The UK MNO under study is GB-MNO1; it hosts three MVNOs (the V:H label
+  // population of §4.2 is about 33% of devices per day).
+  const auto uk_mnos = world.operators_.mnos_in_country("GB");
+  assert(!uk_mnos.empty());
+  world.well_known_.uk_mno = uk_mnos.front();
+  for (int v = 0; v < 3; ++v) {
+    const cellnet::Plmn plmn{235, static_cast<std::uint16_t>(50 + v), 2};
+    world.well_known_.uk_mvnos.push_back(world.operators_.add_mvno(
+        plmn, "GB-MVNO" + std::to_string(v + 1), world.well_known_.uk_mno));
+  }
+
+  // --- Hubs. The M2M hub interconnects the HMNOs with MNOs in its direct
+  // PoP countries; the partner hub covers everyone else; the two peer.
+  AgreementTerms hub_terms;
+  hub_terms.allowed_rats = full_rats();
+  if (config.nbiot_roaming_enabled) hub_terms.allowed_rats.set(cellnet::Rat::kNbIot);
+  hub_terms.breakout = BreakoutType::kIpxHubBreakout;
+  world.well_known_.m2m_hub = world.hubs_.add_hub("GlobalCarrierIPX", hub_terms);
+
+  AgreementTerms partner_terms;
+  partner_terms.allowed_rats = full_rats();
+  partner_terms.breakout = BreakoutType::kIpxHubBreakout;
+  world.well_known_.partner_hub = world.hubs_.add_hub("PartnerCarrierIPX", partner_terms);
+  world.hubs_.peer(world.well_known_.m2m_hub, world.well_known_.partner_hub);
+
+  for (const auto& op : world.operators_.all()) {
+    if (op.kind != OperatorKind::kMno) continue;
+    const bool direct = contains(config.m2m_hub_direct_isos, op.country_iso);
+    world.hubs_.add_member(direct ? world.well_known_.m2m_hub
+                                  : world.well_known_.partner_hub,
+                           op.id);
+  }
+  // The HMNOs are always members of the platform's hub.
+  for (OperatorId hmno : {world.well_known_.es_hmno, world.well_known_.de_hmno,
+                          world.well_known_.mx_hmno, world.well_known_.ar_hmno,
+                          world.well_known_.nl_iot_provisioner}) {
+    world.hubs_.add_member(world.well_known_.m2m_hub, hmno);
+  }
+
+  // --- Bilateral agreements. Dense intra-EU mesh (RLAH regulation makes
+  // European roaming the norm; the paper finds HR is the default breakout
+  // in Europe), plus sparse long-haul bilaterals between large markets.
+  AgreementTerms eu_terms;
+  eu_terms.allowed_rats = full_rats();
+  if (config.nbiot_roaming_enabled) eu_terms.allowed_rats.set(cellnet::Rat::kNbIot);
+  eu_terms.breakout = BreakoutType::kHomeRouted;
+
+  std::vector<OperatorId> eu_mnos;
+  for (const auto& op : world.operators_.all()) {
+    if (op.kind != OperatorKind::kMno) continue;
+    const auto country = cellnet::country_by_iso(op.country_iso);
+    if (country && country->region == cellnet::Region::kEurope) {
+      eu_mnos.push_back(op.id);
+    }
+  }
+  for (std::size_t i = 0; i < eu_mnos.size(); ++i) {
+    for (std::size_t j = i + 1; j < eu_mnos.size(); ++j) {
+      const auto& a = world.operators_.get(eu_mnos[i]);
+      const auto& b = world.operators_.get(eu_mnos[j]);
+      if (a.country_iso == b.country_iso) continue;  // no national roaming here
+      world.bilateral_.add_bilateral(a.id, b.id, eu_terms);
+    }
+  }
+
+  // Long-haul bilaterals: the first MNO of each country pair among the big
+  // markets, randomized to leave gaps (not every pair has an agreement —
+  // that is what makes RoamingNotAllowed rejections possible).
+  const std::vector<std::string> big_markets{"US", "MX", "BR", "AR", "CL", "CO",
+                                             "AU", "JP", "CN", "IN", "ZA", "TR"};
+  AgreementTerms longhaul_terms;
+  longhaul_terms.allowed_rats = full_rats();
+  longhaul_terms.breakout = BreakoutType::kHomeRouted;
+  for (std::size_t i = 0; i < big_markets.size(); ++i) {
+    for (std::size_t j = i + 1; j < big_markets.size(); ++j) {
+      if (!rng.bernoulli(0.5)) continue;
+      const auto a = world.operators_.mnos_in_country(big_markets[i]);
+      const auto b = world.operators_.mnos_in_country(big_markets[j]);
+      if (a.empty() || b.empty()) continue;
+      world.bilateral_.add_bilateral(a.front(), b.front(), longhaul_terms);
+    }
+  }
+
+  // Latin American restrictions (§3.2: "local restrictions on roaming in
+  // countries in Latin America"): the MX and AR HMNOs keep bilateral reach
+  // to a handful of neighbours only — their hub terms stay, but scenario
+  // steering keeps their fleets mostly at home.
+  for (const auto& iso : {"GT", "CO", "CL"}) {
+    const auto partners = world.operators_.mnos_in_country(iso);
+    if (!partners.empty()) {
+      world.bilateral_.add_bilateral(world.well_known_.mx_hmno, partners.front(),
+                                     longhaul_terms);
+    }
+  }
+  for (const auto& iso : {"UY", "PY", "CL"}) {
+    const auto partners = world.operators_.mnos_in_country(iso);
+    if (!partners.empty()) {
+      world.bilateral_.add_bilateral(world.well_known_.ar_hmno, partners.front(),
+                                     longhaul_terms);
+    }
+  }
+
+  // --- Coverage grids for every MNO.
+  if (config.build_coverage) {
+    for (const auto& op : world.operators_.all()) {
+      if (op.kind != OperatorKind::kMno) continue;
+      const auto country = cellnet::country_by_iso(op.country_iso);
+      assert(country.has_value());
+      const cellnet::GeoPoint anchor{country->lat, country->lon};
+      world.coverage_.build_grid(op, anchor, config.grid_plan,
+                                 stats::mix64(config.seed, op.plmn.key()));
+    }
+  }
+
+  // --- Steering: the platform prefers the cheapest partner per country;
+  // modelled as a strong preference for the first MNO of each country for
+  // the ES HMNO (it concentrates 75% of signaling on 10 VMNOs, §3.2).
+  for (const auto& country : cellnet::all_countries()) {
+    const auto mnos = world.operators_.mnos_in_country(country.iso);
+    if (mnos.empty()) continue;
+    std::vector<std::pair<OperatorId, double>> prefs;
+    prefs.emplace_back(mnos.front(), 10.0);
+    for (std::size_t i = 1; i < mnos.size(); ++i) prefs.emplace_back(mnos[i], 1.0);
+    world.steering_.set_preference(world.well_known_.es_hmno,
+                                   std::string(country.iso), prefs);
+  }
+
+  return world;
+}
+
+}  // namespace wtr::topology

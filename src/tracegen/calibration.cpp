@@ -1,0 +1,3 @@
+#include "tracegen/calibration.hpp"
+
+// Constants only; this translation unit anchors the header in the build.

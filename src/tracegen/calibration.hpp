@@ -1,0 +1,113 @@
+#pragma once
+
+// Every population statistic the paper reports, as named constants. The
+// scenario generators aim at these, and the figure harnesses print them
+// next to the measured values ("paper vs measured"). Sections refer to
+// Lutu et al., IMC 2020.
+
+namespace wtr::tracegen::paper {
+
+// ---- §3.1 M2M platform dataset scale.
+inline constexpr int kPlatformDays = 11;
+inline constexpr double kPlatformDevices = 120'000.0;
+inline constexpr double kPlatformTransactions = 14'000'000.0;
+
+// ---- §3.2 HMNO composition (shares of platform devices).
+inline constexpr double kEsDeviceShare = 0.523;
+inline constexpr double kMxDeviceShare = 0.422;
+inline constexpr double kArDeviceShare = 0.047;
+inline constexpr double kDeDeviceShare = 0.008;  // ≈1,000 of 120k devices
+inline constexpr int kEsVisitedCountries = 77;
+inline constexpr int kEsVisitedNetworks = 127;
+inline constexpr int kMxVisitedCountries = 7;
+inline constexpr int kMxVisitedNetworks = 10;
+inline constexpr double kMxHomeDeviceShare = 0.90;
+inline constexpr int kArVisitedNetworks = 6;
+inline constexpr int kDeVisitedNetworks = 18;
+inline constexpr double kEsSignalingShare = 0.818;          // of all records
+inline constexpr double kEsRoamingSignalingShare = 0.92;    // of ES records
+inline constexpr double kEsNonRoamingDeviceShare = 0.18;    // of ES devices
+inline constexpr double kEsHeavyDeviceShare = 0.62;         // emit 75% of records
+inline constexpr int kEsHeavyCountries = 5;
+inline constexpr int kEsHeavyVmnos = 10;
+
+// ---- §3.3 device-level dynamics.
+inline constexpr double kFailedOnlyDeviceShare = 0.40;
+inline constexpr double kAnySuccessDeviceShare = 0.60;
+inline constexpr double kMeanRecordsPerDevice = 267.0;
+inline constexpr double kShareDevicesBelow2000Records = 0.97;
+inline constexpr double kMaxRecordsPerDevice = 130'000.0;
+inline constexpr double kRoamingToNativeMedianRecordsRatio = 10.0;
+inline constexpr double kSingleVmnoRoamerShare = 0.65;
+inline constexpr double kTwoVmnoRoamerShare = 0.25;       // "more than 25%"
+inline constexpr double kThreePlusVmnoRoamerShare = 0.05;
+inline constexpr int kMaxVmnosFailedDevice = 19;
+inline constexpr double kMultiVmnoDeviceShare = 0.35;
+inline constexpr double kMultiVmnoAtMostTwoSwitchesShare = 0.50;
+inline constexpr double kMultiVmnoDailySwitchShare = 0.20;
+inline constexpr double kMultiVmnoStormShare = 0.03;      // 100–3000 switches
+
+// ---- §4 MNO dataset scale.
+inline constexpr int kMnoDays = 22;
+inline constexpr double kMnoDevices = 39'600'000.0;
+
+// ---- §4.2 roaming-label shares (per day).
+inline constexpr double kLabelShareHH = 0.48;
+inline constexpr double kLabelShareVH = 0.33;
+inline constexpr double kLabelShareIH = 0.18;
+
+// ---- §4.3 classification outcome.
+inline constexpr double kSmartShare = 0.62;
+inline constexpr double kFeatShare = 0.08;
+inline constexpr double kM2MShare = 0.26;
+inline constexpr double kM2MMaybeShare = 0.04;
+inline constexpr int kDistinctVendors = 2'436;
+inline constexpr int kDistinctModels = 24'991;
+inline constexpr int kDistinctApns = 4'603;
+inline constexpr int kM2MKeywords = 26;
+inline constexpr int kValidatedM2MApns = 1'719;
+inline constexpr int kConsumerApns = 2'178;
+inline constexpr double kTopVendorsInboundShare = 0.75;   // Gemalto+Telit+Sierra
+inline constexpr double kDevicesWithoutApnShare = 0.21;
+
+// ---- §5.1 class ↔ label joint distribution (Fig. 6).
+inline constexpr double kInboundM2MShare = 0.711;   // of I:H devices
+inline constexpr double kInboundSmartShare = 0.271;
+inline constexpr double kM2MInboundShare = 0.747;   // of m2m devices
+inline constexpr double kSmartInboundShare = 0.121;
+inline constexpr double kFeatInboundShare = 0.064;
+
+// ---- §5.2 home countries of inbound roamers (Fig. 5).
+inline constexpr double kTop20HomeCountryShare = 0.93;
+inline constexpr double kTop3HomeCountryShare = 0.60;   // NL + SE + ES
+inline constexpr double kM2MTop3HomeShare = 0.83;
+inline constexpr double kSmartTop3HomeShare = 0.17;
+inline constexpr double kFeatTop3HomeShare = 0.35;
+
+// ---- §5.3 spatio-temporal dynamics (Figs. 7–8).
+inline constexpr double kInboundM2MMedianActiveDays = 9.0;
+inline constexpr double kInboundSmartMedianActiveDays = 2.0;
+inline constexpr double kM2MGyrationAbove1kmShare = 0.20;
+
+// ---- §6.1 RAT usage (Fig. 9).
+inline constexpr double kM2M2gOnlyConnectivityShare = 0.774;
+inline constexpr double kFeat2gOnlyConnectivityShare = 0.509;
+inline constexpr double kM2M2gVoiceShare = 0.606;
+inline constexpr double kM2MNoVoiceShare = 0.275;
+inline constexpr double kM2M2gOnlyDataShare = 0.567;
+inline constexpr double kM2MNoDataShare = 0.245;
+inline constexpr double kFeatNoDataShare = 0.568;
+inline constexpr double kFeatNoVoiceShare = 0.073;
+
+// ---- §7 SMIP smart meters (Fig. 11).
+inline constexpr int kSmipDays = 26;
+inline constexpr double kSmipDevices = 3'200'000.0;
+inline constexpr double kSmipNativeFullPeriodShare = 0.73;
+inline constexpr double kSmipNativeDay0FullPeriodShare = 0.83;
+inline constexpr double kSmipRoamingAtMost5DaysShare = 0.50;
+inline constexpr double kSmipRoamingToNativeSignalingRatio = 10.0;
+inline constexpr double kSmipFailedDeviceShareAll = 0.10;
+inline constexpr double kSmipFailedDeviceShareRoaming = 0.35;
+inline constexpr double kSmipNative3gOnlyShare = 2.0 / 3.0;
+
+}  // namespace wtr::tracegen::paper

@@ -1,0 +1,39 @@
+#include "tracegen/scenario.hpp"
+
+namespace wtr::tracegen {
+
+std::unordered_map<signaling::DeviceHash, devices::DeviceClass> class_truth(
+    const GroundTruthMap& truth) {
+  std::unordered_map<signaling::DeviceHash, devices::DeviceClass> out;
+  out.reserve(truth.size());
+  for (const auto& [device, entry] : truth) out.emplace(device, entry.device_class);
+  return out;
+}
+
+ScenarioBase::ScenarioBase(topology::WorldConfig world_config,
+                           cellnet::TacPools::Config tac_config,
+                           sim::Engine::Config engine_config, std::uint64_t fleet_seed)
+    : world_(std::make_unique<topology::World>(topology::World::build(world_config))),
+      tac_pools_(tac_config),
+      fleet_builder_(std::make_unique<devices::FleetBuilder>(*world_, tac_pools_,
+                                                             fleet_seed)),
+      engine_(std::make_unique<sim::Engine>(*world_, engine_config)) {}
+
+std::vector<signaling::DeviceHash> ScenarioBase::add_fleet(const devices::FleetSpec& spec,
+                                                           sim::AgentOptions options) {
+  std::vector<signaling::DeviceHash> hashes;
+  if (spec.count == 0) return hashes;
+  auto fleet = fleet_builder_->build(spec);
+  devices_added_ += fleet.size();
+  hashes.reserve(fleet.size());
+  for (const auto& device : fleet) {
+    hashes.push_back(device.id);
+    truth_.emplace(device.id, GroundTruthEntry{device.profile.device_class,
+                                               device.profile.vertical,
+                                               device.home_operator});
+  }
+  engine_->add_fleet(std::move(fleet), std::move(options));
+  return hashes;
+}
+
+}  // namespace wtr::tracegen

@@ -1,0 +1,68 @@
+#pragma once
+
+// Shared scenario machinery: a Scenario owns the world, the TAC pools, the
+// engine and the ground-truth registry, and exposes one run() that streams
+// records into caller-provided sinks. Concrete scenarios (M2M platform,
+// visited MNO, SMIP) only differ in the fleets they compose.
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cellnet/tac_catalog.hpp"
+#include "devices/fleet_builder.hpp"
+#include "sim/engine.hpp"
+#include "topology/world.hpp"
+
+namespace wtr::tracegen {
+
+struct GroundTruthEntry {
+  devices::DeviceClass device_class = devices::DeviceClass::kM2M;
+  devices::Vertical vertical = devices::Vertical::kNone;
+  topology::OperatorId home_operator = topology::kInvalidOperator;
+};
+
+using GroundTruthMap = std::unordered_map<signaling::DeviceHash, GroundTruthEntry>;
+
+/// Ground truth projected to just the device class (the classifier
+/// validation input).
+[[nodiscard]] std::unordered_map<signaling::DeviceHash, devices::DeviceClass>
+class_truth(const GroundTruthMap& truth);
+
+class ScenarioBase {
+ public:
+  ScenarioBase(topology::WorldConfig world_config, cellnet::TacPools::Config tac_config,
+               sim::Engine::Config engine_config, std::uint64_t fleet_seed);
+  virtual ~ScenarioBase() = default;
+
+  ScenarioBase(const ScenarioBase&) = delete;
+  ScenarioBase& operator=(const ScenarioBase&) = delete;
+
+  [[nodiscard]] const topology::World& world() const noexcept { return *world_; }
+  [[nodiscard]] const cellnet::TacPools& tac_pools() const noexcept { return tac_pools_; }
+  [[nodiscard]] const cellnet::TacCatalog& tac_catalog() const noexcept {
+    return tac_pools_.catalog();
+  }
+  [[nodiscard]] const GroundTruthMap& ground_truth() const noexcept { return truth_; }
+  [[nodiscard]] sim::Engine& engine() noexcept { return *engine_; }
+  [[nodiscard]] std::size_t device_count() const noexcept { return devices_added_; }
+
+  /// Run the simulation once, streaming into the sinks.
+  void run(std::vector<sim::RecordSink*> sinks) { engine_->run(std::move(sinks)); }
+
+ protected:
+  /// Build a fleet, register its ground truth and add it to the engine.
+  /// Returns the device hashes of the fleet (membership sets for analyses
+  /// that split fleets, e.g. SMIP native vs roaming).
+  std::vector<signaling::DeviceHash> add_fleet(const devices::FleetSpec& spec,
+                                               sim::AgentOptions options);
+
+  std::unique_ptr<topology::World> world_;
+  cellnet::TacPools tac_pools_;
+  std::unique_ptr<devices::FleetBuilder> fleet_builder_;
+  std::unique_ptr<sim::Engine> engine_;
+  GroundTruthMap truth_;
+  std::size_t devices_added_ = 0;
+};
+
+}  // namespace wtr::tracegen

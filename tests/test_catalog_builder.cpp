@@ -1,0 +1,214 @@
+#include "core/catalog_builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wtr::core {
+namespace {
+
+const cellnet::Plmn kObserver{234, 10, 2};
+const cellnet::Plmn kMvno{235, 50, 2};
+const cellnet::Plmn kForeign{204, 4, 2};
+
+CatalogAccumulator make_accumulator() {
+  return CatalogAccumulator{{kObserver, {kObserver, kMvno}}};
+}
+
+signaling::SignalingTransaction txn(signaling::DeviceHash device, stats::SimTime time,
+                                    cellnet::Plmn sim, cellnet::Plmn visited,
+                                    signaling::ResultCode result = signaling::ResultCode::kOk,
+                                    cellnet::Rat rat = cellnet::Rat::kTwoG) {
+  signaling::SignalingTransaction t;
+  t.device = device;
+  t.time = time;
+  t.sim_plmn = sim;
+  t.visited_plmn = visited;
+  t.procedure = signaling::Procedure::kAuthentication;
+  t.result = result;
+  t.rat = rat;
+  t.tac = 35'000'001;
+  return t;
+}
+
+TEST(CatalogAccumulator, RadioEventsRequireObserverNetwork) {
+  auto acc = make_accumulator();
+  acc.on_signaling(txn(1, 10, kForeign, kObserver), true);   // inbound: kept
+  acc.on_signaling(txn(2, 10, kObserver, kForeign), true);   // outbound radio: dropped
+  EXPECT_EQ(acc.accepted_records(), 1u);
+  const auto catalog = acc.finalize();
+  ASSERT_EQ(catalog.size(), 1u);
+  EXPECT_EQ(catalog.records().front().device, 1u);
+}
+
+TEST(CatalogAccumulator, CdrXdrVisibleForFamilyAbroad) {
+  auto acc = make_accumulator();
+  records::Cdr cdr;
+  cdr.device = 3;
+  cdr.time = 20;
+  cdr.sim_plmn = kMvno;      // family SIM
+  cdr.visited_plmn = kForeign;  // abroad
+  cdr.duration_s = 30.0;
+  cdr.rat = cellnet::Rat::kThreeG;
+  acc.on_cdr(cdr);
+
+  records::Cdr foreign_cdr = cdr;
+  foreign_cdr.device = 4;
+  foreign_cdr.sim_plmn = kForeign;  // foreign SIM abroad: invisible
+  acc.on_cdr(foreign_cdr);
+
+  const auto catalog = acc.finalize();
+  ASSERT_EQ(catalog.size(), 1u);
+  EXPECT_EQ(catalog.records().front().device, 3u);
+  EXPECT_EQ(catalog.records().front().calls, 1u);
+  EXPECT_TRUE(catalog.records().front().voice_rats.has(cellnet::Rat::kThreeG));
+}
+
+TEST(CatalogAccumulator, XdrAggregatesBytesAndApns) {
+  auto acc = make_accumulator();
+  records::Xdr xdr;
+  xdr.device = 5;
+  xdr.time = 100;
+  xdr.sim_plmn = kForeign;
+  xdr.visited_plmn = kObserver;
+  xdr.bytes_up = 10;
+  xdr.bytes_down = 90;
+  xdr.apn = "smhp.centricaplc.com.mnc004.mcc204.gprs";
+  xdr.rat = cellnet::Rat::kTwoG;
+  acc.on_xdr(xdr);
+  acc.on_xdr(xdr);  // same APN again: bytes add, APN deduplicates
+
+  const auto catalog = acc.finalize();
+  ASSERT_EQ(catalog.size(), 1u);
+  const auto& record = catalog.records().front();
+  EXPECT_EQ(record.bytes, 200u);
+  ASSERT_EQ(record.apns.size(), 1u);
+  EXPECT_TRUE(record.data_rats.has(cellnet::Rat::kTwoG));
+}
+
+TEST(CatalogAccumulator, FailedEventsDontSetRadioFlags) {
+  auto acc = make_accumulator();
+  acc.on_signaling(txn(6, 10, kForeign, kObserver,
+                       signaling::ResultCode::kRoamingNotAllowed, cellnet::Rat::kFourG),
+                   true);
+  const auto catalog = acc.finalize();
+  ASSERT_EQ(catalog.size(), 1u);
+  EXPECT_EQ(catalog.records().front().failed_events, 1u);
+  EXPECT_TRUE(catalog.records().front().radio_flags.none());
+}
+
+TEST(CatalogAccumulator, SplitsByDay) {
+  auto acc = make_accumulator();
+  acc.on_signaling(txn(7, 10, kForeign, kObserver), true);
+  acc.on_signaling(txn(7, stats::kSecondsPerDay + 10, kForeign, kObserver), true);
+  const auto catalog = acc.finalize();
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_EQ(catalog.records()[0].day, 0);
+  EXPECT_EQ(catalog.records()[1].day, 1);
+}
+
+TEST(CatalogAccumulator, DwellOnlyRecordsAreDropped) {
+  auto acc = make_accumulator();
+  acc.on_dwell(8, 0, kObserver, cellnet::GeoPoint{51.5, 0.0}, 600.0);
+  EXPECT_EQ(acc.finalize().size(), 0u);
+}
+
+TEST(CatalogAccumulator, DwellAttachesMobilityMetrics) {
+  auto acc = make_accumulator();
+  acc.on_signaling(txn(9, 10, kForeign, kObserver), true);
+  acc.on_dwell(9, 0, kObserver, cellnet::GeoPoint{51.5, 0.0}, 600.0);
+  acc.on_dwell(9, 0, kObserver, cellnet::GeoPoint{51.52, 0.0}, 600.0);
+  // Foreign-network dwell is invisible to the observer.
+  acc.on_dwell(9, 0, kForeign, cellnet::GeoPoint{40.0, 0.0}, 600.0);
+  const auto catalog = acc.finalize();
+  ASSERT_EQ(catalog.size(), 1u);
+  const auto& record = catalog.records().front();
+  ASSERT_TRUE(record.has_position);
+  EXPECT_GT(record.gyration_m, 500.0);
+  EXPECT_LT(record.gyration_m, 2'500.0);
+  EXPECT_NEAR(record.centroid.lat, 51.51, 0.01);
+}
+
+TEST(CatalogAccumulator, FinalizeOrdersDeterministically) {
+  auto acc = make_accumulator();
+  acc.on_signaling(txn(20, stats::kSecondsPerDay + 1, kForeign, kObserver), true);
+  acc.on_signaling(txn(10, 5, kForeign, kObserver), true);
+  acc.on_signaling(txn(20, 5, kForeign, kObserver), true);
+  const auto catalog = acc.finalize();
+  ASSERT_EQ(catalog.size(), 3u);
+  EXPECT_EQ(catalog.records()[0].device, 10u);
+  EXPECT_EQ(catalog.records()[1].device, 20u);
+  EXPECT_EQ(catalog.records()[1].day, 0);
+  EXPECT_EQ(catalog.records()[2].day, 1);
+}
+
+TEST(DevicesCatalog, IndexAndSpan) {
+  records::DevicesCatalog catalog;
+  records::DailyDeviceRecord r1;
+  r1.device = 1;
+  r1.day = 3;
+  records::DailyDeviceRecord r2;
+  r2.device = 1;
+  r2.day = 1;
+  records::DailyDeviceRecord r3;
+  r3.device = 2;
+  r3.day = 2;
+  catalog.add(r1);
+  catalog.add(r2);
+  catalog.add(r3);
+  EXPECT_EQ(catalog.distinct_devices(), 2u);
+  EXPECT_EQ(catalog.day_span(), (std::pair<std::int32_t, std::int32_t>{1, 3}));
+  const auto of_one = catalog.of_device(1);
+  ASSERT_EQ(of_one.size(), 2u);
+  EXPECT_EQ(of_one[0]->day, 1);
+  EXPECT_EQ(of_one[1]->day, 3);
+  EXPECT_TRUE(catalog.of_device(99).empty());
+}
+
+TEST(DailyDeviceRecord, RoamedInternationally) {
+  records::DailyDeviceRecord record;
+  record.sim_plmn = kForeign;
+  record.visited_plmns = {kObserver};
+  EXPECT_TRUE(record.roamed_internationally());
+  record.sim_plmn = kObserver;
+  EXPECT_FALSE(record.roamed_internationally());
+}
+
+TEST(Summarize, RollsUpAcrossDays) {
+  auto acc = make_accumulator();
+  acc.on_signaling(txn(30, 10, kForeign, kObserver), true);
+  acc.on_signaling(txn(30, stats::kSecondsPerDay + 10, kForeign, kObserver,
+                       signaling::ResultCode::kNetworkFailure),
+                   true);
+  records::Xdr xdr;
+  xdr.device = 30;
+  xdr.time = 20;
+  xdr.sim_plmn = kForeign;
+  xdr.visited_plmn = kObserver;
+  xdr.bytes_up = 50;
+  xdr.apn = "a.b";
+  acc.on_xdr(xdr);
+
+  const auto catalog = acc.finalize();
+  const auto summaries = summarize(catalog);
+  ASSERT_EQ(summaries.size(), 1u);
+  const auto& s = summaries.front();
+  EXPECT_EQ(s.device, 30u);
+  EXPECT_EQ(s.active_days, 2u);
+  EXPECT_EQ(s.first_day, 0);
+  EXPECT_EQ(s.last_day, 1);
+  EXPECT_EQ(s.signaling_events, 2u);
+  EXPECT_EQ(s.failed_events, 1u);
+  EXPECT_EQ(s.bytes, 50u);
+  EXPECT_DOUBLE_EQ(s.signaling_per_day(), 1.0);
+  EXPECT_TRUE(s.attached_to(kObserver));
+  EXPECT_FALSE(s.attached_to(kForeign));
+  EXPECT_EQ(s.tac, 35'000'001u);
+}
+
+TEST(Summarize, EmptyCatalog) {
+  records::DevicesCatalog catalog;
+  EXPECT_TRUE(summarize(catalog).empty());
+  EXPECT_EQ(catalog.day_span(), (std::pair<std::int32_t, std::int32_t>{0, -1}));
+}
+
+}  // namespace
+}  // namespace wtr::core

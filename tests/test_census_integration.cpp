@@ -1,0 +1,193 @@
+// End-to-end integration: MNO scenario → catalog → census → figures.
+// Assertions check the *shape* of the paper's results with generous
+// tolerances (this is a small-scale run).
+
+#include <gtest/gtest.h>
+
+#include "core/activity_metrics.hpp"
+#include "core/census.hpp"
+#include "core/classifier_validation.hpp"
+#include "core/rat_usage.hpp"
+#include "core/traffic_metrics.hpp"
+#include "core/vertical_analysis.hpp"
+#include "tracegen/mno_scenario.hpp"
+
+namespace wtr {
+namespace {
+
+class CensusIntegration : public ::testing::Test {
+ protected:
+  struct State {
+    std::unique_ptr<tracegen::MnoScenario> scenario;
+    records::DevicesCatalog catalog;
+    core::ClassifiedPopulation population;
+  };
+
+  static State& state() {
+    static State s = [] {
+      tracegen::MnoScenarioConfig config;
+      config.seed = 11;
+      config.total_devices = 4'000;
+      auto scenario = std::make_unique<tracegen::MnoScenario>(config);
+      core::CatalogAccumulator acc{{scenario->observer_plmn(), scenario->family_plmns()}};
+      scenario->run({&acc});
+      auto catalog = acc.finalize();
+      auto population = core::run_census(catalog, scenario->observer_plmn(),
+                                         scenario->mvno_plmns(), scenario->tac_catalog());
+      return State{std::move(scenario), std::move(catalog), std::move(population)};
+    }();
+    return s;
+  }
+};
+
+TEST_F(CensusIntegration, PopulationObserved) {
+  EXPECT_GT(state().catalog.size(), 10'000u);
+  EXPECT_GT(state().population.size(), 3'000u);
+}
+
+TEST_F(CensusIntegration, ClassSharesNearPaper) {
+  const auto& classification = state().population.classification;
+  EXPECT_NEAR(classification.share_of(core::ClassLabel::kSmart), 0.62, 0.08);
+  EXPECT_NEAR(classification.share_of(core::ClassLabel::kFeat), 0.08, 0.05);
+  EXPECT_NEAR(classification.share_of(core::ClassLabel::kM2M), 0.26, 0.08);
+  EXPECT_NEAR(classification.share_of(core::ClassLabel::kM2MMaybe), 0.04, 0.03);
+}
+
+TEST_F(CensusIntegration, InboundRoamersAreMostlyM2M) {
+  const auto heatmap = core::class_vs_label(state().population);
+  // Fig. 6-right: the I:H column is dominated by m2m.
+  EXPECT_GT(heatmap.col_share("m2m", "I:H"), 0.5);
+  // Fig. 6-left: most m2m devices are inbound; most smartphones are not.
+  EXPECT_GT(heatmap.row_share("m2m", "I:H"), 0.5);
+  EXPECT_LT(heatmap.row_share("smart", "I:H"), 0.3);
+}
+
+TEST_F(CensusIntegration, DailyLabelSharesShape) {
+  const auto shares =
+      core::daily_label_shares(state().catalog, state().population.labeler);
+  // H:H > V:H > I:H, all three substantial (§4.2: 48/33/18).
+  EXPECT_GT(shares.share("H:H"), shares.share("V:H"));
+  EXPECT_GT(shares.share("V:H"), shares.share("I:H"));
+  EXPECT_GT(shares.share("I:H"), 0.05);
+  EXPECT_NEAR(shares.share("H:H"), 0.48, 0.15);
+}
+
+TEST_F(CensusIntegration, HomeCountryConcentration) {
+  const auto countries = core::inbound_home_countries(state().population);
+  // Fig. 5: NL leads; top-3 hold the majority; top-20 nearly everything.
+  EXPECT_EQ(countries.sorted().front().first, "NL");
+  EXPECT_GT(countries.top_k_share(3), 0.45);
+  EXPECT_GT(countries.top_k_share(20), 0.88);
+
+  const auto by_class = core::inbound_home_country_by_class(state().population);
+  const double m2m_top3 = by_class.row_share("m2m", "NL") +
+                          by_class.row_share("m2m", "SE") +
+                          by_class.row_share("m2m", "ES");
+  const double smart_top3 = by_class.row_share("smart", "NL") +
+                            by_class.row_share("smart", "SE") +
+                            by_class.row_share("smart", "ES");
+  EXPECT_GT(m2m_top3, 0.7);       // paper: 83%
+  EXPECT_LT(smart_top3, 0.45);    // paper: 17%
+  EXPECT_GT(m2m_top3, smart_top3);
+}
+
+TEST_F(CensusIntegration, ActiveDaysContrast) {
+  const auto figure = core::active_days_figure(state().population);
+  ASSERT_FALSE(figure.inbound_m2m.empty());
+  ASSERT_FALSE(figure.inbound_smart.empty());
+  // Fig. 7: inbound m2m stays much longer than inbound smartphones.
+  EXPECT_GT(figure.inbound_m2m.median(), 2.0 * figure.inbound_smart.median());
+  // Natives of both classes look similar (within 2x).
+  ASSERT_FALSE(figure.native_m2m.empty());
+  ASSERT_FALSE(figure.native_smart.empty());
+  const double ratio = figure.native_m2m.median() / figure.native_smart.median();
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST_F(CensusIntegration, GyrationContrast) {
+  // Fig. 8: inbound m2m is mostly stationary.
+  const double share_above_1km = core::gyration_share_above(
+      state().population, core::ClassLabel::kM2M, true, 1'000.0);
+  EXPECT_LT(share_above_1km, 0.45);  // paper: ~20%
+  const double smart_above_1km = core::gyration_share_above(
+      state().population, core::ClassLabel::kSmart, false, 1'000.0);
+  EXPECT_GT(smart_above_1km, share_above_1km);
+}
+
+TEST_F(CensusIntegration, RatUsageShape) {
+  const auto figure = core::rat_usage_figure(state().population);
+  // Fig. 9: m2m lives on 2G; smartphones do not.
+  const double m2m_2g_only =
+      core::class_mask_share(figure.connectivity, core::ClassLabel::kM2M, "2G");
+  const double smart_2g_only =
+      core::class_mask_share(figure.connectivity, core::ClassLabel::kSmart, "2G");
+  EXPECT_GT(m2m_2g_only, 0.5);   // paper: 77.4%
+  EXPECT_LT(smart_2g_only, 0.2);
+  // A sizable no-data m2m slice exists (paper: 24.5%).
+  const double m2m_no_data =
+      core::class_mask_share(figure.data, core::ClassLabel::kM2M, "none");
+  EXPECT_GT(m2m_no_data, 0.08);
+  // Feature phones: no-data dominates their data panel (paper: 56.8%).
+  const double feat_no_data =
+      core::class_mask_share(figure.data, core::ClassLabel::kFeat, "none");
+  EXPECT_GT(feat_no_data, 0.35);
+}
+
+TEST_F(CensusIntegration, TrafficVolumes) {
+  const auto figure = core::traffic_figure(state().population);
+  const auto& m2m_inbound = figure.bytes_per_day.at("m2m/inbound");
+  const auto& smart_native = figure.bytes_per_day.at("smart/native");
+  ASSERT_FALSE(m2m_inbound.empty());
+  ASSERT_FALSE(smart_native.empty());
+  // Fig. 10-right: inbound m2m moves orders of magnitude less data.
+  EXPECT_LT(m2m_inbound.quantile(0.9), smart_native.quantile(0.5));
+  // Fig. 10-left: m2m signals less than smartphones.
+  EXPECT_LT(figure.signaling_per_day.at("m2m/inbound").median(),
+            figure.signaling_per_day.at("smart/native").median());
+  // Fig. 10-center: most m2m devices make no calls; smartphones do.
+  EXPECT_GT(figure.calls_per_day.at("smart/native").median(),
+            figure.calls_per_day.at("m2m/inbound").median());
+}
+
+TEST_F(CensusIntegration, VerticalContrast) {
+  const auto figure = core::vertical_figure(state().population);
+  ASSERT_TRUE(figure.signaling_per_day.contains("connected-car"));
+  ASSERT_TRUE(figure.signaling_per_day.contains("smart-meter"));
+  // Fig. 12: cars are chattier and move more data than meters.
+  EXPECT_GT(figure.signaling_per_day.at("connected-car").median(),
+            figure.signaling_per_day.at("smart-meter").median());
+  EXPECT_GT(figure.bytes_per_day.at("connected-car").median(),
+            figure.bytes_per_day.at("smart-meter").median());
+  if (figure.gyration_m.contains("connected-car") &&
+      figure.gyration_m.contains("smart-meter")) {
+    EXPECT_GT(figure.gyration_m.at("connected-car").median(),
+              figure.gyration_m.at("smart-meter").median());
+  }
+}
+
+TEST_F(CensusIntegration, ClassifierValidatesWell) {
+  const auto report = core::validate_classification(
+      state().population, tracegen::class_truth(state().scenario->ground_truth()));
+  EXPECT_GT(report.matched, 3'000u);
+  EXPECT_EQ(report.unmatched, 0u);
+  EXPECT_GT(report.lenient_accuracy, 0.9);
+  EXPECT_GT(report.m2m_precision, 0.9);
+  EXPECT_GT(report.m2m_recall, 0.9);
+}
+
+TEST_F(CensusIntegration, ApnPipelineStats) {
+  const auto& c = state().population.classification;
+  EXPECT_GT(c.distinct_apns, 50u);
+  EXPECT_GT(c.validated_m2m_apns, 10u);
+  EXPECT_GT(c.consumer_apns, 5u);
+  // §4.3: a significant fraction of devices exposes no APN (paper: 21%).
+  const double no_apn_share = static_cast<double>(c.devices_without_apn) /
+                              static_cast<double>(state().population.size());
+  EXPECT_GT(no_apn_share, 0.08);
+  // Property propagation did real work.
+  EXPECT_GT(c.m2m_by_propagation, 0u);
+}
+
+}  // namespace
+}  // namespace wtr

@@ -1,0 +1,220 @@
+#include "core/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "devices/verticals.hpp"
+
+namespace wtr::core {
+namespace {
+
+class ClassifierTest : public ::testing::Test {
+ protected:
+  ClassifierTest() {
+    // A minimal hand-built catalog: one smartphone TAC, one feature TAC,
+    // two module TACs, one unknown-OEM TAC.
+    catalog_.add({.tac = 100,
+                  .vendor = "Samsung",
+                  .model = "S1",
+                  .os = cellnet::DeviceOs::kAndroid,
+                  .label = cellnet::GsmaLabel::kSmartphone,
+                  .bands = cellnet::RatMask{0b111}});
+    catalog_.add({.tac = 200,
+                  .vendor = "Nokia",
+                  .model = "F1",
+                  .os = cellnet::DeviceOs::kProprietary,
+                  .label = cellnet::GsmaLabel::kFeaturePhone,
+                  .bands = cellnet::RatMask{0b001}});
+    catalog_.add({.tac = 300,
+                  .vendor = "Gemalto",
+                  .model = "M1",
+                  .os = cellnet::DeviceOs::kProprietary,
+                  .label = cellnet::GsmaLabel::kModule,
+                  .bands = cellnet::RatMask{0b001}});
+    catalog_.add({.tac = 301,
+                  .vendor = "Telit",
+                  .model = "M2",
+                  .os = cellnet::DeviceOs::kNone,
+                  .label = cellnet::GsmaLabel::kModem,
+                  .bands = cellnet::RatMask{0b011}});
+    catalog_.add({.tac = 400,
+                  .vendor = "OEM-0001",
+                  .model = "X",
+                  .os = cellnet::DeviceOs::kProprietary,
+                  .label = cellnet::GsmaLabel::kUnknown,
+                  .bands = cellnet::RatMask{0b001}});
+  }
+
+  static DeviceSummary device(signaling::DeviceHash id, cellnet::Tac tac,
+                              std::vector<std::string> apns) {
+    DeviceSummary summary;
+    summary.device = id;
+    summary.tac = tac;
+    summary.apns = std::move(apns);
+    return summary;
+  }
+
+  cellnet::TacCatalog catalog_;
+};
+
+TEST_F(ClassifierTest, KeywordApnMakesM2M) {
+  const DeviceClassifier classifier{catalog_};
+  const std::vector<DeviceSummary> devices{
+      device(1, 300, {"smhp.centricaplc.com.mnc004.mcc204.gprs"})};
+  const auto result = classifier.classify(devices);
+  EXPECT_EQ(result.labels[0], ClassLabel::kM2M);
+  EXPECT_EQ(result.validated_m2m_apns, 1u);
+  EXPECT_EQ(result.m2m_by_apn, 1u);
+}
+
+TEST_F(ClassifierTest, PropagationCatchesApnlessSiblings) {
+  const DeviceClassifier classifier{catalog_};
+  const std::vector<DeviceSummary> devices{
+      device(1, 300, {"telemetry.rwe.com.mnc004.mcc204.gprs"}),
+      device(2, 300, {}),  // same equipment, no APN (voice-only)
+  };
+  const auto result = classifier.classify(devices);
+  EXPECT_EQ(result.labels[0], ClassLabel::kM2M);
+  EXPECT_EQ(result.labels[1], ClassLabel::kM2M);
+  EXPECT_EQ(result.m2m_by_propagation, 1u);
+  EXPECT_EQ(result.devices_without_apn, 1u);
+}
+
+TEST_F(ClassifierTest, PropagationCanBeDisabled) {
+  ClassifierConfig config;
+  config.propagate_device_properties = false;
+  DeviceClassifier classifier{catalog_, config};
+  const std::vector<DeviceSummary> devices{
+      device(1, 300, {"telemetry.rwe.com"}),
+      device(2, 300, {}),
+  };
+  const auto result = classifier.classify(devices);
+  EXPECT_EQ(result.labels[0], ClassLabel::kM2M);
+  EXPECT_EQ(result.labels[1], ClassLabel::kM2MMaybe);  // no propagation
+  EXPECT_EQ(result.m2m_by_propagation, 0u);
+}
+
+TEST_F(ClassifierTest, SmartphoneByOs) {
+  const DeviceClassifier classifier{catalog_};
+  const std::vector<DeviceSummary> devices{device(1, 100, {"internet"})};
+  const auto result = classifier.classify(devices);
+  EXPECT_EQ(result.labels[0], ClassLabel::kSmart);
+}
+
+TEST_F(ClassifierTest, SmartphoneOsWinsEvenWithoutApn) {
+  const DeviceClassifier classifier{catalog_};
+  const std::vector<DeviceSummary> devices{device(1, 100, {})};
+  EXPECT_EQ(classifier.classify(devices).labels[0], ClassLabel::kSmart);
+}
+
+TEST_F(ClassifierTest, FeaturePhoneByGsmaLabel) {
+  const DeviceClassifier classifier{catalog_};
+  const std::vector<DeviceSummary> devices{device(1, 200, {})};
+  EXPECT_EQ(classifier.classify(devices).labels[0], ClassLabel::kFeat);
+}
+
+TEST_F(ClassifierTest, ConsumerApnWithoutSmartOsIsFeat) {
+  const DeviceClassifier classifier{catalog_};
+  // Unknown OEM equipment but a consumer APN (e.g. a dongle on payandgo).
+  const std::vector<DeviceSummary> devices{device(1, 400, {"payandgo.mobile"})};
+  EXPECT_EQ(classifier.classify(devices).labels[0], ClassLabel::kFeat);
+}
+
+TEST_F(ClassifierTest, ResidueIsM2MMaybe) {
+  const DeviceClassifier classifier{catalog_};
+  const std::vector<DeviceSummary> devices{
+      device(1, 400, {}),   // unknown OEM, no APN
+      device(2, 0, {}),     // no equipment identity at all
+  };
+  const auto result = classifier.classify(devices);
+  EXPECT_EQ(result.labels[0], ClassLabel::kM2MMaybe);
+  EXPECT_EQ(result.labels[1], ClassLabel::kM2MMaybe);
+}
+
+TEST_F(ClassifierTest, M2MApnBeatsSmartphoneOs) {
+  // A connected-car head unit running Android but on a scania APN: the
+  // paper's pipeline marks m2m first (stage 2 precedes the OS rule).
+  const DeviceClassifier classifier{catalog_};
+  const std::vector<DeviceSummary> devices{device(1, 100, {"m2m.scania.com"})};
+  EXPECT_EQ(classifier.classify(devices).labels[0], ClassLabel::kM2M);
+}
+
+TEST_F(ClassifierTest, ApnInventoryCounts) {
+  const DeviceClassifier classifier{catalog_};
+  const std::vector<DeviceSummary> devices{
+      device(1, 300, {"telemetry.rwe.com", "internet"}),
+      device(2, 100, {"payandgo.mobile"}),
+      device(3, 400, {"mystery.apn.net"}),
+  };
+  const auto result = classifier.classify(devices);
+  EXPECT_EQ(result.distinct_apns, 4u);
+  EXPECT_EQ(result.validated_m2m_apns, 1u);
+  EXPECT_EQ(result.consumer_apns, 2u);
+}
+
+TEST_F(ClassifierTest, CountsAndShares) {
+  const DeviceClassifier classifier{catalog_};
+  const std::vector<DeviceSummary> devices{
+      device(1, 100, {}), device(2, 100, {}), device(3, 200, {}),
+      device(4, 300, {"telemetry.rwe.com"})};
+  const auto result = classifier.classify(devices);
+  EXPECT_EQ(result.count_of(ClassLabel::kSmart), 2u);
+  EXPECT_EQ(result.count_of(ClassLabel::kFeat), 1u);
+  EXPECT_EQ(result.count_of(ClassLabel::kM2M), 1u);
+  EXPECT_DOUBLE_EQ(result.share_of(ClassLabel::kSmart), 0.5);
+}
+
+TEST_F(ClassifierTest, CustomKeywordVocabulary) {
+  ClassifierConfig config;
+  config.m2m_keywords = {"mysteryvertical"};
+  DeviceClassifier classifier{catalog_, config};
+  const std::vector<DeviceSummary> devices{
+      device(1, 400, {"data.mysteryvertical.io"}),
+      device(2, 400, {"telemetry.rwe.com"}),  // rwe not in custom vocab
+  };
+  const auto result = classifier.classify(devices);
+  EXPECT_EQ(result.labels[0], ClassLabel::kM2M);
+  // Device 2's APN is unknown, but device 1 shares its TAC → propagation.
+  EXPECT_EQ(result.labels[1], ClassLabel::kM2M);
+}
+
+TEST(ClassifierDefaults, VocabularyHas26KeywordsLikeThePaper) {
+  EXPECT_EQ(default_m2m_keywords().size(), 26u);
+}
+
+TEST(ClassifierDefaults, VocabularyCoversKeywordedCompanies) {
+  // Every keyworded vertical company must be matchable by the default
+  // vocabulary (the generator and the classifier stay in sync).
+  const auto keywords = default_m2m_keywords();
+  for (int v = 1; v < devices::kVerticalCount; ++v) {
+    for (const auto& company : devices::companies_of(static_cast<devices::Vertical>(v))) {
+      if (company.keyword.empty()) continue;
+      const bool covered =
+          std::any_of(keywords.begin(), keywords.end(),
+                      [&](std::string_view k) { return k == company.keyword; });
+      EXPECT_TRUE(covered) << company.keyword;
+    }
+  }
+}
+
+TEST(ClassifierDefaults, NonKeywordedCompaniesAreNotCovered) {
+  const auto keywords = default_m2m_keywords();
+  for (int v = 1; v < devices::kVerticalCount; ++v) {
+    for (const auto& company : devices::companies_of(static_cast<devices::Vertical>(v))) {
+      if (!company.keyword.empty()) continue;
+      for (std::string_view keyword : keywords) {
+        EXPECT_EQ(company.domain.find(keyword), std::string_view::npos)
+            << company.domain << " vs " << keyword;
+      }
+    }
+  }
+}
+
+TEST(ClassLabels, Names) {
+  EXPECT_EQ(class_label_name(ClassLabel::kSmart), "smart");
+  EXPECT_EQ(class_label_name(ClassLabel::kFeat), "feat");
+  EXPECT_EQ(class_label_name(ClassLabel::kM2M), "m2m");
+  EXPECT_EQ(class_label_name(ClassLabel::kM2MMaybe), "m2m-maybe");
+}
+
+}  // namespace
+}  // namespace wtr::core

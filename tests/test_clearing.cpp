@@ -1,0 +1,208 @@
+// Wholesale clearing (§2.1) and the vendor-baseline classifier (§4.3's
+// naive approach).
+
+#include <gtest/gtest.h>
+
+#include "core/baseline_classifier.hpp"
+#include "core/clearing.hpp"
+
+namespace wtr::core {
+namespace {
+
+const cellnet::Plmn kUk{234, 10, 2};
+const cellnet::Plmn kUkMvno{235, 50, 2};
+const cellnet::Plmn kUkRival{234, 30, 2};
+const cellnet::Plmn kNl{204, 4, 2};
+const cellnet::Plmn kEs{214, 7, 2};
+
+records::Xdr xdr(signaling::DeviceHash device, cellnet::Plmn sim, cellnet::Plmn visited,
+                 std::uint64_t bytes) {
+  records::Xdr x;
+  x.device = device;
+  x.sim_plmn = sim;
+  x.visited_plmn = visited;
+  x.bytes_up = bytes;
+  return x;
+}
+
+records::Cdr cdr(signaling::DeviceHash device, cellnet::Plmn sim, cellnet::Plmn visited,
+                 double seconds) {
+  records::Cdr c;
+  c.device = device;
+  c.sim_plmn = sim;
+  c.visited_plmn = visited;
+  c.duration_s = seconds;
+  return c;
+}
+
+ClearingHouse visited_books() {
+  return ClearingHouse{{.self = kUk,
+                        .family = {kUk, kUkMvno},
+                        .side = ClearingHouse::Side::kVisited}};
+}
+
+TEST(ClearingHouse, BillsInternationalInboundOnly) {
+  auto books = visited_books();
+  books.on_xdr(xdr(1, kNl, kUk, 1024 * 1024));      // inbound: billed
+  books.on_xdr(xdr(2, kUk, kUk, 1024 * 1024));      // native: not billed
+  books.on_xdr(xdr(3, kUkMvno, kUk, 1024 * 1024));  // own MVNO: not billed
+  books.on_xdr(xdr(4, kUkRival, kUk, 1024 * 1024)); // national: not billed
+  books.on_xdr(xdr(5, kNl, kEs, 1024 * 1024));      // not my network: ignored
+  const auto statements = books.statements();
+  ASSERT_EQ(statements.size(), 1u);
+  EXPECT_EQ(statements.front().partner, kNl);
+  EXPECT_EQ(statements.front().devices, 1u);
+  EXPECT_NEAR(statements.front().data_mb, 1.0, 1e-9);
+}
+
+TEST(ClearingHouse, AggregatesUsageAndDevices) {
+  auto books = visited_books();
+  books.on_xdr(xdr(1, kNl, kUk, 2 * 1024 * 1024));
+  books.on_xdr(xdr(1, kNl, kUk, 1024 * 1024));  // same device again
+  books.on_cdr(cdr(2, kNl, kUk, 120.0));
+  books.on_xdr(xdr(3, kEs, kUk, 1024 * 1024));
+  const auto statements = books.statements();
+  ASSERT_EQ(statements.size(), 2u);
+  const auto* nl = find_statement(statements, kNl);
+  ASSERT_NE(nl, nullptr);
+  EXPECT_EQ(nl->devices, 2u);
+  EXPECT_NEAR(nl->data_mb, 3.0, 1e-9);
+  EXPECT_NEAR(nl->voice_minutes, 2.0, 1e-9);
+  // Default tariffs: 3 MB * 0.4 + 2 min * 2.0.
+  EXPECT_NEAR(nl->amount, 3.0 * 0.4 + 2.0 * 2.0, 1e-9);
+  EXPECT_NEAR(books.total_billed(), nl->amount + 1.0 * 0.4, 1e-9);
+}
+
+TEST(ClearingHouse, HomeSideAccruesPerVisitedNetwork) {
+  ClearingHouse books{{.self = kNl, .family = {kNl},
+                       .side = ClearingHouse::Side::kHome}};
+  books.on_xdr(xdr(1, kNl, kUk, 1024 * 1024));   // my SIM abroad: accrued
+  books.on_xdr(xdr(2, kNl, kNl, 1024 * 1024));   // my SIM at home: not
+  books.on_xdr(xdr(3, kEs, kUk, 1024 * 1024));   // not my SIM: ignored
+  const auto statements = books.statements();
+  ASSERT_EQ(statements.size(), 1u);
+  EXPECT_EQ(statements.front().partner, kUk);
+}
+
+TEST(ClearingHouse, ReconciliationCleanOnSharedStream) {
+  auto claims = visited_books();
+  ClearingHouse accruals{{.self = kNl, .family = {kNl},
+                          .side = ClearingHouse::Side::kHome}};
+  for (int i = 0; i < 20; ++i) {
+    const auto x = xdr(static_cast<unsigned>(i), kNl, kUk, 512 * 1024);
+    claims.on_xdr(x);
+    accruals.on_xdr(x);
+    const auto c = cdr(static_cast<unsigned>(i), kNl, kUk, 30.0);
+    claims.on_cdr(c);
+    accruals.on_cdr(c);
+  }
+  const auto report = reconcile_pair(claims.statements(), kNl, accruals.statements(), kUk);
+  EXPECT_TRUE(report.both_sides_present);
+  EXPECT_TRUE(report.clean());
+  EXPECT_GT(report.claim_amount, 0.0);
+}
+
+TEST(ClearingHouse, ReconciliationFlagsDroppedRecords) {
+  auto claims = visited_books();
+  ClearingHouse accruals{{.self = kNl, .family = {kNl},
+                          .side = ClearingHouse::Side::kHome}};
+  for (int i = 0; i < 10; ++i) {
+    const auto x = xdr(static_cast<unsigned>(i), kNl, kUk, 1024 * 1024);
+    claims.on_xdr(x);
+    if (i % 2 == 0) accruals.on_xdr(x);  // home side loses half the records
+  }
+  const auto report = reconcile_pair(claims.statements(), kNl, accruals.statements(), kUk);
+  EXPECT_TRUE(report.both_sides_present);
+  EXPECT_FALSE(report.clean());
+  EXPECT_GT(report.amount_gap, 0.0);
+  EXPECT_EQ(report.device_gap, 5u);
+}
+
+TEST(ClearingHouse, ReconciliationMissingSide) {
+  auto claims = visited_books();
+  claims.on_xdr(xdr(1, kNl, kUk, 1024));
+  const auto report =
+      reconcile_pair(claims.statements(), kEs, claims.statements(), kUk);
+  EXPECT_FALSE(report.both_sides_present);
+  EXPECT_FALSE(report.clean());
+}
+
+// --- Baseline classifier.
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  BaselineTest() {
+    catalog_.add({.tac = 1, .vendor = "Samsung", .model = "S",
+                  .os = cellnet::DeviceOs::kAndroid,
+                  .label = cellnet::GsmaLabel::kSmartphone,
+                  .bands = cellnet::RatMask{0b111}});
+    catalog_.add({.tac = 2, .vendor = "Nokia", .model = "F",
+                  .os = cellnet::DeviceOs::kProprietary,
+                  .label = cellnet::GsmaLabel::kFeaturePhone,
+                  .bands = cellnet::RatMask{0b001}});
+    catalog_.add({.tac = 3, .vendor = "Gemalto", .model = "M",
+                  .os = cellnet::DeviceOs::kProprietary,
+                  .label = cellnet::GsmaLabel::kModule,
+                  .bands = cellnet::RatMask{0b001}});
+    catalog_.add({.tac = 4, .vendor = "NoName", .model = "X",
+                  .os = cellnet::DeviceOs::kProprietary,
+                  .label = cellnet::GsmaLabel::kModem,
+                  .bands = cellnet::RatMask{0b001}});
+    catalog_.add({.tac = 5, .vendor = "ObscureCo", .model = "Y",
+                  .os = cellnet::DeviceOs::kProprietary,
+                  .label = cellnet::GsmaLabel::kUnknown,
+                  .bands = cellnet::RatMask{0b001}});
+  }
+
+  static DeviceSummary device(cellnet::Tac tac) {
+    DeviceSummary summary;
+    summary.device = tac;
+    summary.tac = tac;
+    return summary;
+  }
+
+  cellnet::TacCatalog catalog_;
+};
+
+TEST_F(BaselineTest, RulesInOrder) {
+  const BaselineVendorClassifier baseline{catalog_};
+  const std::vector<DeviceSummary> devices{device(1), device(2), device(3),
+                                           device(4), device(5), device(0)};
+  const auto result = baseline.classify(devices);
+  EXPECT_EQ(result.labels[0], ClassLabel::kSmart);     // smartphone label/OS
+  EXPECT_EQ(result.labels[1], ClassLabel::kFeat);      // feature label
+  EXPECT_EQ(result.labels[2], ClassLabel::kM2M);       // vendor list
+  EXPECT_EQ(result.labels[3], ClassLabel::kM2M);       // modem label
+  EXPECT_EQ(result.labels[4], ClassLabel::kM2MMaybe);  // unknown label
+  EXPECT_EQ(result.labels[5], ClassLabel::kM2MMaybe);  // no TAC at all
+}
+
+TEST_F(BaselineTest, IgnoresApns) {
+  const BaselineVendorClassifier baseline{catalog_};
+  auto dongle = device(3);  // Gemalto module hardware...
+  dongle.apns = {"payandgo.mobile"};  // ...on a consumer APN
+  const auto result = baseline.classify({{dongle}});
+  // The baseline cannot see the APN evidence: still m2m. This is the §4.3
+  // criticism the V1 harness quantifies.
+  EXPECT_EQ(result.labels[0], ClassLabel::kM2M);
+}
+
+TEST_F(BaselineTest, CustomVendorList) {
+  BaselineClassifierConfig config;
+  config.m2m_vendors = {"ObscureCo"};
+  const BaselineVendorClassifier baseline{catalog_, config};
+  EXPECT_TRUE(baseline.is_m2m_vendor("ObscureCo"));
+  EXPECT_FALSE(baseline.is_m2m_vendor("Gemalto"));
+  const auto result = baseline.classify({{device(5)}});
+  EXPECT_EQ(result.labels[0], ClassLabel::kM2M);
+}
+
+TEST(BaselineDefaults, BigThreeCovered) {
+  const auto vendors = default_m2m_vendor_list();
+  for (const auto* name : {"Gemalto", "Telit", "Sierra Wireless"}) {
+    EXPECT_NE(std::find(vendors.begin(), vendors.end(), name), vendors.end()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace wtr::core

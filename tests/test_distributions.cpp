@@ -1,0 +1,161 @@
+#include "stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wtr::stats {
+namespace {
+
+TEST(Normal, MeanZeroVarianceOne) {
+  Rng rng{1};
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = sample_standard_normal(rng);
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.02);
+}
+
+TEST(Exponential, MeanIsInverseRate) {
+  Rng rng{2};
+  for (double rate : {0.5, 1.0, 4.0}) {
+    double sum = 0.0;
+    constexpr int kN = 100'000;
+    for (int i = 0; i < kN; ++i) sum += sample_exponential(rng, rate);
+    EXPECT_NEAR(sum / kN, 1.0 / rate, 0.05 / rate);
+  }
+}
+
+TEST(Exponential, AlwaysPositive) {
+  Rng rng{3};
+  for (int i = 0; i < 10'000; ++i) EXPECT_GT(sample_exponential(rng, 2.0), 0.0);
+}
+
+class PoissonSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonSweep, MeanMatches) {
+  const double mean = GetParam();
+  Rng rng{static_cast<std::uint64_t>(mean * 100) + 5};
+  double sum = 0.0;
+  constexpr int kN = 50'000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(sample_poisson(rng, mean));
+  EXPECT_NEAR(sum / kN, mean, std::max(0.02, mean * 0.03));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonSweep,
+                         ::testing::Values(0.1, 0.5, 1.0, 3.0, 10.0, 50.0, 100.0, 500.0));
+
+TEST(Poisson, ZeroMeanGivesZero) {
+  Rng rng{6};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sample_poisson(rng, 0.0), 0u);
+}
+
+TEST(LogNormal, MedianIsExpMu) {
+  Rng rng{7};
+  std::vector<double> samples;
+  constexpr int kN = 50'000;
+  samples.reserve(kN);
+  for (int i = 0; i < kN; ++i) samples.push_back(sample_lognormal(rng, 2.0, 0.8));
+  std::sort(samples.begin(), samples.end());
+  EXPECT_NEAR(samples[kN / 2], std::exp(2.0), std::exp(2.0) * 0.05);
+}
+
+TEST(LogNormal, AlwaysPositive) {
+  Rng rng{8};
+  for (int i = 0; i < 10'000; ++i) EXPECT_GT(sample_lognormal(rng, 0.0, 2.0), 0.0);
+}
+
+TEST(Pareto, NeverBelowScale) {
+  Rng rng{9};
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(sample_pareto(rng, 3.0, 1.5), 3.0);
+}
+
+TEST(Pareto, TailIndexRoughlyHolds) {
+  // P(X > 2*xmin) = 2^-alpha for Pareto(type I).
+  Rng rng{10};
+  constexpr int kN = 100'000;
+  const double alpha = 2.0;
+  int above = 0;
+  for (int i = 0; i < kN; ++i) {
+    if (sample_pareto(rng, 1.0, alpha) > 2.0) ++above;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / kN, std::pow(2.0, -alpha), 0.01);
+}
+
+TEST(Geometric, MeanMatches) {
+  Rng rng{11};
+  const double p = 0.25;
+  double sum = 0.0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(sample_geometric(rng, p));
+  EXPECT_NEAR(sum / kN, (1.0 - p) / p, 0.05);
+}
+
+TEST(Geometric, CertainSuccessIsZero) {
+  Rng rng{12};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sample_geometric(rng, 1.0), 0u);
+}
+
+TEST(Zipf, PmfIsNormalizedAndMonotone) {
+  ZipfSampler zipf{100, 1.2};
+  double total = 0.0;
+  for (std::size_t r = 0; r < zipf.size(); ++r) {
+    total += zipf.pmf(r);
+    if (r > 0) {
+      EXPECT_LT(zipf.pmf(r), zipf.pmf(r - 1));
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, TopRankDominates) {
+  ZipfSampler zipf{50, 1.0};
+  Rng rng{13};
+  std::vector<int> counts(50, 0);
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, zipf.pmf(0), 0.01);
+}
+
+TEST(LogNormalMixture, TailWeightZeroIsPureBulk) {
+  LogNormalMixture mixture{.weight_tail = 0.0,
+                           .bulk_mu = 1.0,
+                           .bulk_sigma = 0.1,
+                           .tail_mu = 10.0,
+                           .tail_sigma = 0.1};
+  Rng rng{14};
+  for (int i = 0; i < 5'000; ++i) {
+    EXPECT_LT(mixture.sample(rng), 10.0);  // e^1 with tiny sigma << e^10
+  }
+}
+
+TEST(LogNormalMixture, TailInflatesUpperQuantiles) {
+  LogNormalMixture mixture{.weight_tail = 0.1,
+                           .bulk_mu = 1.0,
+                           .bulk_sigma = 0.3,
+                           .tail_mu = 6.0,
+                           .tail_sigma = 0.5};
+  Rng rng{15};
+  int big = 0;
+  constexpr int kN = 50'000;
+  for (int i = 0; i < kN; ++i) {
+    if (mixture.sample(rng) > 100.0) ++big;
+  }
+  EXPECT_NEAR(static_cast<double>(big) / kN, 0.1, 0.02);
+}
+
+TEST(Clamped, Clamps) {
+  EXPECT_EQ(clamped(5.0, 0.0, 10.0), 5.0);
+  EXPECT_EQ(clamped(-1.0, 0.0, 10.0), 0.0);
+  EXPECT_EQ(clamped(11.0, 0.0, 10.0), 10.0);
+}
+
+}  // namespace
+}  // namespace wtr::stats

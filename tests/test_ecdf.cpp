@@ -1,0 +1,132 @@
+#include "stats/ecdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace wtr::stats {
+namespace {
+
+TEST(Ecdf, EmptyBehaviour) {
+  Ecdf ecdf;
+  EXPECT_TRUE(ecdf.empty());
+  EXPECT_EQ(ecdf.size(), 0u);
+  EXPECT_EQ(ecdf.fraction_at_most(100.0), 0.0);
+  EXPECT_EQ(ecdf.describe(), "(empty)");
+}
+
+TEST(Ecdf, FractionAtMost) {
+  Ecdf ecdf{{1.0, 2.0, 3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at_most(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at_most(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at_most(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at_most(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at_most(99.0), 1.0);
+}
+
+TEST(Ecdf, FractionAboveComplements) {
+  Ecdf ecdf{{1.0, 2.0, 3.0, 4.0}};
+  for (double x : {0.0, 1.5, 2.0, 5.0}) {
+    EXPECT_DOUBLE_EQ(ecdf.fraction_at_most(x) + ecdf.fraction_above(x), 1.0);
+  }
+}
+
+TEST(Ecdf, QuantileEndpoints) {
+  Ecdf ecdf{{10.0, 20.0, 30.0}};
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(1.0), 30.0);
+  EXPECT_DOUBLE_EQ(ecdf.median(), 20.0);
+  EXPECT_DOUBLE_EQ(ecdf.min(), 10.0);
+  EXPECT_DOUBLE_EQ(ecdf.max(), 30.0);
+}
+
+TEST(Ecdf, QuantileInterpolates) {
+  Ecdf ecdf{{0.0, 10.0}};
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.25), 2.5);
+}
+
+TEST(Ecdf, QuantileClampsOutOfRange) {
+  Ecdf ecdf{{1.0, 2.0}};
+  EXPECT_DOUBLE_EQ(ecdf.quantile(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(2.0), 2.0);
+}
+
+TEST(Ecdf, SingleSample) {
+  Ecdf ecdf;
+  ecdf.add(7.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.3), 7.0);
+  EXPECT_DOUBLE_EQ(ecdf.mean(), 7.0);
+}
+
+TEST(Ecdf, AddCount) {
+  Ecdf ecdf;
+  ecdf.add_count(1.0, 3);
+  ecdf.add_count(2.0, 1);
+  EXPECT_EQ(ecdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at_most(1.0), 0.75);
+}
+
+TEST(Ecdf, AddAfterQueryResorts) {
+  Ecdf ecdf{{5.0, 1.0}};
+  EXPECT_DOUBLE_EQ(ecdf.median(), 3.0);
+  ecdf.add(0.0);
+  EXPECT_DOUBLE_EQ(ecdf.min(), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.median(), 1.0);
+}
+
+TEST(Ecdf, EvaluateSeries) {
+  Ecdf ecdf{{1.0, 2.0, 3.0, 4.0}};
+  const std::vector<double> points{0.0, 2.0, 5.0};
+  const auto series = ecdf.evaluate(points);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0], 0.0);
+  EXPECT_DOUBLE_EQ(series[1], 0.5);
+  EXPECT_DOUBLE_EQ(series[2], 1.0);
+}
+
+TEST(Ecdf, MeanMatchesArithmetic) {
+  Ecdf ecdf{{2.0, 4.0, 6.0}};
+  EXPECT_DOUBLE_EQ(ecdf.mean(), 4.0);
+}
+
+TEST(Ecdf, SortedSamplesAreSorted) {
+  Ecdf ecdf{{3.0, 1.0, 2.0}};
+  const auto& sorted = ecdf.sorted_samples();
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+}
+
+TEST(Ecdf, MakeEcdfProjection) {
+  struct Item {
+    int v;
+  };
+  const std::vector<Item> items{{1}, {2}, {3}};
+  const auto ecdf = make_ecdf(items, [](const Item& item) { return item.v; });
+  EXPECT_EQ(ecdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(ecdf.median(), 2.0);
+}
+
+// Property: F is monotone non-decreasing and quantile is its inverse-ish.
+class EcdfProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EcdfProperty, MonotoneAndConsistent) {
+  Rng rng{GetParam()};
+  Ecdf ecdf;
+  for (int i = 0; i < 500; ++i) ecdf.add(rng.uniform(-100.0, 100.0));
+  double prev = -1.0;
+  for (double x = -120.0; x <= 120.0; x += 7.5) {
+    const double f = ecdf.fraction_at_most(x);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double value = ecdf.quantile(q);
+    // F(quantile(q)) >= q (within the step granularity of 1/n).
+    EXPECT_GE(ecdf.fraction_at_most(value) + 1.0 / 500.0, q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EcdfProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace wtr::stats

@@ -1,0 +1,215 @@
+// Unit tests for the figure-level analysis functions on hand-built
+// populations (the integration tests cover them on simulated data; these
+// pin down the exact grouping/normalization semantics).
+
+#include <gtest/gtest.h>
+
+#include "core/activity_metrics.hpp"
+#include "core/rat_usage.hpp"
+#include "core/traffic_metrics.hpp"
+#include "core/vertical_analysis.hpp"
+
+namespace wtr::core {
+namespace {
+
+const cellnet::Plmn kObserver{234, 10, 2};
+const cellnet::Plmn kMvno{235, 50, 2};
+const cellnet::Plmn kForeign{204, 4, 2};
+
+struct Builder {
+  ClassifiedPopulation population{
+      .summaries = {},
+      .labels = {},
+      .classes = {},
+      .classification = {},
+      .labeler = RoamingLabeler{kObserver, {kMvno}},
+  };
+
+  DeviceSummary& add(cellnet::Plmn sim, ClassLabel cls,
+                     std::vector<cellnet::Plmn> visited = {kObserver}) {
+    DeviceSummary summary;
+    summary.device = population.summaries.size() + 1;
+    summary.sim_plmn = sim;
+    summary.visited_plmns = std::move(visited);
+    population.summaries.push_back(std::move(summary));
+    population.labels.push_back(population.labeler.label(
+        sim, population.summaries.back().visited_plmns));
+    population.classes.push_back(cls);
+    return population.summaries.back();
+  }
+};
+
+TEST(PopulationView, InboundAndNativePredicates) {
+  Builder b;
+  b.add(kObserver, ClassLabel::kSmart);            // H:H native
+  b.add(kMvno, ClassLabel::kSmart);                // V:H native
+  b.add(kForeign, ClassLabel::kM2M);               // I:H inbound
+  b.add(kObserver, ClassLabel::kSmart, {kForeign});  // H:A neither
+  EXPECT_TRUE(b.population.is_native_or_mvno(0));
+  EXPECT_TRUE(b.population.is_native_or_mvno(1));
+  EXPECT_FALSE(b.population.is_native_or_mvno(2));
+  EXPECT_TRUE(b.population.is_inbound(2));
+  EXPECT_FALSE(b.population.is_inbound(3));
+  EXPECT_FALSE(b.population.is_native_or_mvno(3));
+}
+
+TEST(ActiveDaysFigureUnit, GroupsByClassAndStatus) {
+  Builder b;
+  b.add(kForeign, ClassLabel::kM2M).active_days = 9;
+  b.add(kForeign, ClassLabel::kSmart).active_days = 2;
+  b.add(kObserver, ClassLabel::kM2M).active_days = 20;
+  b.add(kObserver, ClassLabel::kSmart).active_days = 19;
+  b.add(kForeign, ClassLabel::kFeat).active_days = 5;  // neither panel
+
+  const auto figure = active_days_figure(b.population);
+  ASSERT_EQ(figure.inbound_m2m.size(), 1u);
+  EXPECT_DOUBLE_EQ(figure.inbound_m2m.median(), 9.0);
+  ASSERT_EQ(figure.inbound_smart.size(), 1u);
+  EXPECT_DOUBLE_EQ(figure.inbound_smart.median(), 2.0);
+  EXPECT_DOUBLE_EQ(figure.native_m2m.median(), 20.0);
+  EXPECT_DOUBLE_EQ(figure.native_smart.median(), 19.0);
+}
+
+TEST(GyrationFigureUnit, SkipsPositionlessDevices) {
+  Builder b;
+  auto& with_pos = b.add(kForeign, ClassLabel::kM2M);
+  with_pos.has_position = true;
+  with_pos.mean_daily_gyration_m = 500.0;
+  b.add(kForeign, ClassLabel::kM2M);  // no position
+
+  const auto groups = gyration_figure(b.population);
+  ASSERT_TRUE(groups.contains("m2m/inbound"));
+  EXPECT_EQ(groups.at("m2m/inbound").size(), 1u);
+  EXPECT_DOUBLE_EQ(
+      gyration_share_above(b.population, ClassLabel::kM2M, true, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(
+      gyration_share_above(b.population, ClassLabel::kM2M, true, 1'000.0), 0.0);
+}
+
+TEST(TrafficFigureUnit, PerDayNormalization) {
+  Builder b;
+  auto& device = b.add(kForeign, ClassLabel::kM2M);
+  device.active_days = 4;
+  device.signaling_events = 40;
+  device.calls = 8;
+  device.bytes = 4'000;
+  b.add(kForeign, ClassLabel::kM2MMaybe);  // excluded
+
+  const auto figure = traffic_figure(b.population);
+  ASSERT_EQ(figure.signaling_per_day.size(), 1u);
+  const auto& ecdf = figure.signaling_per_day.at("m2m/inbound");
+  EXPECT_DOUBLE_EQ(ecdf.median(), 10.0);
+  EXPECT_DOUBLE_EQ(figure.calls_per_day.at("m2m/inbound").median(), 2.0);
+  EXPECT_DOUBLE_EQ(figure.bytes_per_day.at("m2m/inbound").median(), 1'000.0);
+}
+
+TEST(RatUsageFigureUnit, MaskLabelsAndShares) {
+  Builder b;
+  auto& two_g = b.add(kForeign, ClassLabel::kM2M);
+  two_g.radio_flags = cellnet::RatMask{0b001};
+  two_g.data_rats = cellnet::RatMask{0b001};
+  auto& silent = b.add(kForeign, ClassLabel::kM2M);
+  silent.radio_flags = cellnet::RatMask{0b001};
+  // no data, no voice → "none" in those panels
+  (void)silent;
+
+  const auto figure = rat_usage_figure(b.population);
+  EXPECT_DOUBLE_EQ(class_mask_share(figure.connectivity, ClassLabel::kM2M, "2G"), 1.0);
+  EXPECT_DOUBLE_EQ(class_mask_share(figure.data, ClassLabel::kM2M, "2G"), 0.5);
+  EXPECT_DOUBLE_EQ(class_mask_share(figure.data, ClassLabel::kM2M, "none"), 0.5);
+  EXPECT_DOUBLE_EQ(class_mask_share(figure.voice, ClassLabel::kM2M, "none"), 1.0);
+}
+
+TEST(VerticalFigureUnit, ApnDrivenGrouping) {
+  Builder b;
+  auto& car = b.add(kForeign, ClassLabel::kM2M);
+  car.apns = {"m2m.scania.com.mnc004.mcc204.gprs"};
+  car.active_days = 1;
+  car.signaling_events = 50;
+  auto& meter = b.add(kForeign, ClassLabel::kM2M);
+  meter.apns = {"smhp.centricaplc.com.mnc004.mcc204.gprs"};
+  meter.active_days = 1;
+  meter.signaling_events = 5;
+  auto& phone = b.add(kForeign, ClassLabel::kSmart);
+  phone.active_days = 1;
+  phone.signaling_events = 40;
+  b.add(kObserver, ClassLabel::kM2M).apns = {"m2m.scania.com"};  // native: excluded
+
+  const auto figure = vertical_figure(b.population);
+  ASSERT_TRUE(figure.signaling_per_day.contains("connected-car"));
+  ASSERT_TRUE(figure.signaling_per_day.contains("smart-meter"));
+  ASSERT_TRUE(figure.signaling_per_day.contains("smartphone"));
+  EXPECT_EQ(figure.signaling_per_day.at("connected-car").size(), 1u);
+  EXPECT_DOUBLE_EQ(figure.signaling_per_day.at("connected-car").median(), 50.0);
+  EXPECT_DOUBLE_EQ(figure.signaling_per_day.at("smart-meter").median(), 5.0);
+}
+
+TEST(VerticalFromApn, KeywordLookup) {
+  EXPECT_EQ(vertical_from_apn(cellnet::Apn::parse("m2m.scania.com")),
+            devices::Vertical::kConnectedCar);
+  EXPECT_EQ(vertical_from_apn(cellnet::Apn::parse("smhp.rwe.com")),
+            devices::Vertical::kSmartMeter);
+  EXPECT_EQ(vertical_from_apn(cellnet::Apn::parse("data.trackunit.com")),
+            devices::Vertical::kLogisticsTracker);
+  EXPECT_FALSE(vertical_from_apn(cellnet::Apn::parse("internet")).has_value());
+}
+
+TEST(VerticalOfDevice, FirstRecognizableWins) {
+  DeviceSummary summary;
+  summary.apns = {"internet", "telemetry.alarmnet.com"};
+  EXPECT_EQ(vertical_of_device(summary), devices::Vertical::kSecurityAlarm);
+  summary.apns = {"internet"};
+  EXPECT_FALSE(vertical_of_device(summary).has_value());
+}
+
+TEST(CensusHelpers, HeatmapsFromSyntheticPopulation) {
+  Builder b;
+  b.add(kForeign, ClassLabel::kM2M);
+  b.add(kForeign, ClassLabel::kM2M);
+  b.add(cellnet::Plmn{240, 1, 2}, ClassLabel::kSmart);  // SE smartphone
+  b.add(kObserver, ClassLabel::kSmart);                 // native: not inbound
+
+  const auto countries = inbound_home_countries(b.population);
+  EXPECT_EQ(countries.total(), 3u);
+  EXPECT_EQ(countries.count("NL"), 2u);
+  EXPECT_EQ(countries.count("SE"), 1u);
+
+  const auto by_class = inbound_home_country_by_class(b.population);
+  EXPECT_DOUBLE_EQ(by_class.row_share("m2m", "NL"), 1.0);
+  EXPECT_DOUBLE_EQ(by_class.row_share("smart", "SE"), 1.0);
+
+  const auto heatmap = class_vs_label(b.population);
+  EXPECT_EQ(heatmap.at("m2m", "I:H"), 2u);
+  EXPECT_EQ(heatmap.at("smart", "H:H"), 1u);
+  EXPECT_DOUBLE_EQ(heatmap.col_share("m2m", "I:H"), 2.0 / 3.0);
+}
+
+TEST(SilentRoamers, CountsSignalingOnlyInbound) {
+  Builder b;
+  auto& silent = b.add(kForeign, ClassLabel::kM2M);
+  silent.signaling_events = 50;  // no bytes, no calls
+  auto& chatty = b.add(kForeign, ClassLabel::kSmart);
+  chatty.signaling_events = 50;
+  chatty.bytes = 1'000;
+  auto& native_quiet = b.add(kObserver, ClassLabel::kM2M);
+  native_quiet.signaling_events = 50;  // native: out of scope
+  auto& voice_only = b.add(kForeign, ClassLabel::kM2M);
+  voice_only.signaling_events = 10;
+  voice_only.calls = 2;  // voice counts as usage
+
+  const auto stats = silent_roamers(b.population);
+  EXPECT_EQ(stats.inbound_devices, 3u);
+  EXPECT_EQ(stats.silent, 1u);
+  EXPECT_DOUBLE_EQ(stats.share(), 1.0 / 3.0);
+  EXPECT_EQ(stats.silent_by_class.at("m2m"), 1u);
+}
+
+TEST(SilentRoamers, EmptyPopulation) {
+  Builder b;
+  const auto stats = silent_roamers(b.population);
+  EXPECT_EQ(stats.inbound_devices, 0u);
+  EXPECT_DOUBLE_EQ(stats.share(), 0.0);
+}
+
+}  // namespace
+}  // namespace wtr::core

@@ -1,0 +1,89 @@
+#include "cellnet/geo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace wtr::cellnet {
+namespace {
+
+TEST(Geo, HaversineZeroForSamePoint) {
+  const GeoPoint p{51.5, -0.1};
+  EXPECT_DOUBLE_EQ(haversine_m(p, p), 0.0);
+}
+
+TEST(Geo, HaversineKnownDistance) {
+  // London to Paris is roughly 344 km.
+  const GeoPoint london{51.5074, -0.1278};
+  const GeoPoint paris{48.8566, 2.3522};
+  EXPECT_NEAR(haversine_m(london, paris), 344'000.0, 5'000.0);
+}
+
+TEST(Geo, HaversineSymmetric) {
+  const GeoPoint a{40.0, -3.0};
+  const GeoPoint b{-33.0, 151.0};
+  EXPECT_DOUBLE_EQ(haversine_m(a, b), haversine_m(b, a));
+}
+
+TEST(Geo, OffsetInvertsApproximately) {
+  const GeoPoint origin{52.0, 5.0};
+  const GeoPoint moved = offset_m(origin, 3'000.0, -4'000.0);
+  EXPECT_NEAR(haversine_m(origin, moved), 5'000.0, 10.0);
+}
+
+TEST(Geo, OffsetNorthChangesOnlyLatitude) {
+  const GeoPoint origin{10.0, 20.0};
+  const GeoPoint moved = offset_m(origin, 0.0, 10'000.0);
+  EXPECT_DOUBLE_EQ(moved.lon, origin.lon);
+  EXPECT_GT(moved.lat, origin.lat);
+}
+
+TEST(Geo, WeightedCentroidSimple) {
+  const std::array<GeoPoint, 2> points{GeoPoint{0.0, 0.0}, GeoPoint{2.0, 2.0}};
+  const std::array<double, 2> equal{1.0, 1.0};
+  const auto mid = weighted_centroid(points, equal);
+  EXPECT_NEAR(mid.lat, 1.0, 1e-9);
+  EXPECT_NEAR(mid.lon, 1.0, 1e-9);
+
+  const std::array<double, 2> skewed{3.0, 1.0};
+  const auto near_first = weighted_centroid(points, skewed);
+  EXPECT_NEAR(near_first.lat, 0.5, 1e-9);
+}
+
+TEST(Geo, CentroidIgnoresNegativeWeights) {
+  const std::array<GeoPoint, 2> points{GeoPoint{0.0, 0.0}, GeoPoint{2.0, 2.0}};
+  const std::array<double, 2> weights{-5.0, 1.0};
+  const auto c = weighted_centroid(points, weights);
+  EXPECT_NEAR(c.lat, 2.0, 1e-9);
+}
+
+TEST(Geo, GyrationZeroCases) {
+  const std::array<GeoPoint, 1> single{GeoPoint{1.0, 1.0}};
+  const std::array<double, 1> w{5.0};
+  EXPECT_DOUBLE_EQ(radius_of_gyration_m(single, w), 0.0);
+
+  const std::array<GeoPoint, 3> same{GeoPoint{1.0, 1.0}, GeoPoint{1.0, 1.0},
+                                     GeoPoint{1.0, 1.0}};
+  const std::array<double, 3> w3{1.0, 2.0, 3.0};
+  EXPECT_NEAR(radius_of_gyration_m(same, w3), 0.0, 1e-6);
+}
+
+TEST(Geo, GyrationOfSymmetricPair) {
+  // Two equal-weight points: gyration = half the separation.
+  const GeoPoint a{52.0, 5.0};
+  const GeoPoint b = offset_m(a, 2'000.0, 0.0);
+  const std::array<GeoPoint, 2> points{a, b};
+  const std::array<double, 2> weights{1.0, 1.0};
+  EXPECT_NEAR(radius_of_gyration_m(points, weights), 1'000.0, 5.0);
+}
+
+TEST(Geo, GyrationGrowsWithSpread) {
+  const GeoPoint center{45.0, 10.0};
+  const std::array<double, 2> weights{1.0, 1.0};
+  const std::array<GeoPoint, 2> near{center, offset_m(center, 500.0, 0.0)};
+  const std::array<GeoPoint, 2> far{center, offset_m(center, 5'000.0, 0.0)};
+  EXPECT_LT(radius_of_gyration_m(near, weights), radius_of_gyration_m(far, weights));
+}
+
+}  // namespace
+}  // namespace wtr::cellnet

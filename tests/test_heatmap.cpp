@@ -1,0 +1,75 @@
+#include "stats/heatmap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wtr::stats {
+namespace {
+
+Heatmap sample() {
+  Heatmap h;
+  h.add("m2m", "I:H", 70);
+  h.add("m2m", "H:H", 30);
+  h.add("smart", "I:H", 10);
+  h.add("smart", "H:H", 90);
+  return h;
+}
+
+TEST(Heatmap, CountsAndTotals) {
+  const auto h = sample();
+  EXPECT_EQ(h.at("m2m", "I:H"), 70u);
+  EXPECT_EQ(h.at("m2m", "missing"), 0u);
+  EXPECT_EQ(h.at("missing", "I:H"), 0u);
+  EXPECT_EQ(h.row_total("m2m"), 100u);
+  EXPECT_EQ(h.col_total("I:H"), 80u);
+  EXPECT_EQ(h.total(), 200u);
+}
+
+TEST(Heatmap, Shares) {
+  const auto h = sample();
+  EXPECT_DOUBLE_EQ(h.row_share("m2m", "I:H"), 0.7);
+  EXPECT_DOUBLE_EQ(h.col_share("m2m", "I:H"), 70.0 / 80.0);
+  EXPECT_DOUBLE_EQ(h.global_share("smart", "H:H"), 0.45);
+  EXPECT_DOUBLE_EQ(h.row_share("missing", "I:H"), 0.0);
+}
+
+TEST(Heatmap, OrderingByTotal) {
+  const auto h = sample();
+  const auto rows = h.rows_by_total();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], "m2m");  // equal totals broken alphabetically? both 100
+  const auto cols = h.cols_by_total();
+  EXPECT_EQ(cols[0], "H:H");  // 120 > 80
+}
+
+TEST(Heatmap, GroupMinorColumns) {
+  Heatmap h;
+  h.add("r", "big", 98);
+  h.add("r", "tiny1", 1);
+  h.add("r", "tiny2", 1);
+  const auto grouped = h.with_minor_cols_grouped(0.05, "Other");
+  EXPECT_EQ(grouped.at("r", "big"), 98u);
+  EXPECT_EQ(grouped.at("r", "Other"), 2u);
+  EXPECT_EQ(grouped.at("r", "tiny1"), 0u);
+  EXPECT_EQ(grouped.total(), 100u);
+}
+
+TEST(Heatmap, GroupingKeepsRowTotals) {
+  Heatmap h;
+  h.add("a", "x", 50);
+  h.add("a", "y", 1);
+  h.add("b", "x", 40);
+  h.add("b", "z", 9);
+  const auto grouped = h.with_minor_cols_grouped(0.05, "Other");
+  EXPECT_EQ(grouped.row_total("a"), h.row_total("a"));
+  EXPECT_EQ(grouped.row_total("b"), h.row_total("b"));
+}
+
+TEST(Heatmap, EmptyHeatmap) {
+  Heatmap h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.global_share("a", "b"), 0.0);
+  EXPECT_TRUE(h.rows_by_total().empty());
+}
+
+}  // namespace
+}  // namespace wtr::stats

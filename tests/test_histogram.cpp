@@ -1,0 +1,111 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wtr::stats {
+namespace {
+
+TEST(LinearHistogram, BinBoundaries) {
+  LinearHistogram h{0.0, 10.0, 5};
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(4), 10.0);
+}
+
+TEST(LinearHistogram, PlacesValues) {
+  LinearHistogram h{0.0, 10.0, 5};
+  h.add(0.0);
+  h.add(1.99);
+  h.add(2.0);
+  h.add(9.99);
+  EXPECT_EQ(h.bin_value(0), 2u);
+  EXPECT_EQ(h.bin_value(1), 1u);
+  EXPECT_EQ(h.bin_value(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(LinearHistogram, UnderOverflow) {
+  LinearHistogram h{0.0, 10.0, 2};
+  h.add(-0.1);
+  h.add(10.0);
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(LinearHistogram, WeightedAdd) {
+  LinearHistogram h{0.0, 4.0, 2};
+  h.add(1.0, 5);
+  EXPECT_EQ(h.bin_value(0), 5u);
+}
+
+TEST(LogHistogram, ZeroBin) {
+  LogHistogram h;
+  h.add(0.0);
+  h.add(0.9);
+  EXPECT_EQ(h.zero_bin(), 2u);
+}
+
+TEST(LogHistogram, PowersOfTwo) {
+  LogHistogram h;
+  h.add(1.0);    // bin 0: [1, 2)
+  h.add(1.99);
+  h.add(2.0);    // bin 1: [2, 4)
+  h.add(1024.0); // bin 10
+  EXPECT_EQ(h.bin_value(0), 2u);
+  EXPECT_EQ(h.bin_value(1), 1u);
+  EXPECT_EQ(h.bin_value(10), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(LogHistogram, HugeValuesClampToLastBin) {
+  LogHistogram h{8};
+  h.add(1e30);
+  EXPECT_EQ(h.bin_value(8), 1u);
+}
+
+TEST(CategoryCounter, CountsAndShares) {
+  CategoryCounter counter;
+  counter.add("a", 3);
+  counter.add("b");
+  counter.add("a");
+  EXPECT_EQ(counter.total(), 5u);
+  EXPECT_EQ(counter.count("a"), 4u);
+  EXPECT_EQ(counter.count("missing"), 0u);
+  EXPECT_DOUBLE_EQ(counter.share("a"), 0.8);
+  EXPECT_EQ(counter.distinct(), 2u);
+}
+
+TEST(CategoryCounter, SortedDescendingWithTieBreak) {
+  CategoryCounter counter;
+  counter.add("x", 2);
+  counter.add("a", 2);
+  counter.add("z", 5);
+  const auto ranked = counter.sorted();
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].first, "z");
+  EXPECT_EQ(ranked[1].first, "a");  // tie broken alphabetically
+  EXPECT_EQ(ranked[2].first, "x");
+}
+
+TEST(CategoryCounter, TopKShare) {
+  CategoryCounter counter;
+  counter.add("a", 6);
+  counter.add("b", 3);
+  counter.add("c", 1);
+  EXPECT_DOUBLE_EQ(counter.top_k_share(1), 0.6);
+  EXPECT_DOUBLE_EQ(counter.top_k_share(2), 0.9);
+  EXPECT_DOUBLE_EQ(counter.top_k_share(10), 1.0);
+}
+
+TEST(CategoryCounter, EmptyShares) {
+  CategoryCounter counter;
+  EXPECT_DOUBLE_EQ(counter.share("a"), 0.0);
+  EXPECT_DOUBLE_EQ(counter.top_k_share(3), 0.0);
+}
+
+}  // namespace
+}  // namespace wtr::stats

@@ -1,0 +1,98 @@
+// IMSI and IMEI identity tests.
+
+#include <gtest/gtest.h>
+
+#include "cellnet/imei.hpp"
+#include "cellnet/imsi.hpp"
+
+namespace wtr::cellnet {
+namespace {
+
+TEST(Imsi, ToStringPads) {
+  const Imsi imsi{Plmn{214, 7, 2}, 42};
+  EXPECT_EQ(imsi.to_string(), "214070000000042");
+  EXPECT_EQ(imsi.to_string().size(), 15u);
+}
+
+TEST(Imsi, ParseRoundTrip) {
+  // 3-digit MNC leaves 9 digits for the MSIN (15-digit budget).
+  const Imsi original{Plmn{310, 410, 3}, 987'654'321ULL};
+  ASSERT_TRUE(original.valid());
+  EXPECT_EQ(original.to_string().size(), 15u);
+  const auto parsed = Imsi::parse(original.to_string(), 3);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(Imsi, MsinLimitDependsOnMncWidth) {
+  EXPECT_FALSE((Imsi{Plmn{310, 410, 3}, 1'000'000'000ULL}.valid()));
+  EXPECT_TRUE((Imsi{Plmn{214, 7, 2}, 9'999'999'999ULL}.valid()));
+}
+
+TEST(Imsi, ParseRejectsBadInput) {
+  EXPECT_FALSE(Imsi::parse("abc", 2).has_value());
+  EXPECT_FALSE(Imsi::parse("12345", 2).has_value());
+  EXPECT_FALSE(Imsi::parse("2140700000000421234567", 2).has_value());  // too long
+  EXPECT_FALSE(Imsi::parse("214070000000042", 4).has_value());        // bad width
+}
+
+TEST(Imsi, Validity) {
+  EXPECT_TRUE((Imsi{Plmn{214, 7, 2}, 1}.valid()));
+  EXPECT_FALSE((Imsi{Plmn{}, 1}.valid()));
+  EXPECT_FALSE((Imsi{Plmn{214, 7, 2}, 10'000'000'000ULL}.valid()));
+}
+
+TEST(ImsiRange, ContainsAndAt) {
+  const Plmn plmn{234, 10, 2};
+  const ImsiRange range{plmn, 100, 200};
+  EXPECT_EQ(range.size(), 100u);
+  EXPECT_TRUE(range.contains(Imsi{plmn, 100}));
+  EXPECT_TRUE(range.contains(Imsi{plmn, 199}));
+  EXPECT_FALSE(range.contains(Imsi{plmn, 200}));
+  EXPECT_FALSE(range.contains(Imsi{plmn, 99}));
+  EXPECT_FALSE(range.contains(Imsi{Plmn{214, 7, 2}, 150}));
+  EXPECT_EQ(range.at(0).msin(), 100u);
+  EXPECT_EQ(range.at(99).msin(), 199u);
+}
+
+TEST(Luhn, KnownCheckDigits) {
+  // Classic Luhn example: 7992739871 → check digit 3.
+  EXPECT_EQ(luhn_check_digit("7992739871"), 3);
+  // IMEI example: 49015420323751 → check digit 8.
+  EXPECT_EQ(luhn_check_digit("49015420323751"), 8);
+}
+
+TEST(Imei, ToStringAppendsValidLuhn) {
+  const Imei imei{49015420, 323751};
+  const auto text = imei.to_string();
+  EXPECT_EQ(text, "490154203237518");
+  EXPECT_EQ(text.size(), 15u);
+}
+
+TEST(Imei, ParseValidatesLuhn) {
+  EXPECT_TRUE(Imei::parse("490154203237518").has_value());
+  EXPECT_FALSE(Imei::parse("490154203237519").has_value());  // wrong check digit
+}
+
+TEST(Imei, Parse14DigitsSkipsCheck) {
+  const auto imei = Imei::parse("49015420323751");
+  ASSERT_TRUE(imei.has_value());
+  EXPECT_EQ(imei->tac(), 49015420u);
+  EXPECT_EQ(imei->serial(), 323751u);
+}
+
+TEST(Imei, ParseRejectsBadInput) {
+  EXPECT_FALSE(Imei::parse("").has_value());
+  EXPECT_FALSE(Imei::parse("4901542032375x").has_value());
+  EXPECT_FALSE(Imei::parse("1234567890123456").has_value());
+}
+
+TEST(Imei, RoundTrip) {
+  const Imei original{35'000'123, 456};
+  const auto parsed = Imei::parse(original.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, original);
+}
+
+}  // namespace
+}  // namespace wtr::cellnet

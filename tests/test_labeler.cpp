@@ -1,0 +1,91 @@
+#include "core/roaming_labeler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wtr::core {
+namespace {
+
+const cellnet::Plmn kObserver{234, 10, 2};
+const cellnet::Plmn kMvno{235, 50, 2};
+const cellnet::Plmn kNationalRival{234, 30, 2};
+const cellnet::Plmn kDutch{204, 4, 2};
+const cellnet::Plmn kSpanish{214, 7, 2};
+
+RoamingLabeler make_labeler() { return RoamingLabeler{kObserver, {kMvno}}; }
+
+TEST(RoamingLabeler, SimSides) {
+  const auto labeler = make_labeler();
+  EXPECT_EQ(labeler.sim_side(kObserver), SimSide::kHome);
+  EXPECT_EQ(labeler.sim_side(kMvno), SimSide::kVirtual);
+  EXPECT_EQ(labeler.sim_side(kNationalRival), SimSide::kNational);
+  EXPECT_EQ(labeler.sim_side(kDutch), SimSide::kInternational);
+}
+
+TEST(RoamingLabeler, NativeDevice) {
+  const auto labeler = make_labeler();
+  const std::vector<cellnet::Plmn> visited{kObserver};
+  EXPECT_EQ(labeler.label(kObserver, visited), kNativeLabel);
+}
+
+TEST(RoamingLabeler, InboundRoamer) {
+  const auto labeler = make_labeler();
+  const std::vector<cellnet::Plmn> visited{kObserver};
+  EXPECT_EQ(labeler.label(kDutch, visited), kInboundRoamerLabel);
+  EXPECT_EQ(labeler.label(kSpanish, visited), kInboundRoamerLabel);
+}
+
+TEST(RoamingLabeler, OutboundRoamer) {
+  const auto labeler = make_labeler();
+  const std::vector<cellnet::Plmn> visited{kSpanish};
+  const auto label = labeler.label(kObserver, visited);
+  EXPECT_EQ(label.sim, SimSide::kHome);
+  EXPECT_EQ(label.net, NetSide::kAbroad);
+  EXPECT_EQ(roaming_label_name(label), "H:A");
+}
+
+TEST(RoamingLabeler, MvnoVariants) {
+  const auto labeler = make_labeler();
+  EXPECT_EQ(roaming_label_name(labeler.label(kMvno, std::vector{kObserver})), "V:H");
+  EXPECT_EQ(roaming_label_name(labeler.label(kMvno, std::vector{kDutch})), "V:A");
+}
+
+TEST(RoamingLabeler, NationalRoamerOnObserver) {
+  const auto labeler = make_labeler();
+  EXPECT_EQ(roaming_label_name(labeler.label(kNationalRival, std::vector{kObserver})),
+            "N:H");
+}
+
+TEST(RoamingLabeler, MixedVisitedCountsAsHome) {
+  // A day spanning the observer's network and a foreign one: Y = H.
+  const auto labeler = make_labeler();
+  const std::vector<cellnet::Plmn> visited{kSpanish, kObserver};
+  EXPECT_EQ(labeler.label(kObserver, visited).net, NetSide::kHome);
+}
+
+TEST(RoamingLabeler, EmptyVisitedIsAbroad) {
+  const auto labeler = make_labeler();
+  EXPECT_EQ(labeler.label(kObserver, {}).net, NetSide::kAbroad);
+}
+
+TEST(RoamingLabeler, ObservableLabelsAreSixAndNamed) {
+  const auto labels = observable_labels();
+  ASSERT_EQ(labels.size(), 6u);
+  EXPECT_EQ(roaming_label_name(labels[0]), "H:H");
+  EXPECT_EQ(roaming_label_name(labels[1]), "V:H");
+  EXPECT_EQ(roaming_label_name(labels[2]), "N:H");
+  EXPECT_EQ(roaming_label_name(labels[3]), "I:H");
+  EXPECT_EQ(roaming_label_name(labels[4]), "H:A");
+  EXPECT_EQ(roaming_label_name(labels[5]), "V:A");
+}
+
+TEST(RoamingLabeler, AllEightNamesRender) {
+  for (auto sim : {SimSide::kHome, SimSide::kVirtual, SimSide::kNational,
+                   SimSide::kInternational}) {
+    for (auto net : {NetSide::kHome, NetSide::kAbroad}) {
+      EXPECT_NE(roaming_label_name(RoamingLabel{sim, net}), "?");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wtr::core

@@ -1,0 +1,104 @@
+#include "core/mobility_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace wtr::core {
+namespace {
+
+TEST(GyrationAccumulator, EmptyIsZero) {
+  GyrationAccumulator acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_DOUBLE_EQ(acc.gyration_m(), 0.0);
+}
+
+TEST(GyrationAccumulator, SinglePointZeroGyration) {
+  GyrationAccumulator acc;
+  acc.add({51.5, -0.1}, 100.0);
+  EXPECT_FALSE(acc.empty());
+  EXPECT_DOUBLE_EQ(acc.gyration_m(), 0.0);
+  EXPECT_NEAR(acc.centroid().lat, 51.5, 1e-9);
+}
+
+TEST(GyrationAccumulator, IgnoresNonPositiveWeights) {
+  GyrationAccumulator acc;
+  acc.add({51.5, -0.1}, 0.0);
+  acc.add({51.5, -0.1}, -5.0);
+  EXPECT_TRUE(acc.empty());
+}
+
+TEST(GyrationAccumulator, MatchesDirectFormula) {
+  // Compare against cellnet::radius_of_gyration_m on the same points.
+  stats::Rng rng{3};
+  std::vector<cellnet::GeoPoint> points;
+  std::vector<double> weights;
+  GyrationAccumulator acc;
+  const cellnet::GeoPoint base{52.0, 5.0};
+  for (int i = 0; i < 50; ++i) {
+    const auto p = cellnet::offset_m(base, rng.uniform(-5'000.0, 5'000.0),
+                                     rng.uniform(-5'000.0, 5'000.0));
+    const double w = rng.uniform(1.0, 100.0);
+    points.push_back(p);
+    weights.push_back(w);
+    acc.add(p, w);
+  }
+  const double direct = cellnet::radius_of_gyration_m(points, weights);
+  EXPECT_NEAR(acc.gyration_m(), direct, direct * 0.02 + 1.0);
+
+  const auto centroid = cellnet::weighted_centroid(points, weights);
+  EXPECT_NEAR(acc.centroid().lat, centroid.lat, 1e-4);
+  EXPECT_NEAR(acc.centroid().lon, centroid.lon, 1e-4);
+}
+
+TEST(GyrationAccumulator, SymmetricPairHalfSeparation) {
+  const cellnet::GeoPoint a{48.0, 2.0};
+  const auto b = cellnet::offset_m(a, 0.0, 3'000.0);
+  GyrationAccumulator acc;
+  acc.add(a, 1.0);
+  acc.add(b, 1.0);
+  EXPECT_NEAR(acc.gyration_m(), 1'500.0, 10.0);
+}
+
+TEST(GyrationAccumulator, WeightsShiftCentroid) {
+  const cellnet::GeoPoint a{48.0, 2.0};
+  const auto b = cellnet::offset_m(a, 4'000.0, 0.0);
+  GyrationAccumulator acc;
+  acc.add(a, 3.0);
+  acc.add(b, 1.0);
+  // Centroid at 1/4 of the separation from a.
+  EXPECT_NEAR(cellnet::haversine_m(acc.centroid(), a), 1'000.0, 15.0);
+}
+
+TEST(GyrationAccumulator, MergeMatchesCombined) {
+  stats::Rng rng{9};
+  const cellnet::GeoPoint base{40.4, -3.7};
+  GyrationAccumulator combined;
+  GyrationAccumulator left;
+  GyrationAccumulator right;
+  for (int i = 0; i < 60; ++i) {
+    const auto p = cellnet::offset_m(base, rng.uniform(-8'000.0, 8'000.0),
+                                     rng.uniform(-8'000.0, 8'000.0));
+    const double w = rng.uniform(1.0, 10.0);
+    combined.add(p, w);
+    (i % 2 == 0 ? left : right).add(p, w);
+  }
+  left.merge(right);
+  EXPECT_NEAR(left.total_weight(), combined.total_weight(), 1e-9);
+  EXPECT_NEAR(left.gyration_m(), combined.gyration_m(), combined.gyration_m() * 0.01);
+}
+
+TEST(GyrationAccumulator, MergeWithEmpty) {
+  GyrationAccumulator acc;
+  acc.add({50.0, 1.0}, 10.0);
+  GyrationAccumulator empty;
+  acc.merge(empty);
+  EXPECT_NEAR(acc.total_weight(), 10.0, 1e-12);
+  empty.merge(acc);
+  EXPECT_NEAR(empty.total_weight(), 10.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace wtr::core

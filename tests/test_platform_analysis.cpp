@@ -1,0 +1,132 @@
+#include "core/platform_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wtr::core {
+namespace {
+
+const cellnet::Plmn kEs{214, 7, 2};
+const cellnet::Plmn kMx{334, 20, 2};
+const cellnet::Plmn kGb{234, 1, 2};
+const cellnet::Plmn kFr{208, 1, 2};
+
+signaling::SignalingTransaction txn(signaling::DeviceHash device, cellnet::Plmn sim,
+                                    cellnet::Plmn visited,
+                                    signaling::ResultCode result = signaling::ResultCode::kOk,
+                                    cellnet::Rat rat = cellnet::Rat::kFourG,
+                                    signaling::Procedure procedure =
+                                        signaling::Procedure::kUpdateLocation) {
+  signaling::SignalingTransaction t;
+  t.device = device;
+  t.sim_plmn = sim;
+  t.visited_plmn = visited;
+  t.result = result;
+  t.rat = rat;
+  t.procedure = procedure;
+  return t;
+}
+
+PlatformTraceAccumulator make_acc() {
+  return PlatformTraceAccumulator{{{kEs, kMx}}};
+}
+
+TEST(PlatformAccumulator, FiltersNonPlatformTraffic) {
+  auto acc = make_acc();
+  acc.on_signaling(txn(1, kEs, kGb), true);                                  // kept
+  acc.on_signaling(txn(2, kGb, kGb), true);                                  // not an HMNO SIM
+  acc.on_signaling(txn(3, kEs, kGb, signaling::ResultCode::kOk,
+                       cellnet::Rat::kTwoG), true);                          // not 4G
+  acc.on_signaling(txn(4, kEs, kGb, signaling::ResultCode::kOk, cellnet::Rat::kFourG,
+                       signaling::Procedure::kTrackingAreaUpdate), true);    // not probed
+  EXPECT_EQ(acc.captured_records(), 1u);
+}
+
+TEST(PlatformAccumulator, PerHmnoShares) {
+  auto acc = make_acc();
+  acc.on_signaling(txn(1, kEs, kGb), true);
+  acc.on_signaling(txn(2, kEs, kFr), true);
+  acc.on_signaling(txn(3, kMx, kMx), true);
+  const auto stats = acc.finalize();
+  EXPECT_EQ(stats.total_devices, 3u);
+  EXPECT_EQ(stats.total_records, 3u);
+  ASSERT_EQ(stats.per_hmno.size(), 2u);
+  EXPECT_EQ(stats.per_hmno[0].home_iso, "ES");  // more devices
+  EXPECT_EQ(stats.per_hmno[0].devices, 2u);
+  EXPECT_DOUBLE_EQ(stats.per_hmno[0].device_share(stats.total_devices), 2.0 / 3.0);
+}
+
+TEST(PlatformAccumulator, RoamingVsNative) {
+  auto acc = make_acc();
+  acc.on_signaling(txn(1, kEs, kGb), true);  // ES SIM on GB network: roaming
+  acc.on_signaling(txn(2, kEs, kEs), true);  // ES SIM at home
+  const auto stats = acc.finalize();
+  EXPECT_EQ(stats.records_roaming.size(), 1u);
+  EXPECT_EQ(stats.records_native.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats.es_nonroaming_device_share, 0.5);
+}
+
+TEST(PlatformAccumulator, VmnoCountsAndSwitches) {
+  auto acc = make_acc();
+  // Device 1 bounces GB → FR → GB: 3 VMNO switches... 2 switches, 2 VMNOs.
+  acc.on_signaling(txn(1, kEs, kGb), true);
+  acc.on_signaling(txn(1, kEs, kFr), true);
+  acc.on_signaling(txn(1, kEs, kGb), true);
+  // Device 2 stays on one VMNO.
+  acc.on_signaling(txn(2, kEs, kGb), true);
+  acc.on_signaling(txn(2, kEs, kGb), true);
+  const auto stats = acc.finalize();
+  // Only roaming devices feed the VMNO ECDF.
+  EXPECT_EQ(stats.vmnos_per_roaming_device.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats.vmnos_per_roaming_device.max(), 2.0);
+  // Multi-VMNO devices: one, with 2 switches.
+  EXPECT_EQ(stats.switches_multi_vmno.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats.switches_multi_vmno.max(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.share_multi_vmno_devices, 0.5);
+}
+
+TEST(PlatformAccumulator, FailureSplit) {
+  auto acc = make_acc();
+  acc.on_signaling(txn(1, kEs, kGb, signaling::ResultCode::kRoamingNotAllowed), true);
+  acc.on_signaling(txn(1, kEs, kFr, signaling::ResultCode::kFeatureUnsupported), true);
+  acc.on_signaling(txn(2, kEs, kGb), true);
+  const auto stats = acc.finalize();
+  EXPECT_DOUBLE_EQ(stats.fraction_failed_only, 0.5);
+  EXPECT_DOUBLE_EQ(stats.fraction_any_success, 0.5);
+  EXPECT_EQ(stats.max_vmnos_failed_only, 2u);
+  EXPECT_EQ(stats.records_4g_ok.size(), 1u);
+}
+
+TEST(PlatformAccumulator, FootprintCountsDeviceCountryIncidence) {
+  auto acc = make_acc();
+  acc.on_signaling(txn(1, kEs, kGb), true);
+  acc.on_signaling(txn(1, kEs, kGb), true);  // same country: once
+  acc.on_signaling(txn(1, kEs, kFr), true);
+  const auto stats = acc.finalize();
+  EXPECT_EQ(stats.footprint.at("ES", "GB"), 1u);
+  EXPECT_EQ(stats.footprint.at("ES", "FR"), 1u);
+  EXPECT_EQ(stats.footprint.row_total("ES"), 2u);
+}
+
+TEST(PlatformAccumulator, EsConcentration) {
+  auto acc = make_acc();
+  // One heavy device with 8 records in GB, two light ones with 1 each.
+  for (int i = 0; i < 8; ++i) acc.on_signaling(txn(1, kEs, kGb), true);
+  acc.on_signaling(txn(2, kEs, kFr), true);
+  acc.on_signaling(txn(3, kEs, kFr), true);
+  const auto stats = acc.finalize();
+  // 75% of 10 records = 7.5 → the single heavy device (1/3 of devices).
+  EXPECT_NEAR(stats.es_device_share_for_75pct_signaling, 1.0 / 3.0, 1e-9);
+  EXPECT_EQ(stats.es_heavy_countries, 1u);
+  EXPECT_EQ(stats.es_heavy_vmnos, 1u);
+  EXPECT_DOUBLE_EQ(stats.es_signaling_share, 1.0);
+}
+
+TEST(PlatformAccumulator, EmptyFinalize) {
+  auto acc = make_acc();
+  const auto stats = acc.finalize();
+  EXPECT_EQ(stats.total_devices, 0u);
+  EXPECT_DOUBLE_EQ(stats.fraction_failed_only, 0.0);
+}
+
+}  // namespace
+}  // namespace wtr::core

@@ -1,0 +1,77 @@
+#include "cellnet/plmn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace wtr::cellnet {
+namespace {
+
+TEST(Plmn, DefaultIsInvalid) {
+  EXPECT_FALSE(Plmn{}.valid());
+}
+
+TEST(Plmn, Validity) {
+  EXPECT_TRUE((Plmn{214, 7, 2}.valid()));
+  EXPECT_TRUE((Plmn{310, 410, 3}.valid()));
+  EXPECT_FALSE((Plmn{99, 1, 2}.valid()));    // mcc too small
+  EXPECT_FALSE((Plmn{214, 100, 2}.valid())); // 3-digit mnc with 2-digit width
+  EXPECT_FALSE((Plmn{214, 7, 4}.valid()));   // bad width
+}
+
+TEST(Plmn, ToString) {
+  EXPECT_EQ((Plmn{214, 7, 2}.to_string()), "214-07");
+  EXPECT_EQ((Plmn{310, 410, 3}.to_string()), "310-410");
+  EXPECT_EQ((Plmn{204, 4, 2}.to_string()), "204-04");
+}
+
+TEST(Plmn, ParseDashed) {
+  const auto plmn = Plmn::parse("214-07");
+  ASSERT_TRUE(plmn.has_value());
+  EXPECT_EQ(plmn->mcc(), 214);
+  EXPECT_EQ(plmn->mnc(), 7);
+  EXPECT_EQ(plmn->mnc_digits(), 2);
+}
+
+TEST(Plmn, ParseCompact) {
+  const auto two = Plmn::parse("21407");
+  ASSERT_TRUE(two.has_value());
+  EXPECT_EQ(two->mnc_digits(), 2);
+  const auto three = Plmn::parse("310410");
+  ASSERT_TRUE(three.has_value());
+  EXPECT_EQ(three->mnc(), 410);
+  EXPECT_EQ(three->mnc_digits(), 3);
+}
+
+TEST(Plmn, ParseRoundTrip) {
+  for (const auto* text : {"214-07", "204-04", "310-410", "262-002"}) {
+    const auto plmn = Plmn::parse(text);
+    ASSERT_TRUE(plmn.has_value()) << text;
+    EXPECT_EQ(plmn->to_string(), text);
+  }
+}
+
+TEST(Plmn, ParseRejectsGarbage) {
+  for (const auto* text : {"", "abc", "12-34", "1234", "214-7", "214-0700",
+                           "21a07", "214--7", "099-01"}) {
+    EXPECT_FALSE(Plmn::parse(text).has_value()) << text;
+  }
+}
+
+TEST(Plmn, MncWidthDistinguishes) {
+  const Plmn two{214, 4, 2};
+  const Plmn three{214, 4, 3};
+  EXPECT_NE(two, three);
+  EXPECT_NE(two.key(), three.key());
+}
+
+TEST(Plmn, OrderingAndHash) {
+  const Plmn a{214, 7, 2};
+  const Plmn b{234, 10, 2};
+  EXPECT_LT(a, b);
+  std::unordered_set<Plmn> set{a, b, a};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace wtr::cellnet

@@ -1,0 +1,106 @@
+#include "cellnet/rat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wtr::cellnet {
+namespace {
+
+TEST(RatMask, EmptyByDefault) {
+  RatMask mask;
+  EXPECT_TRUE(mask.none());
+  EXPECT_FALSE(mask.any());
+  EXPECT_EQ(mask.count(), 0);
+}
+
+TEST(RatMask, SetAndTest) {
+  RatMask mask;
+  mask.set(Rat::kTwoG);
+  mask.set(Rat::kFourG);
+  EXPECT_TRUE(mask.has(Rat::kTwoG));
+  EXPECT_FALSE(mask.has(Rat::kThreeG));
+  EXPECT_TRUE(mask.has(Rat::kFourG));
+  EXPECT_EQ(mask.count(), 2);
+}
+
+TEST(RatMask, Only) {
+  EXPECT_TRUE(RatMask::of(Rat::kTwoG).only(Rat::kTwoG));
+  RatMask both{0b011};
+  EXPECT_FALSE(both.only(Rat::kTwoG));
+  EXPECT_FALSE(RatMask{}.only(Rat::kTwoG));
+}
+
+TEST(RatMask, Intersect) {
+  const RatMask a{0b011};
+  const RatMask b{0b110};
+  EXPECT_EQ(a.intersect(b).bits(), 0b010);
+  EXPECT_EQ(a.intersect(RatMask{}).bits(), 0);
+}
+
+TEST(RatMask, ConstructorMasksHighBits) {
+  EXPECT_EQ(RatMask{0xFF}.bits(), 0b1111);  // four RATs incl. NB-IoT
+}
+
+TEST(RatMask, Labels) {
+  EXPECT_EQ(rat_mask_label(RatMask{0b000}), "none");
+  EXPECT_EQ(rat_mask_label(RatMask{0b001}), "2G");
+  EXPECT_EQ(rat_mask_label(RatMask{0b010}), "3G");
+  EXPECT_EQ(rat_mask_label(RatMask{0b011}), "2G+3G");
+  EXPECT_EQ(rat_mask_label(RatMask{0b100}), "4G");
+  EXPECT_EQ(rat_mask_label(RatMask{0b111}), "2G+3G+4G");
+  EXPECT_EQ(rat_mask_label(RatMask{0b1000}), "NB-IoT");
+  EXPECT_EQ(rat_mask_label(RatMask{0b1001}), "2G+NB-IoT");
+  EXPECT_EQ(rat_mask_label(RatMask{0b1111}), "2G+3G+4G+NB-IoT");
+}
+
+TEST(Rat, NbIotProperties) {
+  EXPECT_EQ(rat_name(Rat::kNbIot), "NB-IoT");
+  EXPECT_EQ(rat_from_name("NB-IoT"), Rat::kNbIot);
+  // NB-IoT rides the LTE core's S1 interface.
+  EXPECT_EQ(interface_for(Rat::kNbIot, true), RadioInterface::kS1);
+  RatMask nb = RatMask::of(Rat::kNbIot);
+  EXPECT_TRUE(nb.only(Rat::kNbIot));
+  EXPECT_EQ(nb.count(), 1);
+}
+
+TEST(Rat, Names) {
+  EXPECT_EQ(rat_name(Rat::kTwoG), "2G");
+  EXPECT_EQ(rat_name(Rat::kThreeG), "3G");
+  EXPECT_EQ(rat_name(Rat::kFourG), "4G");
+}
+
+TEST(RadioInterface, RatMapping) {
+  EXPECT_EQ(radio_interface_rat(RadioInterface::kA), Rat::kTwoG);
+  EXPECT_EQ(radio_interface_rat(RadioInterface::kGb), Rat::kTwoG);
+  EXPECT_EQ(radio_interface_rat(RadioInterface::kIuCS), Rat::kThreeG);
+  EXPECT_EQ(radio_interface_rat(RadioInterface::kIuPS), Rat::kThreeG);
+  EXPECT_EQ(radio_interface_rat(RadioInterface::kS1), Rat::kFourG);
+}
+
+TEST(RadioInterface, DataVsVoice) {
+  EXPECT_FALSE(radio_interface_is_data(RadioInterface::kA));
+  EXPECT_TRUE(radio_interface_is_data(RadioInterface::kGb));
+  EXPECT_FALSE(radio_interface_is_data(RadioInterface::kIuCS));
+  EXPECT_TRUE(radio_interface_is_data(RadioInterface::kIuPS));
+  EXPECT_TRUE(radio_interface_is_data(RadioInterface::kS1));
+}
+
+TEST(RadioInterface, InterfaceForIsConsistent) {
+  for (Rat rat : {Rat::kTwoG, Rat::kThreeG, Rat::kFourG}) {
+    for (bool data : {false, true}) {
+      const auto iface = interface_for(rat, data);
+      EXPECT_EQ(radio_interface_rat(iface), rat);
+      if (rat != Rat::kFourG) {
+        EXPECT_EQ(radio_interface_is_data(iface), data);
+      }
+    }
+  }
+}
+
+TEST(RadioInterface, Names) {
+  EXPECT_EQ(radio_interface_name(RadioInterface::kIuCS), "IuCS");
+  EXPECT_EQ(radio_interface_name(RadioInterface::kGb), "Gb");
+  EXPECT_EQ(radio_interface_name(RadioInterface::kS1), "S1");
+}
+
+}  // namespace
+}  // namespace wtr::cellnet

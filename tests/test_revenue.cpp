@@ -1,0 +1,96 @@
+#include "core/revenue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wtr::core {
+namespace {
+
+const cellnet::Plmn kObserver{234, 10, 2};
+const cellnet::Plmn kForeign{204, 4, 2};
+
+ClassifiedPopulation make_population() {
+  ClassifiedPopulation population{
+      .summaries = {},
+      .labels = {},
+      .classes = {},
+      .classification = {},
+      .labeler = RoamingLabeler{kObserver, {}},
+  };
+  auto add = [&](cellnet::Plmn sim, ClassLabel cls, std::uint64_t bytes,
+                 double call_seconds, std::uint64_t events, std::uint32_t days) {
+    DeviceSummary summary;
+    summary.device = population.summaries.size() + 1;
+    summary.sim_plmn = sim;
+    summary.visited_plmns = {kObserver};
+    summary.bytes = bytes;
+    summary.call_seconds = call_seconds;
+    summary.signaling_events = events;
+    summary.active_days = days;
+    population.summaries.push_back(std::move(summary));
+    population.labels.push_back(
+        population.labeler.label(sim, population.summaries.back().visited_plmns));
+    population.classes.push_back(cls);
+  };
+  // Native smartphone: 10 MB, 10 minutes, 100 events, 10 days.
+  add(kObserver, ClassLabel::kSmart, 10 * 1024 * 1024, 600.0, 100, 10);
+  // Inbound m2m: 1 MB, 1 minute, 200 events, 10 days.
+  add(kForeign, ClassLabel::kM2M, 1 * 1024 * 1024, 60.0, 200, 10);
+  // Inbound m2m-maybe: must be excluded.
+  add(kForeign, ClassLabel::kM2MMaybe, 1024, 0.0, 50, 5);
+  return population;
+}
+
+TEST(Revenue, GroupsAndExclusions) {
+  const auto population = make_population();
+  const auto groups = revenue_by_group(population);
+  ASSERT_EQ(groups.size(), 2u);
+  ASSERT_TRUE(groups.contains("smart/native"));
+  ASSERT_TRUE(groups.contains("m2m/inbound"));
+}
+
+TEST(Revenue, TariffArithmetic) {
+  TariffSchedule tariffs;
+  tariffs.wholesale_data_per_mb = 2.0;
+  tariffs.wholesale_voice_per_minute = 3.0;
+  tariffs.retail_data_per_mb = 0.5;
+  tariffs.retail_voice_per_minute = 1.0;
+  tariffs.cost_per_signaling_event = 0.01;
+
+  const auto groups = revenue_by_group(make_population(), tariffs);
+  const auto& smart = groups.at("smart/native");
+  EXPECT_EQ(smart.devices, 1u);
+  EXPECT_EQ(smart.device_days, 10u);
+  EXPECT_NEAR(smart.data_revenue, 10.0 * 0.5, 1e-9);   // retail
+  EXPECT_NEAR(smart.voice_revenue, 10.0 * 1.0, 1e-9);
+  EXPECT_NEAR(smart.signaling_cost, 1.0, 1e-9);
+  EXPECT_NEAR(smart.gross(), 15.0, 1e-9);
+  EXPECT_NEAR(smart.net(), 14.0, 1e-9);
+  EXPECT_NEAR(smart.revenue_per_device_day(), 1.5, 1e-9);
+
+  const auto& m2m = groups.at("m2m/inbound");
+  EXPECT_NEAR(m2m.data_revenue, 1.0 * 2.0, 1e-9);  // wholesale
+  EXPECT_NEAR(m2m.voice_revenue, 1.0 * 3.0, 1e-9);
+  EXPECT_NEAR(m2m.signaling_cost, 2.0, 1e-9);
+  EXPECT_NEAR(m2m.revenue_to_load(), 2.5, 1e-9);
+}
+
+TEST(Revenue, EmptyBreakdownSafe) {
+  RevenueBreakdown empty;
+  EXPECT_DOUBLE_EQ(empty.revenue_per_device_day(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.cost_per_device_day(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.revenue_to_load(), 0.0);
+}
+
+TEST(Revenue, WholesaleBeatsRetailForSameUsage) {
+  // The same usage priced inbound yields more revenue than native — the
+  // roaming-revenue mechanism of §2.1.
+  auto population = make_population();
+  // Make the m2m device's usage identical to the smartphone's.
+  population.summaries[1].bytes = population.summaries[0].bytes;
+  population.summaries[1].call_seconds = population.summaries[0].call_seconds;
+  const auto groups = revenue_by_group(population);
+  EXPECT_GT(groups.at("m2m/inbound").gross(), groups.at("smart/native").gross());
+}
+
+}  // namespace
+}  // namespace wtr::core

@@ -1,0 +1,199 @@
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace wtr::stats {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng{11};
+  double sum = 0.0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng{3};
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-5.0, 3.0);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, BelowStaysBelow) {
+  Rng rng{5};
+  for (std::uint64_t n : {1ULL, 2ULL, 7ULL, 100ULL, 1'000'000ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(n), n);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng{5};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng{9};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng{13};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng{17};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng{19};
+  int hits = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexHonorsWeights) {
+  Rng rng{23};
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  constexpr int kN = 40'000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kN, 0.75, 0.02);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  const Rng base{99};
+  Rng fork1 = base.fork(1);
+  Rng fork1_again = base.fork(1);
+  Rng fork2 = base.fork(2);
+  EXPECT_EQ(fork1.next(), fork1_again.next());
+  // Different tags give different streams.
+  Rng f1{base.fork(1)};
+  Rng f2{base.fork(2)};
+  (void)fork2;
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (f1.next() == f2.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng{31};
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng{37};
+  std::vector<int> items(50);
+  for (int i = 0; i < 50; ++i) items[i] = i;
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, items);
+}
+
+TEST(Mix64, DeterministicAndSpread) {
+  EXPECT_EQ(mix64(1, 2), mix64(1, 2));
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+  EXPECT_NE(mix64(0, 0), mix64(0, 1));
+}
+
+TEST(Splitmix64, AdvancesState) {
+  std::uint64_t s = 123;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(DiscreteSampler, MatchesWeights) {
+  const std::vector<double> weights{2.0, 1.0, 1.0};
+  DiscreteSampler sampler{weights};
+  ASSERT_EQ(sampler.size(), 3u);
+  Rng rng{41};
+  std::array<int, 3> counts{};
+  constexpr int kN = 40'000;
+  for (int i = 0; i < kN; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kN, 0.25, 0.02);
+}
+
+TEST(DiscreteSampler, ZeroWeightNeverSampled) {
+  const std::vector<double> weights{1.0, 0.0, 1.0};
+  DiscreteSampler sampler{weights};
+  Rng rng{43};
+  for (int i = 0; i < 10'000; ++i) EXPECT_NE(sampler.sample(rng), 1u);
+}
+
+// Property sweep: below(n) is unbiased enough across a range of moduli.
+class RngBelowSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBelowSweep, MeanNearHalfOfRange) {
+  const std::uint64_t n = GetParam();
+  Rng rng{n ^ 0xabcdef};
+  double sum = 0.0;
+  constexpr int kN = 50'000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.below(n));
+  const double expected = (static_cast<double>(n) - 1.0) / 2.0;
+  EXPECT_NEAR(sum / kN, expected, std::max(0.5, expected * 0.03));
+}
+
+INSTANTIATE_TEST_SUITE_P(Moduli, RngBelowSweep,
+                         ::testing::Values(2, 3, 10, 17, 100, 1'000, 65'536,
+                                           1'000'003));
+
+}  // namespace
+}  // namespace wtr::stats

@@ -1,0 +1,149 @@
+// Determinism and cross-scenario invariants: identical seeds must replay
+// identical traces; different seeds must not.
+
+#include <gtest/gtest.h>
+
+#include "core/catalog_builder.hpp"
+#include "core/platform_analysis.hpp"
+#include "tracegen/m2m_platform_scenario.hpp"
+#include "tracegen/mno_scenario.hpp"
+#include "tracegen/smip_scenario.hpp"
+
+namespace wtr {
+namespace {
+
+struct TraceDigest {
+  std::uint64_t signaling = 0;
+  std::uint64_t hash = 0;
+  std::uint64_t cdrs = 0;
+  std::uint64_t xdrs = 0;
+
+  friend bool operator==(const TraceDigest&, const TraceDigest&) = default;
+};
+
+class DigestSink final : public sim::RecordSink {
+ public:
+  TraceDigest digest;
+
+  void on_signaling(const signaling::SignalingTransaction& txn, bool) override {
+    ++digest.signaling;
+    digest.hash = stats::mix64(digest.hash,
+                               stats::mix64(txn.device ^ static_cast<std::uint64_t>(txn.time),
+                                            txn.visited_plmn.key() ^
+                                                static_cast<std::uint64_t>(txn.result)));
+  }
+  void on_cdr(const records::Cdr&) override { ++digest.cdrs; }
+  void on_xdr(const records::Xdr&) override { ++digest.xdrs; }
+};
+
+TraceDigest run_mno(std::uint64_t seed) {
+  tracegen::MnoScenarioConfig config;
+  config.seed = seed;
+  config.total_devices = 800;
+  config.build_coverage = false;  // faster; determinism is what we test
+  tracegen::MnoScenario scenario{config};
+  DigestSink sink;
+  scenario.run({&sink});
+  return sink.digest;
+}
+
+TEST(Determinism, MnoScenarioReplays) {
+  EXPECT_EQ(run_mno(42), run_mno(42));
+}
+
+TEST(Determinism, MnoScenarioSeedSensitivity) {
+  EXPECT_NE(run_mno(42).hash, run_mno(43).hash);
+}
+
+TraceDigest run_platform(std::uint64_t seed) {
+  tracegen::M2MPlatformConfig config;
+  config.seed = seed;
+  config.total_devices = 800;
+  tracegen::M2MPlatformScenario scenario{config};
+  DigestSink sink;
+  scenario.run({&sink});
+  return sink.digest;
+}
+
+TEST(Determinism, PlatformScenarioReplays) {
+  EXPECT_EQ(run_platform(7), run_platform(7));
+}
+
+TEST(Determinism, PlatformSeedSensitivity) {
+  EXPECT_NE(run_platform(7).hash, run_platform(8).hash);
+}
+
+TEST(Determinism, SmipScenarioReplays) {
+  auto run = [](std::uint64_t seed) {
+    tracegen::SmipScenarioConfig config;
+    config.seed = seed;
+    config.total_devices = 600;
+    config.build_coverage = false;
+    tracegen::SmipScenario scenario{config};
+    DigestSink sink;
+    scenario.run({&sink});
+    return sink.digest;
+  };
+  EXPECT_EQ(run(9), run(9));
+  EXPECT_NE(run(9).hash, run(10).hash);
+}
+
+TEST(ScenarioInvariants, GroundTruthCoversAllDevices) {
+  tracegen::MnoScenarioConfig config;
+  config.total_devices = 500;
+  config.build_coverage = false;
+  tracegen::MnoScenario scenario{config};
+  EXPECT_EQ(scenario.ground_truth().size(), scenario.device_count());
+  for (const auto& [device, entry] : scenario.ground_truth()) {
+    EXPECT_NE(device, 0u);
+    EXPECT_NE(entry.home_operator, topology::kInvalidOperator);
+  }
+}
+
+TEST(ScenarioInvariants, PlatformDevicesAreAllM2M) {
+  tracegen::M2MPlatformConfig config;
+  config.total_devices = 500;
+  tracegen::M2MPlatformScenario scenario{config};
+  for (const auto& [_, entry] : scenario.ground_truth()) {
+    EXPECT_EQ(entry.device_class, devices::DeviceClass::kM2M);
+  }
+}
+
+TEST(ScenarioInvariants, SmipMembershipPartitions) {
+  tracegen::SmipScenarioConfig config;
+  config.total_devices = 400;
+  config.build_coverage = false;
+  tracegen::SmipScenario scenario{config};
+  EXPECT_EQ(scenario.native_meters().size() + scenario.roaming_meters().size(),
+            scenario.device_count());
+  for (const auto hash : scenario.native_meters()) {
+    EXPECT_FALSE(scenario.roaming_meters().contains(hash));
+  }
+}
+
+TEST(ScenarioInvariants, MultipleSinksSeeSameStream) {
+  tracegen::MnoScenarioConfig config;
+  config.total_devices = 300;
+  config.build_coverage = false;
+  tracegen::MnoScenario scenario{config};
+  DigestSink a;
+  DigestSink b;
+  scenario.run({&a, &b});
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(ScenarioInvariants, ScaleChangesDeviceCountRoughlyLinearly) {
+  tracegen::MnoScenarioConfig small;
+  small.total_devices = 400;
+  small.build_coverage = false;
+  tracegen::MnoScenarioConfig big = small;
+  big.total_devices = 800;
+  const tracegen::MnoScenario s{small};
+  const tracegen::MnoScenario b{big};
+  const double ratio =
+      static_cast<double>(b.device_count()) / static_cast<double>(s.device_count());
+  EXPECT_NEAR(ratio, 2.0, 0.4);
+}
+
+}  // namespace
+}  // namespace wtr

@@ -1,0 +1,100 @@
+#include "cellnet/sector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wtr::cellnet {
+namespace {
+
+SectorGrid::Config base_config() {
+  SectorGrid::Config config;
+  config.operator_plmn = Plmn{234, 10, 2};
+  config.anchor = GeoPoint{51.5, -0.1};
+  config.cols = 10;
+  config.rows = 8;
+  config.spacing_m = 2'000.0;
+  config.seed = 99;
+  return config;
+}
+
+TEST(SectorGrid, SizeMatchesPlan) {
+  const SectorGrid grid{base_config()};
+  EXPECT_EQ(grid.size(), 80u);
+  EXPECT_DOUBLE_EQ(grid.half_extent_east_m(), 10'000.0);
+  EXPECT_DOUBLE_EQ(grid.half_extent_north_m(), 8'000.0);
+}
+
+TEST(SectorGrid, SectorsCarryOwnerAndLocation) {
+  const SectorGrid grid{base_config()};
+  for (const auto& sector : grid.sectors()) {
+    EXPECT_EQ(sector.operator_plmn, (Plmn{234, 10, 2}));
+    EXPECT_TRUE(sector.rats.any());  // no dead sectors
+    EXPECT_NEAR(sector.location.lat, 51.5, 0.5);
+  }
+}
+
+TEST(SectorGrid, DeterministicForSeed) {
+  const SectorGrid a{base_config()};
+  const SectorGrid b{base_config()};
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.sectors()[i].location, b.sectors()[i].location);
+    EXPECT_EQ(a.sectors()[i].rats, b.sectors()[i].rats);
+  }
+}
+
+TEST(SectorGrid, ServingSectorIsNearby) {
+  const SectorGrid grid{base_config()};
+  const auto& sector = grid.serving_sector(1'000.0, -2'000.0);
+  const GeoPoint position = offset_m(grid.anchor(), 1'000.0, -2'000.0);
+  // The serving sector should be within ~1.5 cells of the position.
+  EXPECT_LT(haversine_m(sector.location, position), 3'500.0);
+}
+
+TEST(SectorGrid, ClampsOutOfBoundsPositions) {
+  const SectorGrid grid{base_config()};
+  const auto& sector = grid.serving_sector(1e9, -1e9);
+  EXPECT_LT(sector.id, grid.size());
+}
+
+TEST(SectorGrid, RatSearchFindsDeployedRat) {
+  auto config = base_config();
+  config.share_4g = 0.3;
+  const SectorGrid grid{config};
+  const auto found = grid.serving_sector_with_rat(0.0, 0.0, Rat::kFourG);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_TRUE(grid.sector(*found).rats.has(Rat::kFourG));
+}
+
+TEST(SectorGrid, RatSearchFailsWhenNotDeployed) {
+  auto config = base_config();
+  config.share_4g = 0.0;
+  const SectorGrid grid{config};
+  EXPECT_FALSE(grid.serving_sector_with_rat(0.0, 0.0, Rat::kFourG).has_value());
+}
+
+TEST(SectorGrid, RatSharesRoughlyHonored) {
+  auto config = base_config();
+  config.cols = 40;
+  config.rows = 40;
+  config.share_4g = 0.5;
+  const SectorGrid grid{config};
+  std::size_t with_4g = 0;
+  for (const auto& sector : grid.sectors()) {
+    if (sector.rats.has(Rat::kFourG)) ++with_4g;
+  }
+  EXPECT_NEAR(static_cast<double>(with_4g) / grid.size(), 0.5, 0.05);
+}
+
+TEST(SectorGrid, NoTwoGWhenShareZero) {
+  auto config = base_config();
+  config.share_2g = 0.0;
+  config.share_3g = 1.0;
+  const SectorGrid grid{config};
+  for (const auto& sector : grid.sectors()) {
+    EXPECT_FALSE(sector.rats.has(Rat::kTwoG));
+    EXPECT_TRUE(sector.rats.has(Rat::kThreeG));
+  }
+}
+
+}  // namespace
+}  // namespace wtr::cellnet

@@ -1,0 +1,69 @@
+#include "stats/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wtr::stats {
+namespace {
+
+TEST(SimTime, DayOf) {
+  EXPECT_EQ(day_of(0), 0);
+  EXPECT_EQ(day_of(86399), 0);
+  EXPECT_EQ(day_of(86400), 1);
+  EXPECT_EQ(day_of(10 * kSecondsPerDay + 5), 10);
+}
+
+TEST(SimTime, NegativeTimesFloor) {
+  EXPECT_EQ(day_of(-1), -1);
+  EXPECT_EQ(day_of(-kSecondsPerDay), -1);
+  EXPECT_EQ(day_of(-kSecondsPerDay - 1), -2);
+}
+
+TEST(SimTime, DayStartInvertsDayOf) {
+  for (std::int32_t day : {-3, 0, 1, 7, 100}) {
+    EXPECT_EQ(day_of(day_start(day)), day);
+    EXPECT_EQ(day_of(day_start(day) + kSecondsPerDay - 1), day);
+  }
+}
+
+TEST(SimTime, HourOfDay) {
+  EXPECT_DOUBLE_EQ(hour_of_day(0), 0.0);
+  EXPECT_DOUBLE_EQ(hour_of_day(kSecondsPerHour * 6), 6.0);
+  EXPECT_DOUBLE_EQ(hour_of_day(kSecondsPerDay + kSecondsPerHour * 23), 23.0);
+  EXPECT_NEAR(hour_of_day(kSecondsPerHour / 2), 0.5, 1e-9);
+}
+
+TEST(SimTime, Format) {
+  EXPECT_EQ(format_sim_time(0), "d00 00:00:00");
+  EXPECT_EQ(format_sim_time(3 * kSecondsPerDay + 7 * kSecondsPerHour + 15 * 60 + 42),
+            "d03 07:15:42");
+}
+
+TEST(Diurnal, BoundsRespectFloor) {
+  for (double floor : {0.0, 0.2, 0.5, 1.0}) {
+    for (SimTime t = 0; t < kSecondsPerDay; t += 900) {
+      const double w = diurnal_weight(t, floor);
+      EXPECT_GE(w, floor - 1e-12);
+      EXPECT_LE(w, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(Diurnal, FlatWhenFloorIsOne) {
+  for (SimTime t = 0; t < kSecondsPerDay; t += 3600) {
+    EXPECT_DOUBLE_EQ(diurnal_weight(t, 1.0), 1.0);
+  }
+}
+
+TEST(Diurnal, NightLowerThanEvening) {
+  const SimTime night = 4 * kSecondsPerHour;
+  const SimTime evening = 19 * kSecondsPerHour;
+  EXPECT_LT(diurnal_weight(night, 0.1), diurnal_weight(evening, 0.1));
+}
+
+TEST(Diurnal, PeriodicAcrossDays) {
+  const SimTime t = 13 * kSecondsPerHour;
+  EXPECT_NEAR(diurnal_weight(t, 0.2), diurnal_weight(t + 5 * kSecondsPerDay, 0.2), 1e-9);
+}
+
+}  // namespace
+}  // namespace wtr::stats

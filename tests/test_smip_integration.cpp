@@ -1,0 +1,180 @@
+// End-to-end integration: SMIP scenario → catalog → smart-meter analysis
+// (§7.1, Fig. 11) and the platform scenario → §3 analyses.
+
+#include <gtest/gtest.h>
+
+#include "core/catalog_builder.hpp"
+#include "core/platform_analysis.hpp"
+#include "core/smip_analysis.hpp"
+#include "tracegen/m2m_platform_scenario.hpp"
+#include "tracegen/smip_scenario.hpp"
+
+namespace wtr {
+namespace {
+
+class SmipIntegration : public ::testing::Test {
+ protected:
+  struct State {
+    std::unique_ptr<tracegen::SmipScenario> scenario;
+    std::vector<core::DeviceSummary> summaries;
+    core::SmipAnalysis analysis;
+  };
+
+  static State& state() {
+    static State s = [] {
+      tracegen::SmipScenarioConfig config;
+      config.seed = 5;
+      config.total_devices = 3'000;
+      auto scenario = std::make_unique<tracegen::SmipScenario>(config);
+      core::CatalogAccumulator acc{{scenario->observer_plmn(), {scenario->observer_plmn()}}};
+      scenario->run({&acc});
+      const auto catalog = acc.finalize();
+      auto summaries = core::summarize(catalog);
+      auto analysis = core::analyze_smip(summaries, scenario->native_meters(),
+                                         scenario->roaming_meters(), config.days,
+                                         scenario->tac_catalog());
+      return State{std::move(scenario), std::move(summaries), std::move(analysis)};
+    }();
+    return s;
+  }
+};
+
+TEST_F(SmipIntegration, BothGroupsObserved) {
+  EXPECT_GT(state().analysis.native.devices, 1'000u);
+  EXPECT_GT(state().analysis.roaming.devices, 800u);
+}
+
+TEST_F(SmipIntegration, NativeMetersLiveLong) {
+  // Fig. 11-a: ~73% of native meters active the whole period; day-0 cohort
+  // even more so.
+  EXPECT_NEAR(state().analysis.native.fraction_full_period, 0.73, 0.12);
+  EXPECT_GT(state().analysis.native.active_days_day0.median(),
+            state().analysis.native.active_days.median() * 0.9);
+}
+
+TEST_F(SmipIntegration, RoamingMetersShortLived) {
+  // Fig. 11-a: ~50% of roaming meters are active at most ~5 days.
+  const double at_most_5 = state().analysis.roaming.active_days.fraction_at_most(5.0);
+  EXPECT_GT(at_most_5, 0.3);
+  EXPECT_LT(state().analysis.roaming.fraction_full_period,
+            state().analysis.native.fraction_full_period);
+}
+
+TEST_F(SmipIntegration, RoamingSignalingMuchHigher) {
+  // Fig. 11-b: roaming meters generate on the order of 10× the signaling.
+  EXPECT_GT(state().analysis.signaling_ratio(), 3.0);
+  EXPECT_LT(state().analysis.signaling_ratio(), 40.0);
+}
+
+TEST_F(SmipIntegration, FailureIncidence) {
+  // §7.1: ~10% of all SMIP devices had a failed event; ~35% of roaming.
+  EXPECT_LT(state().analysis.native.fraction_with_failures, 0.30);
+  EXPECT_GT(state().analysis.roaming.fraction_with_failures,
+            state().analysis.native.fraction_with_failures);
+}
+
+TEST_F(SmipIntegration, RatUsageSplit) {
+  // Roaming meters are 2G-only; native meters use 3G (2/3 exclusively).
+  // A few percent of roaming meters carry dead subscriptions and never
+  // register a successful event, landing in the "none" bucket.
+  EXPECT_GT(state().analysis.roaming.rat_usage.share("2G"), 0.90);
+  EXPECT_DOUBLE_EQ(state().analysis.roaming.rat_usage.share("3G"), 0.0);
+  EXPECT_GT(state().analysis.native.rat_usage.share("3G"), 0.45);
+}
+
+TEST_F(SmipIntegration, Provenance) {
+  // §4.4: all roaming meter SIMs from one Dutch operator; modules from
+  // exactly Gemalto and Telit.
+  const auto& homes = state().analysis.roaming_home_operators;
+  EXPECT_EQ(homes.distinct(), 1u);
+  EXPECT_EQ(homes.sorted().front().first, "204-04");
+  const auto& vendors = state().analysis.roaming_vendors;
+  EXPECT_LE(vendors.distinct(), 2u);
+  for (const auto& [vendor, _] : vendors.sorted()) {
+    EXPECT_TRUE(vendor == "Gemalto" || vendor == "Telit") << vendor;
+  }
+}
+
+class PlatformIntegration : public ::testing::Test {
+ protected:
+  static const core::PlatformStats& stats() {
+    static const core::PlatformStats s = [] {
+      tracegen::M2MPlatformConfig config;
+      config.seed = 3;
+      config.total_devices = 5'000;
+      tracegen::M2MPlatformScenario scenario{config};
+      core::PlatformTraceAccumulator acc{{scenario.hmno_plmns()}};
+      scenario.run({&acc});
+      return acc.finalize();
+    }();
+    return s;
+  }
+};
+
+TEST_F(PlatformIntegration, HmnoOrderingMatchesPaper) {
+  ASSERT_GE(stats().per_hmno.size(), 4u);
+  EXPECT_EQ(stats().per_hmno[0].home_iso, "ES");
+  EXPECT_EQ(stats().per_hmno[1].home_iso, "MX");
+  // ES ≈ 52%, MX ≈ 42% of devices.
+  EXPECT_NEAR(stats().per_hmno[0].device_share(stats().total_devices), 0.523, 0.08);
+  EXPECT_NEAR(stats().per_hmno[1].device_share(stats().total_devices), 0.422, 0.08);
+}
+
+TEST_F(PlatformIntegration, EsSignalingDominates) {
+  // §3.2: ES contributes ~82% of all signaling, ~92% of it while roaming.
+  EXPECT_GT(stats().es_signaling_share, 0.6);
+  EXPECT_GT(stats().es_roaming_signaling_share, 0.75);
+}
+
+TEST_F(PlatformIntegration, EsFootprintIsBroad) {
+  const auto& es = stats().per_hmno[0];
+  EXPECT_GT(es.visited_countries, 40u);   // paper: 77
+  EXPECT_GT(es.visited_networks, 50u);    // paper: 127
+  // MX stays home-heavy with a narrow footprint.
+  const auto& mx = stats().per_hmno[1];
+  EXPECT_LE(mx.visited_countries, 10u);
+  EXPECT_GT(static_cast<double>(mx.devices - mx.roaming_devices) /
+                static_cast<double>(mx.devices),
+            0.8);  // paper: 90% at home
+}
+
+TEST_F(PlatformIntegration, FailureDeviceShare) {
+  // §3.3: ~40% of the ES-connected devices only ever fail on 4G. The
+  // platform-wide share is diluted by the home-heavy MX/AR fleets.
+  EXPECT_NEAR(stats().es_fraction_failed_only, 0.40, 0.12);
+  EXPECT_GT(stats().fraction_any_success, 0.5);
+}
+
+TEST_F(PlatformIntegration, RecordsDistributionShape) {
+  // Fig. 3-left: long tail; mean well above median, 97% under 2000.
+  ASSERT_FALSE(stats().records_all.empty());
+  EXPECT_GT(stats().records_all.mean(), stats().records_all.median());
+  EXPECT_GT(stats().records_all.fraction_at_most(2'000.0), 0.9);
+  // Roaming devices are much chattier than native ones.
+  EXPECT_GT(stats().records_roaming.median(), stats().records_native.median());
+}
+
+TEST_F(PlatformIntegration, VmnoDistributionShape) {
+  // Fig. 3-center: most roaming devices camp on a single VMNO.
+  ASSERT_FALSE(stats().vmnos_per_roaming_device.empty());
+  const double single = stats().vmnos_per_roaming_device.fraction_at_most(1.0);
+  EXPECT_GT(single, 0.4);
+  EXPECT_LT(single, 0.95);
+  EXPECT_GT(stats().vmnos_per_roaming_device.max(), 2.0);
+}
+
+TEST_F(PlatformIntegration, SwitchDistributionHasTail) {
+  // Fig. 3-right: a minority of multi-VMNO devices switches a lot.
+  ASSERT_FALSE(stats().switches_multi_vmno.empty());
+  EXPECT_GT(stats().switches_multi_vmno.max(), 20.0);
+  EXPECT_LT(stats().switches_multi_vmno.median(), 20.0);
+}
+
+TEST_F(PlatformIntegration, Footprint) {
+  EXPECT_GT(stats().footprint.row_total("ES"), 0u);
+  EXPECT_GT(stats().footprint.at("MX", "MX"), 0u);
+  EXPECT_GT(stats().footprint.cols_by_total().size(), 30u);
+}
+
+}  // namespace
+}  // namespace wtr

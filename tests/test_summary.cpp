@@ -1,0 +1,77 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace wtr::stats {
+namespace {
+
+TEST(Summary, Empty) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, SingleValueVarianceZero) {
+  Summary s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Summary, MergeEqualsSequential) {
+  Rng rng{5};
+  Summary all;
+  Summary left;
+  Summary right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-10.0, 50.0);
+    all.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  Summary merged = left;
+  merged.merge(right);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_NEAR(merged.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(merged.min(), all.min());
+  EXPECT_DOUBLE_EQ(merged.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a;
+  a.add(1.0);
+  a.add(3.0);
+  Summary b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Summary, DescribeMentionsCount) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_NE(s.describe().find("n=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wtr::stats

@@ -1,0 +1,68 @@
+#include "io/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wtr::io {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table table{{"name", "value"}};
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const auto out = table.render();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table table{{"a", "b", "c"}};
+  table.add_row({"only"});
+  EXPECT_NE(table.render().find("only"), std::string::npos);
+}
+
+TEST(Table, LinesHaveEqualWidth) {
+  Table table{{"col", "x"}};
+  table.add_row({"value", "1"});
+  table.add_row({"longer value", "100"});
+  const auto out = table.render();
+  std::size_t width = 0;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const auto end = out.find('\n', start);
+    const auto line = out.substr(start, end - start);
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+    start = end + 1;
+  }
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.5), "50.0%");
+  EXPECT_EQ(format_percent(0.123, 2), "12.30%");
+  EXPECT_EQ(format_percent(0.0, 0), "0%");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(format_fixed(1.23456), "1.23");
+  EXPECT_EQ(format_fixed(1.5, 0), "2");
+}
+
+TEST(Format, CountWithSeparators) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(100000), "100,000");
+}
+
+TEST(Format, Banner) {
+  const auto banner = figure_banner("Fig. 2", "footprint");
+  EXPECT_NE(banner.find("Fig. 2"), std::string::npos);
+  EXPECT_NE(banner.find("footprint"), std::string::npos);
+  EXPECT_NE(banner.find("="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wtr::io

@@ -1,0 +1,144 @@
+#include "cellnet/tac_catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wtr::cellnet {
+namespace {
+
+class TacPoolsTest : public ::testing::Test {
+ protected:
+  TacPools pools_{TacPools::Config{.seed = 7}};
+};
+
+TEST_F(TacPoolsTest, CatalogPopulated) {
+  EXPECT_GT(pools_.catalog().size(), 1'000u);
+  EXPECT_GT(pools_.catalog().distinct_vendors(), 100u);
+  EXPECT_GT(pools_.catalog().distinct_models(), 1'000u);
+}
+
+TEST_F(TacPoolsTest, SmartphonesHaveSmartphoneProperties) {
+  stats::Rng rng{1};
+  for (int i = 0; i < 200; ++i) {
+    const auto tac = pools_.draw(rng, EquipmentCategory::kSmartphone);
+    const auto* info = pools_.catalog().lookup(tac);
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->label, GsmaLabel::kSmartphone);
+    EXPECT_TRUE(is_major_smartphone_os(info->os));
+    EXPECT_TRUE(info->bands.has(Rat::kThreeG));
+  }
+}
+
+TEST_F(TacPoolsTest, FeaturePhonesAre2GCapable) {
+  stats::Rng rng{2};
+  for (int i = 0; i < 200; ++i) {
+    const auto* info =
+        pools_.catalog().lookup(pools_.draw(rng, EquipmentCategory::kFeaturePhone));
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->label, GsmaLabel::kFeaturePhone);
+    EXPECT_FALSE(is_major_smartphone_os(info->os));
+    EXPECT_TRUE(info->bands.has(Rat::kTwoG));
+  }
+}
+
+TEST_F(TacPoolsTest, ModulesAreModemOrModule) {
+  stats::Rng rng{3};
+  for (int i = 0; i < 200; ++i) {
+    const auto* info =
+        pools_.catalog().lookup(pools_.draw(rng, EquipmentCategory::kM2MModule));
+    ASSERT_NE(info, nullptr);
+    EXPECT_TRUE(info->label == GsmaLabel::kModule || info->label == GsmaLabel::kModem);
+    EXPECT_TRUE(info->bands.has(Rat::kTwoG));
+  }
+}
+
+TEST_F(TacPoolsTest, TopModuleVendorsDominate) {
+  stats::Rng rng{4};
+  std::size_t top = 0;
+  constexpr int kN = 5'000;
+  const auto top_vendors = top_m2m_module_vendors();
+  for (int i = 0; i < kN; ++i) {
+    const auto* info =
+        pools_.catalog().lookup(pools_.draw(rng, EquipmentCategory::kM2MModule));
+    ASSERT_NE(info, nullptr);
+    for (auto vendor : top_vendors) {
+      if (info->vendor == vendor) {
+        ++top;
+        break;
+      }
+    }
+  }
+  // §4.3: Gemalto + Telit + Sierra Wireless ≈ 75% of inbound roamers.
+  EXPECT_NEAR(static_cast<double>(top) / kN, 0.75, 0.08);
+}
+
+TEST_F(TacPoolsTest, VendorRestrictedDraw) {
+  stats::Rng rng{5};
+  for (int i = 0; i < 100; ++i) {
+    const auto tac = pools_.draw_vendor(rng, EquipmentCategory::kM2MModule, "Gemalto");
+    const auto* info = pools_.catalog().lookup(tac);
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->vendor, "Gemalto");
+  }
+}
+
+TEST_F(TacPoolsTest, UnknownVendorFallsBack) {
+  stats::Rng rng{6};
+  const auto tac = pools_.draw_vendor(rng, EquipmentCategory::kM2MModule, "NoSuchVendor");
+  EXPECT_NE(pools_.catalog().lookup(tac), nullptr);
+}
+
+TEST_F(TacPoolsTest, FillerEquipmentIsUnknownLabel) {
+  stats::Rng rng{7};
+  for (int i = 0; i < 100; ++i) {
+    const auto* info = pools_.catalog().lookup(pools_.draw_filler(rng));
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->label, GsmaLabel::kUnknown);
+    EXPECT_FALSE(is_major_smartphone_os(info->os));
+  }
+}
+
+TEST_F(TacPoolsTest, DeterministicForSeed) {
+  TacPools other{TacPools::Config{.seed = 7}};
+  stats::Rng rng_a{9};
+  stats::Rng rng_b{9};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(pools_.draw(rng_a, EquipmentCategory::kSmartphone),
+              other.draw(rng_b, EquipmentCategory::kSmartphone));
+  }
+}
+
+TEST(TacCatalog, AddAndLookup) {
+  TacCatalog catalog;
+  catalog.add(TacInfo{.tac = 1, .vendor = "V", .model = "M"});
+  ASSERT_NE(catalog.lookup(1), nullptr);
+  EXPECT_EQ(catalog.lookup(1)->vendor, "V");
+  EXPECT_EQ(catalog.lookup(2), nullptr);
+}
+
+TEST(TacCatalog, DuplicateTacLastWins) {
+  TacCatalog catalog;
+  catalog.add(TacInfo{.tac = 1, .vendor = "Old", .model = "A"});
+  catalog.add(TacInfo{.tac = 1, .vendor = "New", .model = "B"});
+  EXPECT_EQ(catalog.size(), 1u);
+  EXPECT_EQ(catalog.lookup(1)->vendor, "New");
+}
+
+TEST(GsmaLabel, Names) {
+  EXPECT_EQ(gsma_label_name(GsmaLabel::kSmartphone), "smartphone");
+  EXPECT_EQ(gsma_label_name(GsmaLabel::kModule), "module");
+  EXPECT_EQ(gsma_label_name(GsmaLabel::kUnknown), "unknown");
+}
+
+TEST(DeviceOs, MajorSmartphoneOsSet) {
+  EXPECT_TRUE(is_major_smartphone_os(DeviceOs::kAndroid));
+  EXPECT_TRUE(is_major_smartphone_os(DeviceOs::kIos));
+  EXPECT_TRUE(is_major_smartphone_os(DeviceOs::kBlackberry));
+  EXPECT_TRUE(is_major_smartphone_os(DeviceOs::kWindowsMobile));
+  EXPECT_FALSE(is_major_smartphone_os(DeviceOs::kProprietary));
+  EXPECT_FALSE(is_major_smartphone_os(DeviceOs::kNone));
+}
+
+}  // namespace
+}  // namespace wtr::cellnet
