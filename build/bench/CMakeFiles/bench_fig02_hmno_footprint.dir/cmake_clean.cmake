@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_hmno_footprint.dir/bench_fig02_hmno_footprint.cpp.o"
+  "CMakeFiles/bench_fig02_hmno_footprint.dir/bench_fig02_hmno_footprint.cpp.o.d"
+  "bench_fig02_hmno_footprint"
+  "bench_fig02_hmno_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_hmno_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_class_vs_label.dir/bench_fig06_class_vs_label.cpp.o"
+  "CMakeFiles/bench_fig06_class_vs_label.dir/bench_fig06_class_vs_label.cpp.o.d"
+  "bench_fig06_class_vs_label"
+  "bench_fig06_class_vs_label.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_class_vs_label.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

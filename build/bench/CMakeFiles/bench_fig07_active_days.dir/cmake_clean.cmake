@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_active_days.dir/bench_fig07_active_days.cpp.o"
+  "CMakeFiles/bench_fig07_active_days.dir/bench_fig07_active_days.cpp.o.d"
+  "bench_fig07_active_days"
+  "bench_fig07_active_days.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_active_days.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

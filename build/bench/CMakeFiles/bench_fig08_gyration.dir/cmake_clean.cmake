@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_gyration.dir/bench_fig08_gyration.cpp.o"
+  "CMakeFiles/bench_fig08_gyration.dir/bench_fig08_gyration.cpp.o.d"
+  "bench_fig08_gyration"
+  "bench_fig08_gyration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_gyration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

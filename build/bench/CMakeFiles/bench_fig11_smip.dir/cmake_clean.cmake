@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_smip.dir/bench_fig11_smip.cpp.o"
+  "CMakeFiles/bench_fig11_smip.dir/bench_fig11_smip.cpp.o.d"
+  "bench_fig11_smip"
+  "bench_fig11_smip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_smip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

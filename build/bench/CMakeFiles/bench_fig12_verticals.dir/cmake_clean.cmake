@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_verticals.dir/bench_fig12_verticals.cpp.o"
+  "CMakeFiles/bench_fig12_verticals.dir/bench_fig12_verticals.cpp.o.d"
+  "bench_fig12_verticals"
+  "bench_fig12_verticals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_verticals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

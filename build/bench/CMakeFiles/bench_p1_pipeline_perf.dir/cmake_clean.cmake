@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p1_pipeline_perf.dir/bench_p1_pipeline_perf.cpp.o"
+  "CMakeFiles/bench_p1_pipeline_perf.dir/bench_p1_pipeline_perf.cpp.o.d"
+  "bench_p1_pipeline_perf"
+  "bench_p1_pipeline_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p1_pipeline_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

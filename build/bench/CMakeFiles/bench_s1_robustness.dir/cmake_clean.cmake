@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s1_robustness.dir/bench_s1_robustness.cpp.o"
+  "CMakeFiles/bench_s1_robustness.dir/bench_s1_robustness.cpp.o.d"
+  "bench_s1_robustness"
+  "bench_s1_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s1_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_platform_shares.dir/bench_t1_platform_shares.cpp.o"
+  "CMakeFiles/bench_t1_platform_shares.dir/bench_t1_platform_shares.cpp.o.d"
+  "bench_t1_platform_shares"
+  "bench_t1_platform_shares.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_platform_shares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

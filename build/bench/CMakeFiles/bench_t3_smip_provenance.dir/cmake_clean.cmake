@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_smip_provenance.dir/bench_t3_smip_provenance.cpp.o"
+  "CMakeFiles/bench_t3_smip_provenance.dir/bench_t3_smip_provenance.cpp.o.d"
+  "bench_t3_smip_provenance"
+  "bench_t3_smip_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_smip_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

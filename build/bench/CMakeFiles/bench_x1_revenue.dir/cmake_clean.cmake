@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x1_revenue.dir/bench_x1_revenue.cpp.o"
+  "CMakeFiles/bench_x1_revenue.dir/bench_x1_revenue.cpp.o.d"
+  "bench_x1_revenue"
+  "bench_x1_revenue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x1_revenue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

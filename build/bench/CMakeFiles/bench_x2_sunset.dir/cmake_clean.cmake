@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x2_sunset.dir/bench_x2_sunset.cpp.o"
+  "CMakeFiles/bench_x2_sunset.dir/bench_x2_sunset.cpp.o.d"
+  "bench_x2_sunset"
+  "bench_x2_sunset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x2_sunset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x3_nbiot.dir/bench_x3_nbiot.cpp.o"
+  "CMakeFiles/bench_x3_nbiot.dir/bench_x3_nbiot.cpp.o.d"
+  "bench_x3_nbiot"
+  "bench_x3_nbiot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x3_nbiot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

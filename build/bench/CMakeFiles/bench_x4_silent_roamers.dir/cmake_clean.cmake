@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x4_silent_roamers.dir/bench_x4_silent_roamers.cpp.o"
+  "CMakeFiles/bench_x4_silent_roamers.dir/bench_x4_silent_roamers.cpp.o.d"
+  "bench_x4_silent_roamers"
+  "bench_x4_silent_roamers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x4_silent_roamers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

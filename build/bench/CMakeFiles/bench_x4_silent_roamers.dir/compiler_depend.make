@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_x4_silent_roamers.
+# This may be replaced when dependencies are built.

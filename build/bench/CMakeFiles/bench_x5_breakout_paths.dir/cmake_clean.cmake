@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x5_breakout_paths.dir/bench_x5_breakout_paths.cpp.o"
+  "CMakeFiles/bench_x5_breakout_paths.dir/bench_x5_breakout_paths.cpp.o.d"
+  "bench_x5_breakout_paths"
+  "bench_x5_breakout_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x5_breakout_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

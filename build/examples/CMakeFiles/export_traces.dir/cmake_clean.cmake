@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_traces.dir/export_traces.cpp.o"
+  "CMakeFiles/export_traces.dir/export_traces.cpp.o.d"
+  "export_traces"
+  "export_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

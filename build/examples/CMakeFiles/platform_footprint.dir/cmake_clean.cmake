@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_footprint.dir/platform_footprint.cpp.o"
+  "CMakeFiles/platform_footprint.dir/platform_footprint.cpp.o.d"
+  "platform_footprint"
+  "platform_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

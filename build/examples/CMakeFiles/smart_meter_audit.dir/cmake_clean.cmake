@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_meter_audit.dir/smart_meter_audit.cpp.o"
+  "CMakeFiles/smart_meter_audit.dir/smart_meter_audit.cpp.o.d"
+  "smart_meter_audit"
+  "smart_meter_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_meter_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wtr_cli.dir/wtr_cli.cpp.o"
+  "CMakeFiles/wtr_cli.dir/wtr_cli.cpp.o.d"
+  "wtr_cli"
+  "wtr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wtr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

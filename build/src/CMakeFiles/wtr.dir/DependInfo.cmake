@@ -1,0 +1,84 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cellnet/apn.cpp" "src/CMakeFiles/wtr.dir/cellnet/apn.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/cellnet/apn.cpp.o.d"
+  "/root/repo/src/cellnet/country.cpp" "src/CMakeFiles/wtr.dir/cellnet/country.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/cellnet/country.cpp.o.d"
+  "/root/repo/src/cellnet/geo.cpp" "src/CMakeFiles/wtr.dir/cellnet/geo.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/cellnet/geo.cpp.o.d"
+  "/root/repo/src/cellnet/imei.cpp" "src/CMakeFiles/wtr.dir/cellnet/imei.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/cellnet/imei.cpp.o.d"
+  "/root/repo/src/cellnet/imsi.cpp" "src/CMakeFiles/wtr.dir/cellnet/imsi.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/cellnet/imsi.cpp.o.d"
+  "/root/repo/src/cellnet/plmn.cpp" "src/CMakeFiles/wtr.dir/cellnet/plmn.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/cellnet/plmn.cpp.o.d"
+  "/root/repo/src/cellnet/rat.cpp" "src/CMakeFiles/wtr.dir/cellnet/rat.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/cellnet/rat.cpp.o.d"
+  "/root/repo/src/cellnet/sector.cpp" "src/CMakeFiles/wtr.dir/cellnet/sector.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/cellnet/sector.cpp.o.d"
+  "/root/repo/src/cellnet/tac_catalog.cpp" "src/CMakeFiles/wtr.dir/cellnet/tac_catalog.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/cellnet/tac_catalog.cpp.o.d"
+  "/root/repo/src/core/activity_metrics.cpp" "src/CMakeFiles/wtr.dir/core/activity_metrics.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/core/activity_metrics.cpp.o.d"
+  "/root/repo/src/core/baseline_classifier.cpp" "src/CMakeFiles/wtr.dir/core/baseline_classifier.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/core/baseline_classifier.cpp.o.d"
+  "/root/repo/src/core/catalog_builder.cpp" "src/CMakeFiles/wtr.dir/core/catalog_builder.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/core/catalog_builder.cpp.o.d"
+  "/root/repo/src/core/census.cpp" "src/CMakeFiles/wtr.dir/core/census.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/core/census.cpp.o.d"
+  "/root/repo/src/core/classifier.cpp" "src/CMakeFiles/wtr.dir/core/classifier.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/core/classifier.cpp.o.d"
+  "/root/repo/src/core/classifier_validation.cpp" "src/CMakeFiles/wtr.dir/core/classifier_validation.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/core/classifier_validation.cpp.o.d"
+  "/root/repo/src/core/clearing.cpp" "src/CMakeFiles/wtr.dir/core/clearing.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/core/clearing.cpp.o.d"
+  "/root/repo/src/core/mobility_metrics.cpp" "src/CMakeFiles/wtr.dir/core/mobility_metrics.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/core/mobility_metrics.cpp.o.d"
+  "/root/repo/src/core/platform_analysis.cpp" "src/CMakeFiles/wtr.dir/core/platform_analysis.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/core/platform_analysis.cpp.o.d"
+  "/root/repo/src/core/rat_usage.cpp" "src/CMakeFiles/wtr.dir/core/rat_usage.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/core/rat_usage.cpp.o.d"
+  "/root/repo/src/core/revenue.cpp" "src/CMakeFiles/wtr.dir/core/revenue.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/core/revenue.cpp.o.d"
+  "/root/repo/src/core/roaming_labeler.cpp" "src/CMakeFiles/wtr.dir/core/roaming_labeler.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/core/roaming_labeler.cpp.o.d"
+  "/root/repo/src/core/smip_analysis.cpp" "src/CMakeFiles/wtr.dir/core/smip_analysis.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/core/smip_analysis.cpp.o.d"
+  "/root/repo/src/core/trace_replay.cpp" "src/CMakeFiles/wtr.dir/core/trace_replay.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/core/trace_replay.cpp.o.d"
+  "/root/repo/src/core/traffic_metrics.cpp" "src/CMakeFiles/wtr.dir/core/traffic_metrics.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/core/traffic_metrics.cpp.o.d"
+  "/root/repo/src/core/vertical_analysis.cpp" "src/CMakeFiles/wtr.dir/core/vertical_analysis.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/core/vertical_analysis.cpp.o.d"
+  "/root/repo/src/devices/behavior_profile.cpp" "src/CMakeFiles/wtr.dir/devices/behavior_profile.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/devices/behavior_profile.cpp.o.d"
+  "/root/repo/src/devices/device.cpp" "src/CMakeFiles/wtr.dir/devices/device.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/devices/device.cpp.o.d"
+  "/root/repo/src/devices/device_class.cpp" "src/CMakeFiles/wtr.dir/devices/device_class.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/devices/device_class.cpp.o.d"
+  "/root/repo/src/devices/fleet_builder.cpp" "src/CMakeFiles/wtr.dir/devices/fleet_builder.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/devices/fleet_builder.cpp.o.d"
+  "/root/repo/src/devices/verticals.cpp" "src/CMakeFiles/wtr.dir/devices/verticals.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/devices/verticals.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/CMakeFiles/wtr.dir/io/csv.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/io/csv.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/CMakeFiles/wtr.dir/io/table.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/io/table.cpp.o.d"
+  "/root/repo/src/records/cdr.cpp" "src/CMakeFiles/wtr.dir/records/cdr.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/records/cdr.cpp.o.d"
+  "/root/repo/src/records/devices_catalog.cpp" "src/CMakeFiles/wtr.dir/records/devices_catalog.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/records/devices_catalog.cpp.o.d"
+  "/root/repo/src/records/platform_transaction.cpp" "src/CMakeFiles/wtr.dir/records/platform_transaction.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/records/platform_transaction.cpp.o.d"
+  "/root/repo/src/records/radio_event.cpp" "src/CMakeFiles/wtr.dir/records/radio_event.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/records/radio_event.cpp.o.d"
+  "/root/repo/src/records/xdr.cpp" "src/CMakeFiles/wtr.dir/records/xdr.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/records/xdr.cpp.o.d"
+  "/root/repo/src/signaling/emm_state.cpp" "src/CMakeFiles/wtr.dir/signaling/emm_state.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/signaling/emm_state.cpp.o.d"
+  "/root/repo/src/signaling/outcome_policy.cpp" "src/CMakeFiles/wtr.dir/signaling/outcome_policy.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/signaling/outcome_policy.cpp.o.d"
+  "/root/repo/src/signaling/procedure.cpp" "src/CMakeFiles/wtr.dir/signaling/procedure.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/signaling/procedure.cpp.o.d"
+  "/root/repo/src/signaling/result_code.cpp" "src/CMakeFiles/wtr.dir/signaling/result_code.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/signaling/result_code.cpp.o.d"
+  "/root/repo/src/signaling/transaction.cpp" "src/CMakeFiles/wtr.dir/signaling/transaction.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/signaling/transaction.cpp.o.d"
+  "/root/repo/src/sim/device_agent.cpp" "src/CMakeFiles/wtr.dir/sim/device_agent.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/sim/device_agent.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/wtr.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/wtr.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/mobility.cpp" "src/CMakeFiles/wtr.dir/sim/mobility.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/sim/mobility.cpp.o.d"
+  "/root/repo/src/sim/network_selection.cpp" "src/CMakeFiles/wtr.dir/sim/network_selection.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/sim/network_selection.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/CMakeFiles/wtr.dir/stats/distributions.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/stats/distributions.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/CMakeFiles/wtr.dir/stats/ecdf.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/stats/ecdf.cpp.o.d"
+  "/root/repo/src/stats/heatmap.cpp" "src/CMakeFiles/wtr.dir/stats/heatmap.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/stats/heatmap.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/wtr.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/CMakeFiles/wtr.dir/stats/rng.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/stats/rng.cpp.o.d"
+  "/root/repo/src/stats/sim_time.cpp" "src/CMakeFiles/wtr.dir/stats/sim_time.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/stats/sim_time.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/CMakeFiles/wtr.dir/stats/summary.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/stats/summary.cpp.o.d"
+  "/root/repo/src/topology/coverage.cpp" "src/CMakeFiles/wtr.dir/topology/coverage.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/topology/coverage.cpp.o.d"
+  "/root/repo/src/topology/operator_registry.cpp" "src/CMakeFiles/wtr.dir/topology/operator_registry.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/topology/operator_registry.cpp.o.d"
+  "/root/repo/src/topology/path_model.cpp" "src/CMakeFiles/wtr.dir/topology/path_model.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/topology/path_model.cpp.o.d"
+  "/root/repo/src/topology/roaming_agreements.cpp" "src/CMakeFiles/wtr.dir/topology/roaming_agreements.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/topology/roaming_agreements.cpp.o.d"
+  "/root/repo/src/topology/roaming_hub.cpp" "src/CMakeFiles/wtr.dir/topology/roaming_hub.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/topology/roaming_hub.cpp.o.d"
+  "/root/repo/src/topology/steering.cpp" "src/CMakeFiles/wtr.dir/topology/steering.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/topology/steering.cpp.o.d"
+  "/root/repo/src/topology/world.cpp" "src/CMakeFiles/wtr.dir/topology/world.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/topology/world.cpp.o.d"
+  "/root/repo/src/tracegen/calibration.cpp" "src/CMakeFiles/wtr.dir/tracegen/calibration.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/tracegen/calibration.cpp.o.d"
+  "/root/repo/src/tracegen/m2m_platform_scenario.cpp" "src/CMakeFiles/wtr.dir/tracegen/m2m_platform_scenario.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/tracegen/m2m_platform_scenario.cpp.o.d"
+  "/root/repo/src/tracegen/mno_scenario.cpp" "src/CMakeFiles/wtr.dir/tracegen/mno_scenario.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/tracegen/mno_scenario.cpp.o.d"
+  "/root/repo/src/tracegen/scenario.cpp" "src/CMakeFiles/wtr.dir/tracegen/scenario.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/tracegen/scenario.cpp.o.d"
+  "/root/repo/src/tracegen/smip_scenario.cpp" "src/CMakeFiles/wtr.dir/tracegen/smip_scenario.cpp.o" "gcc" "src/CMakeFiles/wtr.dir/tracegen/smip_scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for wtr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,3 @@
+src/CMakeFiles/wtr.dir/tracegen/calibration.cpp.o: \
+ /root/repo/src/tracegen/calibration.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/tracegen/calibration.hpp

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apn.dir/test_apn.cpp.o"
+  "CMakeFiles/test_apn.dir/test_apn.cpp.o.d"
+  "test_apn"
+  "test_apn.pdb"
+  "test_apn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_catalog_builder.dir/test_catalog_builder.cpp.o"
+  "CMakeFiles/test_catalog_builder.dir/test_catalog_builder.cpp.o.d"
+  "test_catalog_builder"
+  "test_catalog_builder.pdb"
+  "test_catalog_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_catalog_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

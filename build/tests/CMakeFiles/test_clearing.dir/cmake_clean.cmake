@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clearing.dir/test_clearing.cpp.o"
+  "CMakeFiles/test_clearing.dir/test_clearing.cpp.o.d"
+  "test_clearing"
+  "test_clearing.pdb"
+  "test_clearing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clearing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mobility_metrics.dir/test_mobility_metrics.cpp.o"
+  "CMakeFiles/test_mobility_metrics.dir/test_mobility_metrics.cpp.o.d"
+  "test_mobility_metrics"
+  "test_mobility_metrics.pdb"
+  "test_mobility_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mobility_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

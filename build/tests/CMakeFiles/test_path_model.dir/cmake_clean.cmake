@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_model.dir/test_path_model.cpp.o"
+  "CMakeFiles/test_path_model.dir/test_path_model.cpp.o.d"
+  "test_path_model"
+  "test_path_model.pdb"
+  "test_path_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

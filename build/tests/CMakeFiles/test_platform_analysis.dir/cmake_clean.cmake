@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platform_analysis.dir/test_platform_analysis.cpp.o"
+  "CMakeFiles/test_platform_analysis.dir/test_platform_analysis.cpp.o.d"
+  "test_platform_analysis"
+  "test_platform_analysis.pdb"
+  "test_platform_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platform_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plmn.dir/test_plmn.cpp.o"
+  "CMakeFiles/test_plmn.dir/test_plmn.cpp.o.d"
+  "test_plmn"
+  "test_plmn.pdb"
+  "test_plmn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plmn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rat.dir/test_rat.cpp.o"
+  "CMakeFiles/test_rat.dir/test_rat.cpp.o.d"
+  "test_rat"
+  "test_rat.pdb"
+  "test_rat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

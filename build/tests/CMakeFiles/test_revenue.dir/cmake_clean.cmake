@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_revenue.dir/test_revenue.cpp.o"
+  "CMakeFiles/test_revenue.dir/test_revenue.cpp.o.d"
+  "test_revenue"
+  "test_revenue.pdb"
+  "test_revenue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_revenue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario_determinism.dir/test_scenario_determinism.cpp.o"
+  "CMakeFiles/test_scenario_determinism.dir/test_scenario_determinism.cpp.o.d"
+  "test_scenario_determinism"
+  "test_scenario_determinism.pdb"
+  "test_scenario_determinism[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

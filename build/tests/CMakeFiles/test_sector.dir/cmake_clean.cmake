@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sector.dir/test_sector.cpp.o"
+  "CMakeFiles/test_sector.dir/test_sector.cpp.o.d"
+  "test_sector"
+  "test_sector.pdb"
+  "test_sector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smip_integration.dir/test_smip_integration.cpp.o"
+  "CMakeFiles/test_smip_integration.dir/test_smip_integration.cpp.o.d"
+  "test_smip_integration"
+  "test_smip_integration.pdb"
+  "test_smip_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smip_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tac_catalog.dir/test_tac_catalog.cpp.o"
+  "CMakeFiles/test_tac_catalog.dir/test_tac_catalog.cpp.o.d"
+  "test_tac_catalog"
+  "test_tac_catalog.pdb"
+  "test_tac_catalog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tac_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
