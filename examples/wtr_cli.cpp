@@ -125,16 +125,14 @@ int run_replay(const Options& options) {
       std::cerr << "missing " << options.replay_dir << "/" << name << "\n";
       return;
     }
-    const auto stats = replay(in, accumulator);
-    totals.rows += stats.rows;
-    totals.delivered += stats.delivered;
-    totals.malformed += stats.malformed;
+    totals += replay(in, accumulator);
   };
   feed("signaling.csv", core::replay_signaling_csv);
   feed("cdr.csv", core::replay_cdr_csv);
   feed("xdr.csv", core::replay_xdr_csv);
   std::cout << "replayed " << totals.delivered << "/" << totals.rows << " rows ("
-            << totals.malformed << " malformed)\n";
+            << totals.bad_csv << " bad CSV, " << totals.bad_fields
+            << " bad fields)\n";
 
   const auto catalog = accumulator.finalize();
   const cellnet::TacCatalog empty_catalog;  // no GSMA data in replay mode

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Sanitizer gate: configure a separate ASan+UBSan build tree, build
+# everything, and run the full test suite under the sanitizers. Use this
+# before merging changes that touch the simulator core or the parsers —
+# the plain `build/` tree stays untouched.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build-asan}"
+
+cmake -B "$build_dir" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build "$build_dir" -j "$(nproc)"
+
+# halt_on_error so CI fails loudly on the first UB report.
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+export ASAN_OPTIONS="detect_leaks=0"
+
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+echo "check.sh: all tests passed under ASan/UBSan"

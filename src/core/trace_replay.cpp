@@ -27,14 +27,14 @@ ReplayStats replay(std::istream& in, const std::vector<std::string>& expected_he
     }
     ++stats.rows;
     if (!fields) {
-      ++stats.malformed;
+      ++stats.bad_csv;
       continue;
     }
     if (const auto record = parse(*fields)) {
       deliver(*record);
       ++stats.delivered;
     } else {
-      ++stats.malformed;
+      ++stats.bad_fields;
     }
   }
   return stats;

@@ -15,9 +15,23 @@ namespace wtr::core {
 struct ReplayStats {
   std::uint64_t rows = 0;          // data rows seen (excl. header)
   std::uint64_t delivered = 0;     // parsed and delivered to the sink
-  std::uint64_t malformed = 0;     // skipped: bad CSV or failed field parse
+  std::uint64_t bad_csv = 0;       // skipped: structurally malformed CSV
+                                   // (unterminated quote, stray quote)
+  std::uint64_t bad_fields = 0;    // skipped: wrong arity or a field that
+                                   // failed its strict parse (numerics, enums)
 
-  [[nodiscard]] bool clean() const noexcept { return malformed == 0; }
+  [[nodiscard]] std::uint64_t malformed() const noexcept {
+    return bad_csv + bad_fields;
+  }
+  [[nodiscard]] bool clean() const noexcept { return malformed() == 0; }
+
+  ReplayStats& operator+=(const ReplayStats& other) noexcept {
+    rows += other.rows;
+    delivered += other.delivered;
+    bad_csv += other.bad_csv;
+    bad_fields += other.bad_fields;
+    return *this;
+  }
 };
 
 /// Each function expects a header line first (validated against the

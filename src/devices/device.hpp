@@ -32,6 +32,9 @@ struct Device {
   cellnet::RatMask sim_allowed_rats{0b1111};
   cellnet::Apn apn{};             // data APN; empty when the device has none
   bool subscription_ok = true;
+  /// Fleet tag for fault-schedule scoping (faults::kAnyFaultDomain = 0 for
+  /// untagged devices): misprovisioning ramps target a specific fleet.
+  std::uint32_t fault_domain = 0;
 
   // Per-device realizations sampled at fleet build time.
   double sessions_per_day = 1.0;

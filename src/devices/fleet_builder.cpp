@@ -41,6 +41,7 @@ std::vector<Device> FleetBuilder::build(const FleetSpec& spec) {
     device.home_operator = spec.home_operator;
     device.profile = spec.profile;
     device.subscription_ok = rng_.bernoulli(spec.subscription_ok_rate);
+    device.fault_domain = spec.fault_domain;
 
     // Equipment: TAC from the category pool (optionally vendor-restricted),
     // hardware capability from the catalog entry.

@@ -51,6 +51,9 @@ struct FleetSpec {
   /// Use long-tail OEM equipment (unknown GSMA label): the classifier's
   /// m2m-maybe residue.
   bool use_filler_equipment = false;
+  /// Fault-schedule scope tag stamped on every device of the fleet
+  /// (faults::kAnyFaultDomain = 0 leaves the fleet untagged).
+  std::uint32_t fault_domain = 0;
 };
 
 class FleetBuilder {

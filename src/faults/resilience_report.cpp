@@ -1,0 +1,50 @@
+#include "faults/resilience_report.hpp"
+
+namespace wtr::faults {
+
+ResilienceReport::ResilienceReport(const topology::World& world,
+                                   const FaultSchedule& schedule)
+    : world_(&world), schedule_(&schedule) {
+  const auto& episodes = schedule.episodes();
+  for (std::size_t i = 0; i < episodes.size(); ++i) {
+    if (episodes[i].kind != FaultKind::kOutage) continue;
+    OutageRecovery recovery;
+    recovery.episode_index = i;
+    recovery.op = episodes[i].op;
+    recovery.outage_end = episodes[i].end;
+    summary_.recoveries.push_back(recovery);
+  }
+}
+
+void ResilienceReport::on_signaling(const signaling::SignalingTransaction& txn,
+                                    bool data_context) {
+  (void)data_context;
+  ++summary_.procedures;
+  const auto visited = world_->operators().by_plmn(txn.visited_plmn);
+
+  if (signaling::is_failure(txn.result)) {
+    ++summary_.failures;
+    ++summary_.by_code[static_cast<std::size_t>(txn.result)];
+    ++summary_.failures_by_day[stats::day_of(txn.time)];
+    if (visited) ++summary_.failures_by_operator[*visited];
+    return;
+  }
+  ++summary_.by_code[static_cast<std::size_t>(signaling::ResultCode::kOk)];
+
+  // A completed registration is an OK UpdateLocation; the first one on the
+  // affected radio network after an outage window closes it out.
+  if (txn.procedure != signaling::Procedure::kUpdateLocation || !visited) return;
+  const auto radio = world_->operators().radio_network_of(*visited);
+  for (auto& recovery : summary_.recoveries) {
+    if (recovery.first_success_after) continue;
+    if (txn.time < recovery.outage_end) continue;
+    if (recovery.op != topology::kInvalidOperator && recovery.op != radio) continue;
+    recovery.first_success_after = txn.time;
+  }
+}
+
+void ResilienceReport::add_ingest(IngestDegradation degradation) {
+  summary_.ingest.push_back(std::move(degradation));
+}
+
+}  // namespace wtr::faults

@@ -1,0 +1,87 @@
+#pragma once
+
+// ResilienceReport: a RecordSink that watches the signaling stream under an
+// injected FaultSchedule and answers the robustness questions the harnesses
+// ask — how many procedures failed, with which code, on which operator, on
+// which day, and how long each outage took to recover (time from the end of
+// the outage window to the first completed registration on the affected
+// network). It also carries ingest-degradation counters so replayed dirty
+// traces surface their skip counts in the same report.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "faults/fault_schedule.hpp"
+#include "sim/device_agent.hpp"
+
+namespace wtr::faults {
+
+/// Recovery bookkeeping for one kOutage episode of the schedule.
+struct OutageRecovery {
+  std::size_t episode_index = 0;            // into FaultSchedule::episodes()
+  topology::OperatorId op = topology::kInvalidOperator;
+  stats::SimTime outage_end = 0;
+  /// First successful registration (OK UpdateLocation) on the affected
+  /// network at or after outage_end; nullopt when none was observed.
+  std::optional<stats::SimTime> first_success_after;
+
+  [[nodiscard]] std::optional<double> recovery_seconds() const noexcept {
+    if (!first_success_after) return std::nullopt;
+    return static_cast<double>(*first_success_after - outage_end);
+  }
+};
+
+/// Counters from one replayed CSV stream (see core::ReplayStats), surfaced
+/// alongside the simulated-fault numbers.
+struct IngestDegradation {
+  std::string stream;        // label, e.g. "signaling"
+  std::uint64_t rows = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t bad_csv = 0;     // structurally malformed rows
+  std::uint64_t bad_fields = 0;  // wrong arity / unparsable field values
+};
+
+struct ResilienceSummary {
+  std::uint64_t procedures = 0;  // signaling transactions observed
+  std::uint64_t failures = 0;    // non-OK results
+  std::array<std::uint64_t, signaling::kResultCodeCount> by_code{};
+  std::map<std::int32_t, std::uint64_t> failures_by_day;
+  /// Failures keyed by the *visited operator* (registry id), the paper's
+  /// per-operator failure view (§3.3).
+  std::map<topology::OperatorId, std::uint64_t> failures_by_operator;
+  std::vector<OutageRecovery> recoveries;
+  std::vector<IngestDegradation> ingest;
+
+  [[nodiscard]] double failure_share() const noexcept {
+    return procedures == 0 ? 0.0
+                           : static_cast<double>(failures) /
+                                 static_cast<double>(procedures);
+  }
+};
+
+class ResilienceReport final : public sim::RecordSink {
+ public:
+  /// `world` and `schedule` are borrowed and must outlive the report. Every
+  /// kOutage episode of the schedule gets a recovery slot.
+  ResilienceReport(const topology::World& world, const FaultSchedule& schedule);
+
+  void on_signaling(const signaling::SignalingTransaction& txn,
+                    bool data_context) override;
+
+  /// Attach replay counters (call once per replayed stream).
+  void add_ingest(IngestDegradation degradation);
+
+  /// Snapshot of everything accumulated so far.
+  [[nodiscard]] const ResilienceSummary& summary() const noexcept { return summary_; }
+
+ private:
+  const topology::World* world_;
+  const FaultSchedule* schedule_;
+  ResilienceSummary summary_;
+};
+
+}  // namespace wtr::faults

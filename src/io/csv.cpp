@@ -39,6 +39,7 @@ std::optional<std::vector<std::string>> csv_decode_row(std::string_view line) {
   std::vector<std::string> fields;
   std::string current;
   bool in_quotes = false;
+  bool was_quoted = false;  // current field was a quoted field, now closed
   std::size_t i = 0;
   while (i < line.size()) {
     const char c = line[i];
@@ -49,25 +50,34 @@ std::optional<std::vector<std::string>> csv_decode_row(std::string_view line) {
           ++i;
         } else {
           in_quotes = false;
+          was_quoted = true;
         }
       } else {
         current.push_back(c);
       }
     } else {
-      if (c == '"') {
-        in_quotes = true;
-      } else if (c == ',') {
+      if (c == ',') {
         fields.push_back(std::move(current));
         current.clear();
+        was_quoted = false;
       } else if (c == '\r') {
         // tolerate CRLF line endings
+      } else if (was_quoted) {
+        // Text after a closing quote ("ab"x): gluing it on would silently
+        // misparse a truncated/corrupted row — report it as malformed.
+        return std::nullopt;
+      } else if (c == '"') {
+        // A quote is only legal at the start of a field (RFC 4180); one in
+        // the middle of an unquoted field is corruption, not data.
+        if (!current.empty()) return std::nullopt;
+        in_quotes = true;
       } else {
         current.push_back(c);
       }
     }
     ++i;
   }
-  if (in_quotes) return std::nullopt;
+  if (in_quotes) return std::nullopt;  // unterminated quoted field
   fields.push_back(std::move(current));
   return fields;
 }

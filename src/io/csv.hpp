@@ -17,8 +17,10 @@ namespace wtr::io {
 [[nodiscard]] std::string csv_encode_row(const std::vector<std::string>& fields);
 
 /// Parse one logical CSV line into fields. Returns std::nullopt when the
-/// line is malformed (unterminated quote). Embedded newlines inside quotes
-/// are not supported by this line-at-a-time API.
+/// line is malformed: an unterminated quoted field, text after a closing
+/// quote, or a quote opening mid-way through an unquoted field — corrupted
+/// rows are reported, never silently misparsed. Embedded newlines inside
+/// quotes are not supported by this line-at-a-time API.
 [[nodiscard]] std::optional<std::vector<std::string>> csv_decode_row(std::string_view line);
 
 /// Strict numeric field parsers (whole-string match; nullopt otherwise).

@@ -1,0 +1,30 @@
+#include "signaling/attach_backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wtr::signaling {
+
+double AttachBackoff::on_failure(stats::Rng& rng) {
+  ++attempts_;
+  double nominal;
+  if (attempts_ < config_.long_backoff_after) {
+    nominal = config_.t3411_s;
+  } else {
+    nominal = config_.t3402_s *
+              std::pow(std::max(1.0, config_.long_backoff_multiplier),
+                       static_cast<double>(long_cycles_));
+    nominal = std::min(nominal, config_.max_backoff_s);
+    ++long_cycles_;
+  }
+  const double jitter = std::clamp(config_.jitter_fraction, 0.0, 1.0);
+  const double factor = 1.0 + jitter * (2.0 * rng.uniform() - 1.0);
+  return std::max(1.0, nominal * factor);
+}
+
+void AttachBackoff::on_success() noexcept {
+  attempts_ = 0;
+  long_cycles_ = 0;
+}
+
+}  // namespace wtr::signaling

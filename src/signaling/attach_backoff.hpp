@@ -1,0 +1,64 @@
+#pragma once
+
+// 3GPP-flavoured attach retry backoff (TS 24.301 / 24.008 abstraction):
+// after a failed attach round the UE retries on the short T3411 timer; once
+// the attempt counter reaches its limit (5 in the spec) the UE enters the
+// long T3402 backoff until a round succeeds. Jitter desynchronizes fleets
+// the way real clock drift does — without it every meter behind a recovered
+// outage would re-register in the same second, which is exactly the §5
+// registration-storm pathology the mechanism is meant to *produce from
+// mechanism* rather than from a tuned wake-rate multiplier.
+//
+// The machine consumes randomness only in on_failure(), so a simulation
+// that never enables it draws an identical RNG stream to one built without
+// the subsystem.
+
+#include <cstdint>
+
+#include "stats/rng.hpp"
+
+namespace wtr::signaling {
+
+struct AttachBackoffConfig {
+  /// Off by default: the legacy retry-rate boost keeps the calibrated
+  /// scenarios bit-identical. Fault sweeps and robustness harnesses opt in.
+  bool enabled = false;
+  double t3411_s = 10.0;    // short retry timer between early attempts
+  double t3402_s = 720.0;   // long backoff once the counter saturates (12 min)
+  int long_backoff_after = 5;  // attempt-counter limit (3GPP: 5 failures)
+  /// Multiplier applied to T3402 per consecutive long cycle. 1.0 is the
+  /// spec's fixed timer; > 1.0 models firmware with escalating backoff.
+  double long_backoff_multiplier = 1.0;
+  double max_backoff_s = 4.0 * 3600.0;  // cap for escalating configurations
+  /// Uniform jitter: the returned delay is nominal * [1-j, 1+j).
+  double jitter_fraction = 0.1;
+};
+
+class AttachBackoff {
+ public:
+  AttachBackoff() = default;
+  explicit AttachBackoff(AttachBackoffConfig config) : config_(config) {}
+
+  /// Record a failed attach round; returns the delay (seconds) before the
+  /// next retry. Draws exactly one uniform from `rng` for the jitter.
+  double on_failure(stats::Rng& rng);
+
+  /// A round succeeded: the attempt counter and any long-backoff escalation
+  /// reset (T3411/T3402 are stopped on successful attach).
+  void on_success() noexcept;
+
+  [[nodiscard]] const AttachBackoffConfig& config() const noexcept { return config_; }
+  [[nodiscard]] int attempt_count() const noexcept { return attempts_; }
+  [[nodiscard]] bool in_long_backoff() const noexcept {
+    return attempts_ >= config_.long_backoff_after;
+  }
+  /// Completed long-backoff waits since the last success (escalation step).
+  [[nodiscard]] int long_cycles() const noexcept { return long_cycles_; }
+
+ private:
+  AttachBackoffConfig config_{};
+  int attempts_ = 0;
+  int long_cycles_ = 0;
+};
+
+}  // namespace wtr::signaling

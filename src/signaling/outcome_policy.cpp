@@ -2,11 +2,12 @@
 
 namespace wtr::signaling {
 
-ResultCode OutcomePolicy::evaluate(const topology::World& world,
+ResultCode OutcomePolicy::evaluate(const topology::World& world, stats::SimTime now,
                                    topology::OperatorId home,
                                    topology::OperatorId visited, cellnet::Rat rat,
                                    cellnet::RatMask device_rats, cellnet::RatMask sim_rats,
-                                   bool subscription_ok, stats::Rng& rng) const {
+                                   bool subscription_ok, std::uint32_t fault_domain,
+                                   stats::Rng& rng) const {
   const auto& operators = world.operators();
   const auto& home_op = operators.get(home);
   const auto& visited_op = operators.get(visited);
@@ -23,6 +24,7 @@ ResultCode OutcomePolicy::evaluate(const topology::World& world,
 
   const bool at_home = operators.radio_network_of(home) ==
                        operators.radio_network_of(visited);
+  topology::HubId via_hub = topology::kInvalidHub;
   if (!at_home) {
     // National roaming between distinct local MNOs requires an agreement
     // just like international roaming does.
@@ -33,13 +35,32 @@ ResultCode OutcomePolicy::evaluate(const topology::World& world,
     if (!roaming.terms.allowed_rats.has(rat)) {
       return ResultCode::kFeatureUnsupported;
     }
+    via_hub = roaming.via_hub;
   }
   (void)home_op;
 
-  if (!subscription_ok || rng.bernoulli(config_.unknown_subscription_rate)) {
+  // Injected fault pressure at this instant. The empty/absent-schedule fast
+  // path keeps the probabilities *exactly* the configured base rates so the
+  // two draws below stay bit-identical to the pre-fault build.
+  faults::FaultEffect effect;
+  if (faults_ != nullptr && !faults_->empty()) {
+    effect = faults_->effect_at(now, operators.radio_network_of(visited), via_hub,
+                                fault_domain);
+  }
+
+  double p_unknown = config_.unknown_subscription_rate;
+  if (effect.misprovisioned > 0.0) {
+    p_unknown = 1.0 - (1.0 - p_unknown) * (1.0 - effect.misprovisioned);
+  }
+  if (!subscription_ok || rng.bernoulli(p_unknown)) {
     return ResultCode::kUnknownSubscription;
   }
-  if (rng.bernoulli(config_.transient_failure_rate)) {
+
+  double p_reject = config_.transient_failure_rate;
+  if (effect.any()) {
+    p_reject = 1.0 - (1.0 - p_reject) * (1.0 - effect.combined_reject());
+  }
+  if (rng.bernoulli(p_reject)) {
     return ResultCode::kNetworkFailure;
   }
   return ResultCode::kOk;

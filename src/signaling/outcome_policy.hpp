@@ -4,11 +4,15 @@
 // the rejection codes seen in the platform trace. The decision follows the
 // commercial topology (no roaming path → RoamingNotAllowed), the agreement
 // and hardware RAT scope (→ FeatureUnsupported), subscription state
-// (→ UnknownSubscription) and a small transient failure rate.
+// (→ UnknownSubscription), a small transient failure rate, and — when a
+// FaultSchedule is installed — time-varying injected faults (outages,
+// signaling storms, degraded hub paths, misprovisioning ramps).
 
 #include "cellnet/rat.hpp"
+#include "faults/fault_schedule.hpp"
 #include "signaling/result_code.hpp"
 #include "stats/rng.hpp"
+#include "stats/sim_time.hpp"
 #include "topology/world.hpp"
 
 namespace wtr::signaling {
@@ -21,23 +25,33 @@ struct OutcomePolicyConfig {
 class OutcomePolicy {
  public:
   OutcomePolicy() = default;
-  explicit OutcomePolicy(OutcomePolicyConfig config) : config_(config) {}
+  explicit OutcomePolicy(OutcomePolicyConfig config,
+                         const faults::FaultSchedule* faults = nullptr)
+      : config_(config), faults_(faults) {}
 
-  /// Evaluate a procedure attempt by a SIM of `home` on the radio network
-  /// of `visited` using `rat`. `device_rats` is the hardware capability and
-  /// `sim_rats` the SIM's provisioning scope; `subscription_ok` is false
-  /// for deactivated/misprovisioned SIMs.
-  [[nodiscard]] ResultCode evaluate(const topology::World& world,
+  /// Evaluate a procedure attempt at sim time `now` by a SIM of `home` on
+  /// the radio network of `visited` using `rat`. `device_rats` is the
+  /// hardware capability and `sim_rats` the SIM's provisioning scope;
+  /// `subscription_ok` is false for deactivated/misprovisioned SIMs.
+  /// `fault_domain` is the device's fleet tag for fault-schedule scoping
+  /// (kAnyFaultDomain for untagged devices).
+  ///
+  /// RNG discipline: exactly two bernoulli draws on every structurally-OK
+  /// attempt, fault schedule or not — an empty/absent schedule is
+  /// bit-identical to the pre-fault build.
+  [[nodiscard]] ResultCode evaluate(const topology::World& world, stats::SimTime now,
                                     topology::OperatorId home,
                                     topology::OperatorId visited, cellnet::Rat rat,
                                     cellnet::RatMask device_rats,
                                     cellnet::RatMask sim_rats, bool subscription_ok,
-                                    stats::Rng& rng) const;
+                                    std::uint32_t fault_domain, stats::Rng& rng) const;
 
   [[nodiscard]] const OutcomePolicyConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const faults::FaultSchedule* faults() const noexcept { return faults_; }
 
  private:
   OutcomePolicyConfig config_{};
+  const faults::FaultSchedule* faults_ = nullptr;  // not owned; may be null
 };
 
 }  // namespace wtr::signaling

@@ -12,7 +12,10 @@ namespace wtr::sim {
 using stats::SimTime;
 
 DeviceAgent::DeviceAgent(devices::Device device, AgentOptions options, stats::Rng rng)
-    : device_(std::move(device)), options_(std::move(options)), rng_(rng) {}
+    : device_(std::move(device)),
+      options_(std::move(options)),
+      rng_(rng),
+      backoff_(options_.backoff) {}
 
 SimTime DeviceAgent::departure_time() const noexcept {
   return stats::day_start(device_.departure_day);
@@ -30,6 +33,16 @@ std::optional<SimTime> DeviceAgent::first_wake() {
 }
 
 std::optional<SimTime> DeviceAgent::schedule_next(SimTime now) {
+  // Mechanistic retry path: a failed attach round schedules the next wake
+  // from the 3GPP backoff machine (T3411 short retry, T3402 long backoff).
+  // The delay was drawn in try_attach; no further randomness is consumed.
+  if (options_.backoff.enabled && !emm_.attached() && last_attach_failed_) {
+    SimTime next = now + static_cast<SimTime>(std::max(1.0, pending_retry_delay_s_));
+    if (next >= departure_time()) next = departure_time();
+    if (next <= now) next = now + 1;
+    return next;
+  }
+
   // Session process: exponential inter-arrival at the device's rate,
   // modulated by the profile's diurnal shape. Unattached devices retry
   // faster (registration storms — the Fig. 3 signaling-flood tail).
@@ -168,15 +181,17 @@ bool DeviceAgent::try_attach(const AgentContext& ctx, SimTime now,
       const cellnet::Rat effective_rat = serving_.rat;  // may degrade per-sector
       emm_.begin_attach(candidate.visited);
       const auto auth_result = ctx.outcomes->evaluate(
-          *ctx.world, device_.home_operator, candidate.visited, effective_rat,
-          device_.capability, device_.sim_allowed_rats, device_.subscription_ok, rng_);
+          *ctx.world, now, device_.home_operator, candidate.visited, effective_rat,
+          device_.capability, device_.sim_allowed_rats, device_.subscription_ok,
+          device_.fault_domain, rng_);
       emit_signaling(ctx, now, signaling::Procedure::kAuthentication, auth_result,
                      effective_rat, /*data_context=*/true);
       auto next_step = emm_.on_attach_step_result(auth_result);
       if (next_step) {
         const auto update_result = ctx.outcomes->evaluate(
-            *ctx.world, device_.home_operator, candidate.visited, effective_rat,
-            device_.capability, device_.sim_allowed_rats, device_.subscription_ok, rng_);
+            *ctx.world, now, device_.home_operator, candidate.visited, effective_rat,
+            device_.capability, device_.sim_allowed_rats, device_.subscription_ok,
+            device_.fault_domain, rng_);
         emit_signaling(ctx, now, signaling::Procedure::kUpdateLocation, update_result,
                        effective_rat, /*data_context=*/true);
         emm_.on_attach_step_result(update_result);
@@ -185,6 +200,7 @@ bool DeviceAgent::try_attach(const AgentContext& ctx, SimTime now,
         dwell_since_ = now;
         preferred_visited_ = candidate.visited;
         last_attach_failed_ = false;
+        if (options_.backoff.enabled) backoff_.on_success();
         return true;
       }
       // RAT fallback on the same network (4G → 3G → 2G).
@@ -193,6 +209,11 @@ bool DeviceAgent::try_attach(const AgentContext& ctx, SimTime now,
   }
   serving_ = Serving{};
   last_attach_failed_ = true;
+  // The whole round failed: advance the backoff machine. Drawing the retry
+  // delay here (not in schedule_next) keeps the jitter draw adjacent to the
+  // failure that caused it, and only when the mechanism is enabled — the
+  // legacy path consumes an identical RNG stream to the pre-backoff build.
+  if (options_.backoff.enabled) pending_retry_delay_s_ = backoff_.on_failure(rng_);
   return false;
 }
 
@@ -206,8 +227,9 @@ void DeviceAgent::do_session(const AgentContext& ctx, SimTime now) {
     const bool on_lte = serving_.rat == cellnet::Rat::kFourG;
     const auto procedure = emm_.area_update(on_lte);
     const auto result = ctx.outcomes->evaluate(
-        *ctx.world, device_.home_operator, serving_.visited, serving_.rat,
-        device_.capability, device_.sim_allowed_rats, device_.subscription_ok, rng_);
+        *ctx.world, now, device_.home_operator, serving_.visited, serving_.rat,
+        device_.capability, device_.sim_allowed_rats, device_.subscription_ok,
+        device_.fault_domain, rng_);
     emit_signaling(ctx, now, procedure, result, serving_.rat, /*data_context=*/true);
   }
 

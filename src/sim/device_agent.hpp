@@ -12,6 +12,7 @@
 #include "devices/device.hpp"
 #include "records/cdr.hpp"
 #include "records/xdr.hpp"
+#include "signaling/attach_backoff.hpp"
 #include "signaling/emm_state.hpp"
 #include "signaling/outcome_policy.hpp"
 #include "sim/mobility.hpp"
@@ -60,7 +61,15 @@ struct AgentContext {
 struct AgentOptions {
   TravelCorridor corridor;       // long-haul destinations
   int max_attach_attempts = 3;   // networks tried per wake before giving up
-  double retry_rate_boost = 15.0;  // wake-rate multiplier while unattached
+  /// Legacy retry model: wake-rate multiplier while unattached. Used only
+  /// when `backoff.enabled` is false; it is the tuned approximation the
+  /// calibrated scenarios were fit with.
+  double retry_rate_boost = 15.0;
+  /// Mechanistic retry model: 3GPP T3411/T3402 attach backoff. When
+  /// enabled, failed attach rounds schedule the next wake from the backoff
+  /// state machine instead of boosting the session rate — retry storms then
+  /// emerge from synchronized timers rather than a multiplier.
+  signaling::AttachBackoffConfig backoff{};
   /// After the (sticky) primary network rejects the device, probability of
   /// trying further networks this wake rather than backing off. Real UE
   /// firmware retries its stored PLMN list conservatively; this is what
@@ -84,6 +93,9 @@ class DeviceAgent {
 
   [[nodiscard]] const devices::Device& device() const noexcept { return device_; }
   [[nodiscard]] const signaling::EmmStateMachine& emm() const noexcept { return emm_; }
+  [[nodiscard]] const signaling::AttachBackoff& backoff() const noexcept {
+    return backoff_;
+  }
 
  private:
   struct Serving {
@@ -117,6 +129,10 @@ class DeviceAgent {
   AgentOptions options_;
   stats::Rng rng_;
   signaling::EmmStateMachine emm_;
+  signaling::AttachBackoff backoff_;
+  /// Delay chosen by the backoff machine after the last failed attach round
+  /// (seconds); consumed by schedule_next when backoff is enabled.
+  double pending_retry_delay_s_ = 0.0;
   Serving serving_{};
   /// Last successfully used network: real devices are sticky — they camp on
   /// the network that worked until steering, failure or a border crossing

@@ -10,7 +10,7 @@ Engine::Engine(const topology::World& world, Config config)
     : world_(world),
       config_(config),
       selector_(world),
-      outcomes_(config.outcomes),
+      outcomes_(config.outcomes, config.faults),
       rng_(config.seed) {}
 
 void Engine::add_fleet(std::vector<devices::Device> fleet, AgentOptions options) {

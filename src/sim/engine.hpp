@@ -47,6 +47,10 @@ class Engine {
     std::uint64_t seed = 7;
     std::int32_t horizon_days = 22;
     signaling::OutcomePolicyConfig outcomes{};
+    /// Optional fault-injection schedule consulted by the outcome policy.
+    /// Not owned — must outlive the engine. Null or empty leaves the run
+    /// bit-identical to a build without the fault subsystem.
+    const faults::FaultSchedule* faults = nullptr;
   };
 
   Engine(const topology::World& world, Config config);

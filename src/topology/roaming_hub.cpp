@@ -78,7 +78,7 @@ EffectiveRoaming HubRegistry::resolve(const RoamingAgreementGraph& bilateral,
   // Shared hub.
   for (HubId h : home_hubs) {
     if (std::find(visited_hubs.begin(), visited_hubs.end(), h) != visited_hubs.end()) {
-      return EffectiveRoaming{RoamingPath::kViaHub, terms_of(h)};
+      return EffectiveRoaming{RoamingPath::kViaHub, terms_of(h), h};
     }
   }
   // One hop of hub peering.
@@ -88,7 +88,7 @@ EffectiveRoaming HubRegistry::resolve(const RoamingAgreementGraph& bilateral,
     for (HubId vh : visited_hubs) {
       if (peer_it->second.contains(vh)) {
         return EffectiveRoaming{RoamingPath::kViaHubPeering,
-                                merge_terms(terms_of(hh), terms_of(vh))};
+                                merge_terms(terms_of(hh), terms_of(vh)), hh};
       }
     }
   }

@@ -40,6 +40,10 @@ enum class RoamingPath : std::uint8_t {
 struct EffectiveRoaming {
   RoamingPath path = RoamingPath::kNone;
   AgreementTerms terms{};  // effective terms on that path
+  /// Hub carrying the relation: the shared hub for kViaHub, the home-side
+  /// hub for kViaHubPeering, kInvalidHub for direct/none. Fault injection
+  /// scopes degraded-path episodes by this id.
+  HubId via_hub = kInvalidHub;
 };
 
 class HubRegistry {

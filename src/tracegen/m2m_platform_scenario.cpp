@@ -22,6 +22,7 @@ sim::Engine::Config engine_config_for(const M2MPlatformConfig& config) {
   ec.seed = stats::mix64(config.seed, 0x91a7f0u);
   ec.horizon_days = config.days;
   ec.outcomes.transient_failure_rate = 0.001;
+  ec.faults = config.faults;
   return ec;
 }
 
@@ -73,6 +74,7 @@ void M2MPlatformScenario::build_es_fleets() {
 
   sim::AgentOptions options;
   options.retry_rate_boost = 30.0;  // registration storms feed the Fig. 3 tail
+  options.backoff = config_.backoff;
   options.p_explore_after_failure = 0.06;
 
   // --- ES native: low-rate stationary verticals at home.
@@ -165,6 +167,7 @@ void M2MPlatformScenario::build_mx_fleets() {
 
   sim::AgentOptions options;
   options.retry_rate_boost = 20.0;
+  options.backoff = config_.backoff;
 
   struct Mix {
     devices::Vertical vertical;
@@ -204,6 +207,7 @@ void M2MPlatformScenario::build_ar_fleets() {
 
   sim::AgentOptions options;
   options.retry_rate_boost = 20.0;
+  options.backoff = config_.backoff;
 
   auto meters = devices::m2m_profile(devices::Vertical::kSmartMeter);
   meters.p_full_period = 0.8;
@@ -233,6 +237,7 @@ void M2MPlatformScenario::build_de_fleets() {
   // (§3.2 counts 18 visited networks on ~1,000 devices).
   sim::AgentOptions options;
   options.retry_rate_boost = 20.0;
+  options.backoff = config_.backoff;
   options.corridor = {"DE", "FR", "IT", "AT", "PL", "NL", "BE", "CZ", "CH"};
 
   auto cars = devices::m2m_profile(devices::Vertical::kConnectedCar);

@@ -15,6 +15,8 @@
 //   * ≈40% of ES devices fail all 4G procedures (no-LTE SIM provisioning or
 //     dead subscriptions), the paper's pure-failure population.
 
+#include "faults/fault_schedule.hpp"
+#include "signaling/attach_backoff.hpp"
 #include "tracegen/scenario.hpp"
 
 namespace wtr::tracegen {
@@ -26,6 +28,11 @@ struct M2MPlatformConfig {
   /// Platform probes capture no sector geometry; grids can be skipped for
   /// speed unless a consumer needs dwell records.
   bool build_coverage = false;
+  /// Optional fault-injection schedule (borrowed; null/empty = no faults).
+  const faults::FaultSchedule* faults = nullptr;
+  /// Mechanistic 3GPP attach backoff; disabled keeps the calibrated
+  /// retry-rate boost the Fig. 3 tail was fit with.
+  signaling::AttachBackoffConfig backoff{};
 };
 
 class M2MPlatformScenario final : public ScenarioBase {

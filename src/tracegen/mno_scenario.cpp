@@ -28,6 +28,7 @@ sim::Engine::Config engine_config_for(const MnoScenarioConfig& config) {
   ec.seed = stats::mix64(config.seed, 0x4d4e4f);
   ec.horizon_days = config.days;
   ec.outcomes.transient_failure_rate = 0.001;
+  ec.faults = config.faults;
   return ec;
 }
 
@@ -74,6 +75,12 @@ std::vector<cellnet::Plmn> MnoScenario::family_plmns() const {
   return out;
 }
 
+sim::AgentOptions MnoScenario::base_options() const {
+  sim::AgentOptions base;
+  base.backoff = config_.backoff;
+  return base;
+}
+
 topology::OperatorId MnoScenario::foreign_mno(const std::string& iso) const {
   const auto mnos = world_->operators().mnos_in_country(iso);
   assert(!mnos.empty());
@@ -82,7 +89,7 @@ topology::OperatorId MnoScenario::foreign_mno(const std::string& iso) const {
 
 void MnoScenario::build_smartphone_fleets() {
   const auto& wk = world_->well_known();
-  sim::AgentOptions options;
+  sim::AgentOptions options = base_options();
 
   // --- Native smartphones (H:H).
   {
@@ -155,7 +162,7 @@ void MnoScenario::build_smartphone_fleets() {
 
 void MnoScenario::build_feature_phone_fleets() {
   const auto& wk = world_->well_known();
-  sim::AgentOptions options;
+  sim::AgentOptions options = base_options();
 
   devices::FleetSpec native;
   native.count = scaled(0.050);
@@ -215,7 +222,7 @@ void MnoScenario::build_feature_phone_fleets() {
 
 void MnoScenario::build_native_m2m_fleets() {
   const auto& wk = world_->well_known();
-  sim::AgentOptions options;
+  sim::AgentOptions options = base_options();
 
   // SMIP native meters: dedicated IMSI range (§4.4), long-lived, 2G+3G.
   {
@@ -230,6 +237,7 @@ void MnoScenario::build_native_m2m_fleets() {
     spec.imsi_range = cellnet::ImsiRange{observer_plmn(), 500'000'000ULL,
                                          500'000'000ULL + spec.count};
     spec.cap_bands = cellnet::RatMask{0b011};  // 2G+3G hardware
+    spec.fault_domain = kFaultDomainNativeM2M;
     add_fleet(spec, options);
   }
 
@@ -265,7 +273,7 @@ void MnoScenario::build_native_m2m_fleets() {
 
 void MnoScenario::build_inbound_m2m_fleets() {
   const auto& wk = world_->well_known();
-  sim::AgentOptions options;
+  sim::AgentOptions options = base_options();
 
   auto inbound_profile = [&](devices::Vertical vertical) {
     auto profile = devices::m2m_profile(vertical);
@@ -289,6 +297,7 @@ void MnoScenario::build_inbound_m2m_fleets() {
     spec.horizon_days = config_.days;
     spec.cap_bands = two_g_only();
     spec.restrict_vendors = {"Gemalto", "Telit"};
+    spec.fault_domain = kFaultDomainInboundMeters;
     add_fleet(spec, options);
 
     if (nb_share > 0.0) {
@@ -377,7 +386,7 @@ void MnoScenario::build_inbound_m2m_fleets() {
 
 void MnoScenario::build_maybe_fleets() {
   const auto& wk = world_->well_known();
-  sim::AgentOptions options;
+  sim::AgentOptions options = base_options();
 
   // Long-tail OEM equipment, voice-only, no APN, and no TAC overlap with
   // any validated fleet: the classifier can only say m2m-maybe (§4.3's 4%).

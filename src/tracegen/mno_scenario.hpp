@@ -7,9 +7,16 @@
 // Default scale is 24k devices (the paper's 39.6M scaled down; all reported
 // statistics are shares or distribution shapes).
 
+#include "faults/fault_schedule.hpp"
+#include "signaling/attach_backoff.hpp"
 #include "tracegen/scenario.hpp"
 
 namespace wtr::tracegen {
+
+/// Fault-domain tags stamped on MnoScenario fleets so a FaultSchedule can
+/// target them (misprovisioning ramps are per-fleet phenomena).
+inline constexpr std::uint32_t kFaultDomainInboundMeters = 1;
+inline constexpr std::uint32_t kFaultDomainNativeM2M = 2;
 
 struct MnoScenarioConfig {
   std::uint64_t seed = 2019;
@@ -25,6 +32,14 @@ struct MnoScenarioConfig {
   /// NB-IoT deployment in GB/NL and NB-IoT roaming in the agreements (the
   /// GSMA roaming-trial world). Used by the X3 extension bench.
   double nbiot_meter_share = 0.0;
+  /// Optional fault-injection schedule (borrowed; must outlive the
+  /// scenario). Null or empty keeps the run bit-identical to the no-fault
+  /// build. Episode times are sim seconds (stats::day_start helps).
+  const faults::FaultSchedule* faults = nullptr;
+  /// Retry model for every fleet: enable for the mechanistic 3GPP
+  /// T3411/T3402 backoff; leave disabled for the calibrated legacy
+  /// retry-rate boost (the default the headline figures were fit with).
+  signaling::AttachBackoffConfig backoff{};
 };
 
 class MnoScenario final : public ScenarioBase {
@@ -39,6 +54,9 @@ class MnoScenario final : public ScenarioBase {
   [[nodiscard]] std::vector<cellnet::Plmn> family_plmns() const;
 
  private:
+  /// Fleet-agnostic agent options carrying the configured retry model.
+  [[nodiscard]] sim::AgentOptions base_options() const;
+
   void build_smartphone_fleets();
   void build_feature_phone_fleets();
   void build_native_m2m_fleets();

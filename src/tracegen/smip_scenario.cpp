@@ -18,6 +18,7 @@ sim::Engine::Config engine_config_for(const SmipScenarioConfig& config) {
   // Calibrated so ~10% of native meters see ≥1 failed event over the
   // window while the chattier roaming meters reach ~35% (§7.1).
   ec.outcomes.transient_failure_rate = 0.0004;
+  ec.faults = config.faults;
   return ec;
 }
 
@@ -34,6 +35,7 @@ SmipScenario::SmipScenario(const SmipScenarioConfig& config)
                                             {{wk.uk_mno, 15.0}});
   sim::AgentOptions options;
   options.retry_rate_boost = 10.0;
+  options.backoff = config.backoff;
 
   const auto native_total =
       static_cast<std::size_t>(config.native_share *

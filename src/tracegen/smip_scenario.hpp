@@ -8,6 +8,8 @@
 
 #include <unordered_set>
 
+#include "faults/fault_schedule.hpp"
+#include "signaling/attach_backoff.hpp"
 #include "tracegen/scenario.hpp"
 
 namespace wtr::tracegen {
@@ -18,6 +20,11 @@ struct SmipScenarioConfig {
   std::int32_t days = 26;
   double native_share = 0.55;
   bool build_coverage = true;
+  /// Optional fault-injection schedule (borrowed; null/empty = no faults).
+  const faults::FaultSchedule* faults = nullptr;
+  /// Mechanistic 3GPP attach backoff; disabled keeps the calibrated
+  /// retry-rate boost.
+  signaling::AttachBackoffConfig backoff{};
 };
 
 class SmipScenario final : public ScenarioBase {

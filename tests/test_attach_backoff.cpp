@@ -1,0 +1,121 @@
+// Attach backoff state machine: 3GPP-style attempt counter, T3411 short
+// retries, T3402 long backoff after saturation, jitter bounds, escalation
+// cap, and seed-stable determinism.
+
+#include "signaling/attach_backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wtr::signaling {
+namespace {
+
+AttachBackoffConfig no_jitter() {
+  AttachBackoffConfig config;
+  config.enabled = true;
+  config.jitter_fraction = 0.0;
+  return config;
+}
+
+TEST(AttachBackoff, AttemptCounterProgression) {
+  AttachBackoff backoff{no_jitter()};
+  stats::Rng rng{1};
+  EXPECT_EQ(backoff.attempt_count(), 0);
+  EXPECT_FALSE(backoff.in_long_backoff());
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_DOUBLE_EQ(backoff.on_failure(rng), 10.0);  // T3411
+    EXPECT_EQ(backoff.attempt_count(), i);
+    EXPECT_FALSE(backoff.in_long_backoff());
+  }
+}
+
+TEST(AttachBackoff, FifthFailureEntersLongBackoff) {
+  AttachBackoff backoff{no_jitter()};
+  stats::Rng rng{1};
+  for (int i = 0; i < 4; ++i) backoff.on_failure(rng);
+  EXPECT_DOUBLE_EQ(backoff.on_failure(rng), 720.0);  // T3402
+  EXPECT_TRUE(backoff.in_long_backoff());
+  EXPECT_EQ(backoff.long_cycles(), 1);
+  // Staying failed keeps the long timer (fixed per spec with multiplier 1).
+  EXPECT_DOUBLE_EQ(backoff.on_failure(rng), 720.0);
+  EXPECT_EQ(backoff.long_cycles(), 2);
+}
+
+TEST(AttachBackoff, SuccessResetsEverything) {
+  AttachBackoff backoff{no_jitter()};
+  stats::Rng rng{1};
+  for (int i = 0; i < 6; ++i) backoff.on_failure(rng);
+  ASSERT_TRUE(backoff.in_long_backoff());
+  backoff.on_success();
+  EXPECT_EQ(backoff.attempt_count(), 0);
+  EXPECT_EQ(backoff.long_cycles(), 0);
+  EXPECT_FALSE(backoff.in_long_backoff());
+  EXPECT_DOUBLE_EQ(backoff.on_failure(rng), 10.0);  // back on T3411
+}
+
+TEST(AttachBackoff, EscalationRespectsCap) {
+  auto config = no_jitter();
+  config.long_backoff_multiplier = 4.0;
+  config.max_backoff_s = 3000.0;
+  AttachBackoff backoff{config};
+  stats::Rng rng{1};
+  for (int i = 0; i < 4; ++i) backoff.on_failure(rng);
+  EXPECT_DOUBLE_EQ(backoff.on_failure(rng), 720.0);         // 720 * 4^0
+  EXPECT_DOUBLE_EQ(backoff.on_failure(rng), 2880.0);        // 720 * 4^1
+  EXPECT_DOUBLE_EQ(backoff.on_failure(rng), 3000.0);        // capped
+  EXPECT_DOUBLE_EQ(backoff.on_failure(rng), 3000.0);
+}
+
+TEST(AttachBackoff, JitterStaysWithinBounds) {
+  AttachBackoffConfig config;
+  config.enabled = true;
+  config.jitter_fraction = 0.25;
+  stats::Rng rng{99};
+  bool saw_off_nominal = false;
+  for (int i = 0; i < 200; ++i) {
+    AttachBackoff fresh{config};
+    const double delay = fresh.on_failure(rng);
+    EXPECT_GE(delay, 10.0 * 0.75);
+    EXPECT_LT(delay, 10.0 * 1.25);
+    if (delay != 10.0) saw_off_nominal = true;
+  }
+  EXPECT_TRUE(saw_off_nominal);
+}
+
+TEST(AttachBackoff, DelayNeverBelowOneSecond) {
+  auto config = no_jitter();
+  config.t3411_s = 0.001;
+  AttachBackoff backoff{config};
+  stats::Rng rng{1};
+  EXPECT_DOUBLE_EQ(backoff.on_failure(rng), 1.0);
+}
+
+TEST(AttachBackoff, DeterministicAcrossIdenticalSeeds) {
+  auto run = [](std::uint64_t seed) {
+    AttachBackoffConfig config;
+    config.enabled = true;
+    AttachBackoff backoff{config};
+    stats::Rng rng{seed};
+    std::vector<double> delays;
+    for (int i = 0; i < 12; ++i) {
+      delays.push_back(backoff.on_failure(rng));
+      if (i == 7) backoff.on_success();
+    }
+    return delays;
+  };
+  EXPECT_EQ(run(2019), run(2019));
+  EXPECT_NE(run(2019), run(2020));
+}
+
+TEST(AttachBackoff, ConsumesExactlyOneDrawPerFailure) {
+  stats::Rng a{7};
+  stats::Rng b{7};
+  AttachBackoff backoff{no_jitter()};
+  backoff.on_failure(a);
+  b.uniform();
+  EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+}  // namespace
+}  // namespace wtr::signaling

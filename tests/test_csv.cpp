@@ -48,6 +48,26 @@ TEST(Csv, DecodeToleratesCr) {
 
 TEST(Csv, DecodeMalformedUnterminatedQuote) {
   EXPECT_FALSE(csv_decode_row("\"unterminated").has_value());
+  EXPECT_FALSE(csv_decode_row("a,\"unterminated,b").has_value());
+}
+
+TEST(Csv, DecodeMalformedTextAfterClosingQuote) {
+  // "ab"x — a truncated/corrupted row; gluing the tail on would misparse.
+  EXPECT_FALSE(csv_decode_row("\"ab\"x").has_value());
+  EXPECT_FALSE(csv_decode_row("\"ab\"x,c").has_value());
+  EXPECT_FALSE(csv_decode_row("a,\"b\"\"c\"tail").has_value());
+  // A closing quote followed directly by a delimiter or CR is still fine.
+  EXPECT_TRUE(csv_decode_row("\"ab\",c").has_value());
+  EXPECT_TRUE(csv_decode_row("\"ab\"\r").has_value());
+}
+
+TEST(Csv, DecodeMalformedQuoteMidUnquotedField) {
+  EXPECT_FALSE(csv_decode_row("a\"b,c").has_value());
+  EXPECT_FALSE(csv_decode_row("x,214-\"07,y").has_value());
+  // A quote at the start of a field opens quoting as usual.
+  const auto row = csv_decode_row("a,\"b,c\"");
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(*row, (std::vector<std::string>{"a", "b,c"}));
 }
 
 TEST(Csv, DecodeEmptyLine) {

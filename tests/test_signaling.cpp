@@ -121,28 +121,28 @@ class OutcomePolicyTest : public ::testing::Test {
 
 TEST_F(OutcomePolicyTest, NativeAttachOk) {
   const auto uk = world().well_known().uk_mno;
-  EXPECT_EQ(policy_.evaluate(world(), uk, uk, cellnet::Rat::kFourG, all_, all_, true, rng_),
+  EXPECT_EQ(policy_.evaluate(world(), 0, uk, uk, cellnet::Rat::kFourG, all_, all_, true, 0, rng_),
             ResultCode::kOk);
 }
 
 TEST_F(OutcomePolicyTest, MvnoOnHostIsHome) {
   const auto& wk = world().well_known();
-  EXPECT_EQ(policy_.evaluate(world(), wk.uk_mvnos.front(), wk.uk_mno,
-                             cellnet::Rat::kThreeG, all_, all_, true, rng_),
+  EXPECT_EQ(policy_.evaluate(world(), 0, wk.uk_mvnos.front(), wk.uk_mno,
+                             cellnet::Rat::kThreeG, all_, all_, true, 0, rng_),
             ResultCode::kOk);
 }
 
 TEST_F(OutcomePolicyTest, HardwareWithoutRatUnsupported) {
   const auto uk = world().well_known().uk_mno;
   cellnet::RatMask two_g{0b001};
-  EXPECT_EQ(policy_.evaluate(world(), uk, uk, cellnet::Rat::kFourG, two_g, all_, true, rng_),
+  EXPECT_EQ(policy_.evaluate(world(), 0, uk, uk, cellnet::Rat::kFourG, two_g, all_, true, 0, rng_),
             ResultCode::kFeatureUnsupported);
 }
 
 TEST_F(OutcomePolicyTest, SimScopeWithoutRatUnsupported) {
   const auto uk = world().well_known().uk_mno;
   cellnet::RatMask no_lte{0b011};
-  EXPECT_EQ(policy_.evaluate(world(), uk, uk, cellnet::Rat::kFourG, all_, no_lte, true, rng_),
+  EXPECT_EQ(policy_.evaluate(world(), 0, uk, uk, cellnet::Rat::kFourG, all_, no_lte, true, 0, rng_),
             ResultCode::kFeatureUnsupported);
 }
 
@@ -150,22 +150,22 @@ TEST_F(OutcomePolicyTest, VisitedWithoutRatUnsupported) {
   // Japanese MNOs retired 2G in the world model.
   const auto& wk = world().well_known();
   const auto jp = world().operators().mnos_in_country("JP").front();
-  EXPECT_EQ(policy_.evaluate(world(), wk.es_hmno, jp, cellnet::Rat::kTwoG, all_, all_,
-                             true, rng_),
+  EXPECT_EQ(policy_.evaluate(world(), 0, wk.es_hmno, jp, cellnet::Rat::kTwoG, all_, all_,
+                             true, 0, rng_),
             ResultCode::kFeatureUnsupported);
 }
 
 TEST_F(OutcomePolicyTest, DeadSubscriptionUnknown) {
   const auto uk = world().well_known().uk_mno;
-  EXPECT_EQ(policy_.evaluate(world(), uk, uk, cellnet::Rat::kFourG, all_, all_, false, rng_),
+  EXPECT_EQ(policy_.evaluate(world(), 0, uk, uk, cellnet::Rat::kFourG, all_, all_, false, 0, rng_),
             ResultCode::kUnknownSubscription);
 }
 
 TEST_F(OutcomePolicyTest, RoamingViaHubAllowed) {
   const auto& wk = world().well_known();
   const auto gb = world().operators().mnos_in_country("GB").front();
-  EXPECT_EQ(policy_.evaluate(world(), wk.es_hmno, gb, cellnet::Rat::kFourG, all_, all_,
-                             true, rng_),
+  EXPECT_EQ(policy_.evaluate(world(), 0, wk.es_hmno, gb, cellnet::Rat::kFourG, all_, all_,
+                             true, 0, rng_),
             ResultCode::kOk);
 }
 
@@ -179,15 +179,15 @@ TEST_F(OutcomePolicyTest, NationalRoamingWithoutAgreementRejected) {
   // resolves; assert only that the call completes with a definite verdict.
   const auto& wk = world().well_known();
   const auto other_gb = world().operators().mnos_in_country("GB")[1];
-  const auto verdict = policy_.evaluate(world(), wk.uk_mvnos.front(), other_gb,
-                                        cellnet::Rat::kThreeG, all_, all_, true, rng_);
+  const auto verdict = policy_.evaluate(world(), 0, wk.uk_mvnos.front(), other_gb,
+                                        cellnet::Rat::kThreeG, all_, all_, true, 0, rng_);
   EXPECT_TRUE(verdict == ResultCode::kOk || verdict == ResultCode::kRoamingNotAllowed);
 }
 
 TEST_F(OutcomePolicyTest, TransientFailureRateApplies) {
   OutcomePolicy flaky{OutcomePolicyConfig{.transient_failure_rate = 1.0}};
   const auto uk = world().well_known().uk_mno;
-  EXPECT_EQ(flaky.evaluate(world(), uk, uk, cellnet::Rat::kFourG, all_, all_, true, rng_),
+  EXPECT_EQ(flaky.evaluate(world(), 0, uk, uk, cellnet::Rat::kFourG, all_, all_, true, 0, rng_),
             ResultCode::kNetworkFailure);
 }
 

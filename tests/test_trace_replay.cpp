@@ -126,8 +126,23 @@ TEST(TraceReplay, MalformedRowsSkippedNotFatal) {
   const auto stats = replay_signaling_csv(in, sink);
   EXPECT_EQ(stats.rows, 4u);
   EXPECT_EQ(stats.delivered, 1u);
-  EXPECT_EQ(stats.malformed, 3u);
+  EXPECT_EQ(stats.malformed(), 3u);
+  EXPECT_EQ(stats.bad_csv, 1u);     // the unterminated quote
+  EXPECT_EQ(stats.bad_fields, 2u);  // wrong arity + unknown procedure
   EXPECT_FALSE(stats.clean());
+}
+
+TEST(TraceReplay, StrayQuoteRowsCountAsBadCsv) {
+  std::istringstream in{
+      "device,time,sim_plmn,visited_plmn,procedure,result,rat,sector,tac\n"
+      "\"1\"x,2,214-07,234-01,Authentication,OK,4G,0,35000000\n"
+      "1,2,214-\"07,234-01,Authentication,OK,4G,0,35000000\n"};
+  CaptureSink sink;
+  const auto stats = replay_signaling_csv(in, sink);
+  EXPECT_EQ(stats.rows, 2u);
+  EXPECT_EQ(stats.delivered, 0u);
+  EXPECT_EQ(stats.bad_csv, 2u);
+  EXPECT_EQ(stats.bad_fields, 0u);
 }
 
 TEST(TraceReplay, MissingHeaderStillParsesData) {
