@@ -3,8 +3,11 @@
 // Shared plumbing for the figure-reproduction harnesses: each bench binary
 // simulates its scenario at a bench-friendly scale (override with
 // WTR_BENCH_SCALE=<devices>), runs the corresponding analysis, and prints
-// paper-vs-measured rows through wtr::io::Table.
+// paper-vs-measured rows through wtr::io::Table. Harnesses that feed the
+// perf trajectory also carry an obs::RunObservation and export a
+// BENCH_<name>.json run manifest (see README "Run manifests").
 
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -12,6 +15,7 @@
 #include "core/census.hpp"
 #include "core/platform_analysis.hpp"
 #include "io/table.hpp"
+#include "obs/observability.hpp"
 #include "tracegen/calibration.hpp"
 #include "tracegen/m2m_platform_scenario.hpp"
 #include "tracegen/mno_scenario.hpp"
@@ -20,11 +24,20 @@
 namespace wtr::bench {
 
 inline std::size_t scale_override(std::size_t fallback) {
-  if (const char* env = std::getenv("WTR_BENCH_SCALE")) {
-    const long value = std::atol(env);
-    if (value > 0) return static_cast<std::size_t>(value);
+  const char* env = std::getenv("WTR_BENCH_SCALE");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(env, &end, 10);
+  if (errno != 0 || end == env || *end != '\0' || value <= 0) {
+    // A typo like WTR_BENCH_SCALE=10k must not silently fall back — the
+    // operator thinks they ran a 10k sweep and reads numbers from the
+    // default scale. Warn loudly, then fall back.
+    std::cerr << "[bench] invalid WTR_BENCH_SCALE=\"" << env
+              << "\" (want a positive integer); using " << fallback << "\n";
+    return fallback;
   }
-  return fallback;
+  return static_cast<std::size_t>(value);
 }
 
 /// Paper-vs-measured row helper.
@@ -40,11 +53,16 @@ struct MnoRun {
   core::ClassifiedPopulation population;
 };
 
+/// `observation` (optional) instruments the whole run: scenario phases,
+/// engine probe samples and the analysis passes all land in it, ready for
+/// make_manifest() below.
 inline MnoRun run_mno_scenario(std::size_t default_devices = 16'000,
-                               std::uint64_t seed = 2019) {
+                               std::uint64_t seed = 2019,
+                               obs::RunObservation* observation = nullptr) {
   tracegen::MnoScenarioConfig config;
   config.seed = seed;
   config.total_devices = scale_override(default_devices);
+  if (observation != nullptr) config.obs = observation->view();
   auto scenario = std::make_unique<tracegen::MnoScenario>(config);
   std::cerr << "[bench] simulating MNO scenario: " << scenario->device_count()
             << " devices, " << config.days << " days...\n";
@@ -52,6 +70,8 @@ inline MnoRun run_mno_scenario(std::size_t default_devices = 16'000,
                                         scenario->family_plmns()}};
   scenario->run({&accumulator});
   auto catalog = accumulator.finalize();
+  obs::ScopedTimer census_timer{observation != nullptr ? &observation->timers() : nullptr,
+                                "analysis/census"};
   auto population = core::run_census(catalog, scenario->observer_plmn(),
                                      scenario->mvno_plmns(), scenario->tac_catalog());
   return MnoRun{std::move(scenario), std::move(catalog), std::move(population)};
@@ -63,17 +83,39 @@ struct PlatformRun {
 };
 
 inline PlatformRun run_platform_scenario(std::size_t default_devices = 10'000,
-                                         std::uint64_t seed = 2018) {
+                                         std::uint64_t seed = 2018,
+                                         obs::RunObservation* observation = nullptr) {
   tracegen::M2MPlatformConfig config;
   config.seed = seed;
   config.total_devices = scale_override(default_devices);
+  if (observation != nullptr) config.obs = observation->view();
   auto scenario = std::make_unique<tracegen::M2MPlatformScenario>(config);
   std::cerr << "[bench] simulating M2M platform scenario: " << scenario->device_count()
             << " devices, " << config.days << " days...\n";
   core::PlatformTraceAccumulator accumulator{{scenario->hmno_plmns()}};
   scenario->run({&accumulator});
+  obs::ScopedTimer finalize_timer{
+      observation != nullptr ? &observation->timers() : nullptr, "analysis/platform"};
   auto stats = accumulator.finalize();
   return PlatformRun{std::move(scenario), std::move(stats)};
+}
+
+/// Manifest seeded with run identity and all three observability sources
+/// attached. Callers add_result() their headline numbers, then write().
+inline obs::RunManifest make_manifest(const std::string& name, std::uint64_t seed,
+                                      std::uint64_t scale,
+                                      const obs::RunObservation& observation) {
+  obs::RunManifest manifest{name};
+  manifest.set_seed(seed);
+  manifest.set_scale(scale);
+  observation.fill(manifest);
+  return manifest;
+}
+
+/// Write and announce a manifest (stderr keeps stdout tables clean).
+inline void write_manifest(const obs::RunManifest& manifest) {
+  const auto path = manifest.write();
+  if (!path.empty()) std::cerr << "[bench] wrote " << path << "\n";
 }
 
 }  // namespace wtr::bench

@@ -1,9 +1,22 @@
-// P1 — google-benchmark timings for the analysis pipeline kernels an
-// operator would run daily: catalog summarization, roaming labeling, the
-// multi-step classifier, and the mobility-metric accumulator.
+// P1 — pipeline performance. Two layers:
+//
+//  1. An instrumented end-to-end pipeline run (scenario build → engine →
+//     summarize → census) under the obs layer, exported as BENCH_p1.json —
+//     the schema-stable manifest the scripts/check.sh regression gate and
+//     the cross-commit perf trajectory consume (phase wall-times,
+//     records/sec, queue-depth max, failure counters).
+//  2. The google-benchmark micro suite for the analysis kernels an operator
+//     would run daily (summarize, labeler, classifier, census, gyration,
+//     ECDF, simulation throughput).
+//
+// `--manifest-only` runs just layer 1 (the CI gate's fast path); any other
+// arguments pass through to google-benchmark.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
+#include "bench_common.hpp"
 #include "core/activity_metrics.hpp"
 #include "core/census.hpp"
 #include "core/classifier_validation.hpp"
@@ -13,6 +26,67 @@
 namespace {
 
 using namespace wtr;
+
+// --- Layer 1: instrumented pipeline manifest -------------------------------
+
+constexpr std::uint64_t kPipelineSeed = 101;
+
+void run_instrumented_pipeline() {
+  obs::RunObservation observation;
+  tracegen::MnoScenarioConfig config;
+  config.seed = kPipelineSeed;
+  config.total_devices = bench::scale_override(4'000);
+  config.build_coverage = false;  // perf path needs no dwell grid
+  config.obs = observation.view();
+
+  std::cerr << "[bench] instrumented pipeline: " << config.total_devices
+            << " devices, " << config.days << " days...\n";
+  tracegen::MnoScenario scenario{config};
+  core::CatalogAccumulator accumulator{{scenario.observer_plmn(),
+                                        scenario.family_plmns()}};
+  scenario.run({&accumulator});
+
+  auto timed = [&](const char* phase, auto&& fn) {
+    obs::ScopedTimer timer{&observation.timers(), phase};
+    return fn();
+  };
+  const auto catalog =
+      timed("analysis/catalog_finalize", [&] { return accumulator.finalize(); });
+  const auto summaries = timed("analysis/summarize", [&] { return core::summarize(catalog); });
+  const auto population = timed("analysis/census", [&] {
+    return core::run_census(catalog, scenario.observer_plmn(), scenario.mvno_plmns(),
+                            scenario.tac_catalog());
+  });
+
+  const auto& probe = observation.probe();
+  const double engine_s = observation.timers().total_s("engine/run");
+  const double records_per_sec =
+      engine_s > 0.0 ? static_cast<double>(probe.records_total()) / engine_s : 0.0;
+
+  auto manifest = bench::make_manifest("p1", kPipelineSeed, config.total_devices,
+                                       observation);
+  manifest.add_result("devices", static_cast<std::uint64_t>(scenario.device_count()));
+  manifest.add_result("days", static_cast<std::uint64_t>(config.days));
+  manifest.add_result("records_total", probe.records_total());
+  manifest.add_result("records_per_sec", records_per_sec);
+  manifest.add_result("queue_depth_max", probe.queue_depth_max());
+  manifest.add_result("attach_failure_rate", probe.attach_failure_rate());
+  manifest.add_result("summaries", static_cast<std::uint64_t>(summaries.size()));
+  manifest.add_result("population", static_cast<std::uint64_t>(population.size()));
+  bench::write_manifest(manifest);
+
+  io::Table table{{"pipeline phase", "wall_s", "spans"}};
+  for (const auto& phase : observation.timers().phases()) {
+    table.add_row({std::string(static_cast<std::size_t>(phase.depth) * 2, ' ') +
+                       phase.path,
+                   io::format_fixed(phase.wall_s, 3), io::format_count(phase.count)});
+  }
+  std::cout << io::figure_banner("P1", "Instrumented pipeline phases")
+            << table.render() << "records/sec (engine phase): "
+            << io::format_fixed(records_per_sec, 0) << "\n\n";
+}
+
+// --- Layer 2: kernel micro-benchmarks --------------------------------------
 
 struct Fixture {
   std::unique_ptr<tracegen::MnoScenario> scenario;
@@ -149,4 +223,25 @@ BENCHMARK(BM_SimulationThroughput)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool manifest_only = false;
+  // Strip our flag before google-benchmark sees the argument vector.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--manifest-only") == 0) {
+      manifest_only = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  run_instrumented_pipeline();
+  if (manifest_only) return 0;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

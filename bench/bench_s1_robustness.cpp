@@ -16,10 +16,11 @@ struct Row {
   double m2m_inbound = 0.0;   // share of m2m devices that are I:H
 };
 
-Row measure(std::size_t devices, std::uint64_t seed) {
+Row measure(std::size_t devices, std::uint64_t seed, obs::RunObservation& observation) {
   tracegen::MnoScenarioConfig config;
   config.seed = seed;
   config.total_devices = devices;
+  config.obs = observation.view();
   tracegen::MnoScenario scenario{config};
   std::cerr << "[bench] devices=" << devices << " seed=" << seed << "...\n";
   core::CatalogAccumulator accumulator{{scenario.observer_plmn(),
@@ -45,14 +46,18 @@ int main() {
 
   std::cout << io::figure_banner("S1", "Share stability across scale and seed");
 
+  // One observation spans the whole sweep: phases and probe samples
+  // accumulate across the five runs, which is exactly the "what does a
+  // sweep cost" view the manifest is for.
+  obs::RunObservation observation;
   io::Table table{{"population / seed", "smart", "m2m", "I:H that is m2m",
                    "m2m that is I:H", "paper"}};
   std::vector<Row> rows;
   for (const std::size_t devices : {2'000, 4'000, 8'000}) {
-    rows.push_back(measure(devices, 2019));
+    rows.push_back(measure(devices, 2019, observation));
   }
   for (const std::uint64_t seed : {7ULL, 1234ULL}) {
-    rows.push_back(measure(4'000, seed));
+    rows.push_back(measure(4'000, seed, observation));
   }
   for (const auto& row : rows) {
     table.add_row({row.label, io::format_percent(row.smart), io::format_percent(row.m2m),
@@ -80,5 +85,15 @@ int main() {
   std::cout << '\n' << spreads.render()
             << "(Spreads of a few points confirm the D1 claim: shares, not"
                " absolute counts, carry the reproduction.)\n";
+
+  auto manifest = bench::make_manifest("s1", 2019, 8'000, observation);
+  manifest.add_result("runs", static_cast<std::uint64_t>(rows.size()));
+  for (const auto& row : rows) {
+    manifest.add_result("smart_share[" + row.label + "]", row.smart);
+    manifest.add_result("m2m_share[" + row.label + "]", row.m2m);
+  }
+  manifest.add_result("smart_share_spread", spread([](const Row& r) { return r.smart; }));
+  manifest.add_result("m2m_share_spread", spread([](const Row& r) { return r.m2m; }));
+  bench::write_manifest(manifest);
   return 0;
 }

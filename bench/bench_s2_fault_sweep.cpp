@@ -73,6 +73,11 @@ int main() {
   constexpr std::uint64_t kSeed = 2019;
   constexpr stats::SimTime kHour = 3600;
 
+  // One observation covers the clean and faulted runs; the probe trajectory
+  // then shows the fault windows as queue-depth/failure humps in the second
+  // half of the samples.
+  obs::RunObservation observation;
+
   // --- Clean baseline (also supplies the deterministic operator/hub ids the
   // schedule targets; identically-configured worlds build identically).
   tracegen::MnoScenarioConfig config;
@@ -83,6 +88,7 @@ int main() {
   faults::FaultSchedule schedule;
   SweepRun clean;
   {
+    config.obs = observation.view();
     tracegen::MnoScenario scenario{config};
     std::cerr << "[bench] clean run: " << scenario.device_count() << " devices, "
               << config.days << " days...\n";
@@ -120,7 +126,7 @@ int main() {
   std::cerr << "[bench] faulted run: " << schedule.size() << " episodes...\n";
   core::CatalogAccumulator accumulator{{scenario.observer_plmn(),
                                         scenario.family_plmns()}};
-  faults::ResilienceReport report{scenario.world(), schedule};
+  faults::ResilienceReport report{scenario.world(), schedule, &observation.metrics()};
   scenario.run({&accumulator, &report});
   const auto catalog = accumulator.finalize();
   const auto population = core::run_census(catalog, scenario.observer_plmn(),
@@ -194,7 +200,8 @@ int main() {
   {
     std::istringstream dirty{corrupted_signaling_csv(500)};
     NullSink devnull;
-    const auto stats = core::replay_signaling_csv(dirty, devnull);
+    const auto stats =
+        core::replay_signaling_csv(dirty, devnull, &observation.metrics());
     report.add_ingest({"signaling (corrupted export)", stats.rows, stats.delivered,
                        stats.bad_csv, stats.bad_fields});
     io::Table ingest{{"replayed stream", "rows", "delivered", "bad csv",
@@ -212,5 +219,26 @@ int main() {
             << (shares_ok && all_recovered
                     ? "S2 PASS: shares fault-invariant, all outages recovered.\n"
                     : "S2 FAIL: see tables above.\n");
+
+  auto manifest = bench::make_manifest("s2", kSeed, devices, observation);
+  manifest.add_result("clean_smart_share", clean.smart);
+  manifest.add_result("clean_m2m_share", clean.m2m);
+  manifest.add_result("faulted_smart_share", faulted.smart);
+  manifest.add_result("faulted_m2m_share", faulted.m2m);
+  manifest.add_result("smart_share_delta", d_smart);
+  manifest.add_result("m2m_share_delta", d_m2m);
+  manifest.add_result("procedures", summary.procedures);
+  manifest.add_result("failures", summary.failures);
+  manifest.add_result("failure_share", summary.failure_share());
+  manifest.add_result("fault_episodes", static_cast<std::uint64_t>(schedule.size()));
+  manifest.add_result("outages_recovered",
+                      static_cast<std::uint64_t>(
+                          std::count_if(summary.recoveries.begin(),
+                                        summary.recoveries.end(), [](const auto& rec) {
+                                          return rec.first_success_after.has_value();
+                                        })));
+  manifest.add_result("all_recovered", std::string(all_recovered ? "yes" : "no"));
+  manifest.add_result("verdict", std::string(shares_ok && all_recovered ? "PASS" : "FAIL"));
+  bench::write_manifest(manifest);
   return shares_ok && all_recovered ? 0 : 1;
 }

@@ -8,7 +8,8 @@ int main() {
   using namespace wtr;
   namespace paper = tracegen::paper;
 
-  const auto run = bench::run_platform_scenario();
+  obs::RunObservation observation;
+  const auto run = bench::run_platform_scenario(10'000, 2018, &observation);
   const auto& stats = run.stats;
 
   std::cout << io::figure_banner("T1", "M2M platform shares (§3.2–3.3)");
@@ -51,5 +52,16 @@ int main() {
   std::cout << "\nScale (devices are intentionally scaled down; per-device"
                " intensities are the reproduction target):\n"
             << scale.render();
+
+  auto manifest = bench::make_manifest("t1", run.scenario->config().seed,
+                                       run.scenario->device_count(), observation);
+  manifest.add_result("es_signaling_share", stats.es_signaling_share);
+  manifest.add_result("es_roaming_signaling_share", stats.es_roaming_signaling_share);
+  manifest.add_result("es_nonroaming_device_share", stats.es_nonroaming_device_share);
+  manifest.add_result("es_fraction_failed_only", stats.es_fraction_failed_only);
+  manifest.add_result("fraction_any_success", stats.fraction_any_success);
+  manifest.add_result("total_records", stats.total_records);
+  manifest.add_result("total_devices", stats.total_devices);
+  bench::write_manifest(manifest);
   return 0;
 }

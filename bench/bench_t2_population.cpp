@@ -9,7 +9,8 @@ int main() {
   using namespace wtr;
   namespace paper = tracegen::paper;
 
-  const auto run = bench::run_mno_scenario();
+  obs::RunObservation observation;
+  const auto run = bench::run_mno_scenario(16'000, 2019, &observation);
   const auto& population = run.population;
 
   std::cout << io::figure_banner("T2", "MNO population composition (§4.2–4.3)");
@@ -95,5 +96,17 @@ int main() {
                          io::format_percent(vendors.share(vendor))});
   }
   std::cout << '\n' << top_vendors.render();
+
+  auto manifest = bench::make_manifest("t2", run.scenario->config().seed,
+                                       run.scenario->device_count(), observation);
+  manifest.add_result("label_share_hh", label_shares.share("H:H"));
+  manifest.add_result("label_share_vh", label_shares.share("V:H"));
+  manifest.add_result("label_share_ih", label_shares.share("I:H"));
+  manifest.add_result("smart_share",
+                      classification.share_of(core::ClassLabel::kSmart));
+  manifest.add_result("m2m_share", classification.share_of(core::ClassLabel::kM2M));
+  manifest.add_result("distinct_apns", classification.distinct_apns);
+  manifest.add_result("top3_vendor_inbound_share", top3);
+  bench::write_manifest(manifest);
   return 0;
 }

@@ -1,14 +1,28 @@
 #!/usr/bin/env bash
-# Sanitizer gate: configure a separate ASan+UBSan build tree, build
-# everything, and run the full test suite under the sanitizers. Use this
-# before merging changes that touch the simulator core or the parsers —
-# the plain `build/` tree stays untouched.
+# Two gates:
 #
-# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+#  1. Sanitizer gate — configure a separate ASan+UBSan build tree, build
+#     everything, and run the full test suite under the sanitizers. The
+#     plain `build/` tree stays untouched.
+#  2. Perf gate — build bench_p1_pipeline_perf in the plain `build/` tree
+#     (no sanitizers; timings must be real), run its instrumented pipeline
+#     (--manifest-only), drop BENCH_p1.json in the repo root, and fail on a
+#     >25% phase-timer or records/sec regression against the checked-in
+#     baseline (bench/baselines/BENCH_p1_baseline.json).
+#
+# Usage: scripts/check.sh [--rebaseline] [build-dir]   (default: build-asan)
+#   --rebaseline  refresh the checked-in perf baseline from this machine's
+#                 run instead of gating against it (commit the result).
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+rebaseline=0
+if [[ "${1:-}" == "--rebaseline" ]]; then
+  rebaseline=1
+  shift
+fi
 build_dir="${1:-build-asan}"
 
 cmake -B "$build_dir" -S . \
@@ -23,3 +37,23 @@ export ASAN_OPTIONS="detect_leaks=0"
 
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 echo "check.sh: all tests passed under ASan/UBSan"
+
+# --- Perf gate (plain build: sanitizer overhead would swamp the timers) ----
+baseline="bench/baselines/BENCH_p1_baseline.json"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" --target bench_p1_pipeline_perf
+
+WTR_BENCH_MANIFEST_DIR=. ./build/bench/bench_p1_pipeline_perf --manifest-only
+
+if [[ "$rebaseline" == 1 ]]; then
+  mkdir -p "$(dirname "$baseline")"
+  cp BENCH_p1.json "$baseline"
+  echo "check.sh: perf baseline refreshed at $baseline (commit it)"
+elif [[ -f "$baseline" ]]; then
+  python3 scripts/compare_manifest.py "$baseline" BENCH_p1.json
+  echo "check.sh: perf gate passed (phase timers within 25% of baseline)"
+else
+  echo "check.sh: no perf baseline at $baseline; run with --rebaseline to create one" >&2
+  exit 1
+fi

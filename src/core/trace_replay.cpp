@@ -3,12 +3,24 @@
 #include <string>
 
 #include "io/csv.hpp"
+#include "obs/metrics.hpp"
 #include "records/cdr.hpp"
 #include "records/xdr.hpp"
 
 namespace wtr::core {
 
 namespace {
+
+/// Mirror one stream's counters into the registry under a stable prefix.
+void record_replay_metrics(obs::MetricsRegistry* metrics, const char* stream,
+                           const ReplayStats& stats) {
+  if (metrics == nullptr) return;
+  const std::string prefix = std::string("replay.") + stream + '.';
+  metrics->counter(prefix + "rows").inc(stats.rows);
+  metrics->counter(prefix + "delivered").inc(stats.delivered);
+  metrics->counter(prefix + "bad_csv").inc(stats.bad_csv);
+  metrics->counter(prefix + "bad_fields").inc(stats.bad_fields);
+}
 
 /// Generic line pump: validates the header, then parses/delivers each row.
 template <typename ParseFn, typename DeliverFn>
@@ -72,6 +84,27 @@ ReplayStats replay_xdr_csv(std::istream& in, sim::RecordSink& sink) {
         return records::xdr_from_csv_fields(fields);
       },
       [&](const records::Xdr& xdr) { sink.on_xdr(xdr); });
+}
+
+ReplayStats replay_signaling_csv(std::istream& in, sim::RecordSink& sink,
+                                 obs::MetricsRegistry* metrics) {
+  const auto stats = replay_signaling_csv(in, sink);
+  record_replay_metrics(metrics, "signaling", stats);
+  return stats;
+}
+
+ReplayStats replay_cdr_csv(std::istream& in, sim::RecordSink& sink,
+                           obs::MetricsRegistry* metrics) {
+  const auto stats = replay_cdr_csv(in, sink);
+  record_replay_metrics(metrics, "cdr", stats);
+  return stats;
+}
+
+ReplayStats replay_xdr_csv(std::istream& in, sim::RecordSink& sink,
+                           obs::MetricsRegistry* metrics) {
+  const auto stats = replay_xdr_csv(in, sink);
+  record_replay_metrics(metrics, "xdr", stats);
+  return stats;
 }
 
 }  // namespace wtr::core

@@ -10,6 +10,10 @@
 
 #include "sim/device_agent.hpp"
 
+namespace wtr::obs {
+class MetricsRegistry;
+}  // namespace wtr::obs
+
 namespace wtr::core {
 
 struct ReplayStats {
@@ -40,5 +44,17 @@ struct ReplayStats {
 ReplayStats replay_signaling_csv(std::istream& in, sim::RecordSink& sink);
 ReplayStats replay_cdr_csv(std::istream& in, sim::RecordSink& sink);
 ReplayStats replay_xdr_csv(std::istream& in, sim::RecordSink& sink);
+
+/// Instrumented overloads: additionally mirror the ReplayStats into
+/// "replay.<stream>.{rows,delivered,bad_csv,bad_fields}" counters of
+/// `metrics` (null behaves exactly like the plain overload). The separate
+/// signatures keep the plain functions' addresses usable as
+/// `ReplayStats(*)(std::istream&, sim::RecordSink&)` function pointers.
+ReplayStats replay_signaling_csv(std::istream& in, sim::RecordSink& sink,
+                                 obs::MetricsRegistry* metrics);
+ReplayStats replay_cdr_csv(std::istream& in, sim::RecordSink& sink,
+                           obs::MetricsRegistry* metrics);
+ReplayStats replay_xdr_csv(std::istream& in, sim::RecordSink& sink,
+                           obs::MetricsRegistry* metrics);
 
 }  // namespace wtr::core

@@ -1,10 +1,17 @@
 #include "faults/resilience_report.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace wtr::faults {
 
 ResilienceReport::ResilienceReport(const topology::World& world,
-                                   const FaultSchedule& schedule)
+                                   const FaultSchedule& schedule,
+                                   obs::MetricsRegistry* metrics)
     : world_(&world), schedule_(&schedule) {
+  if (metrics != nullptr) {
+    procedures_counter_ = &metrics->counter("faults.procedures");
+    failures_counter_ = &metrics->counter("faults.failures");
+  }
   const auto& episodes = schedule.episodes();
   for (std::size_t i = 0; i < episodes.size(); ++i) {
     if (episodes[i].kind != FaultKind::kOutage) continue;
@@ -20,10 +27,12 @@ void ResilienceReport::on_signaling(const signaling::SignalingTransaction& txn,
                                     bool data_context) {
   (void)data_context;
   ++summary_.procedures;
+  if (procedures_counter_ != nullptr) procedures_counter_->inc();
   const auto visited = world_->operators().by_plmn(txn.visited_plmn);
 
   if (signaling::is_failure(txn.result)) {
     ++summary_.failures;
+    if (failures_counter_ != nullptr) failures_counter_->inc();
     ++summary_.by_code[static_cast<std::size_t>(txn.result)];
     ++summary_.failures_by_day[stats::day_of(txn.time)];
     if (visited) ++summary_.failures_by_operator[*visited];

@@ -18,6 +18,11 @@
 #include "faults/fault_schedule.hpp"
 #include "sim/device_agent.hpp"
 
+namespace wtr::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace wtr::obs
+
 namespace wtr::faults {
 
 /// Recovery bookkeeping for one kOutage episode of the schedule.
@@ -66,8 +71,12 @@ struct ResilienceSummary {
 class ResilienceReport final : public sim::RecordSink {
  public:
   /// `world` and `schedule` are borrowed and must outlive the report. Every
-  /// kOutage episode of the schedule gets a recovery slot.
-  ResilienceReport(const topology::World& world, const FaultSchedule& schedule);
+  /// kOutage episode of the schedule gets a recovery slot. `metrics`
+  /// (optional, borrowed) mirrors the procedure/failure tallies into
+  /// "faults.procedures" / "faults.failures" counters so fault pressure
+  /// shows up in run manifests alongside the engine numbers.
+  ResilienceReport(const topology::World& world, const FaultSchedule& schedule,
+                   obs::MetricsRegistry* metrics = nullptr);
 
   void on_signaling(const signaling::SignalingTransaction& txn,
                     bool data_context) override;
@@ -82,6 +91,8 @@ class ResilienceReport final : public sim::RecordSink {
   const topology::World* world_;
   const FaultSchedule* schedule_;
   ResilienceSummary summary_;
+  obs::Counter* procedures_counter_ = nullptr;  // null when metrics are off
+  obs::Counter* failures_counter_ = nullptr;
 };
 
 }  // namespace wtr::faults

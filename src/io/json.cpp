@@ -1,0 +1,129 @@
+#include "io/json.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace wtr::io {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+void JsonWriter::newline(int depth) {
+  out_ << '\n';
+  for (int i = 0; i < depth * indent_; ++i) out_ << ' ';
+}
+
+void JsonWriter::prefix() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // key() already positioned us
+  }
+  if (stack_.empty()) return;  // root value
+  assert(stack_.back() == Scope::kArray && "object members need a key()");
+  if (has_items_.back()) out_ << ',';
+  has_items_.back() = true;
+  newline(static_cast<int>(stack_.size()));
+}
+
+void JsonWriter::key(std::string_view name) {
+  assert(!stack_.empty() && stack_.back() == Scope::kObject);
+  if (has_items_.back()) out_ << ',';
+  has_items_.back() = true;
+  newline(static_cast<int>(stack_.size()));
+  out_ << '"' << json_escape(name) << "\": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::begin_object() {
+  prefix();
+  out_ << '{';
+  stack_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  assert(!stack_.empty() && stack_.back() == Scope::kObject);
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline(static_cast<int>(stack_.size()));
+  out_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  prefix();
+  out_ << '[';
+  stack_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back() == Scope::kArray);
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline(static_cast<int>(stack_.size()));
+  out_ << ']';
+}
+
+void JsonWriter::value(std::string_view text) {
+  prefix();
+  out_ << '"' << json_escape(text) << '"';
+}
+
+void JsonWriter::value(double number) {
+  prefix();
+  out_ << json_number(number);
+}
+
+void JsonWriter::value(std::uint64_t number) {
+  prefix();
+  out_ << number;
+}
+
+void JsonWriter::value(std::int64_t number) {
+  prefix();
+  out_ << number;
+}
+
+void JsonWriter::value(bool flag) {
+  prefix();
+  out_ << (flag ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  prefix();
+  out_ << "null";
+}
+
+}  // namespace wtr::io

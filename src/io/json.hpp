@@ -1,0 +1,65 @@
+#pragma once
+
+// Minimal streaming JSON writer for the run-manifest exporter. Emits
+// pretty-printed, key-ordered output so two manifests of the same run are
+// byte-diffable. No parsing — manifests are consumed by scripts/ tooling
+// (python json) and by humans.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wtr::io {
+
+/// Escape for embedding inside a JSON string literal (quotes not included).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Render a double the way the manifest schema wants it: shortest-ish
+/// decimal ("%.9g"), with non-finite values mapped to null.
+[[nodiscard]] std::string json_number(double value);
+
+/// Structured writer: tracks nesting and comma placement so call sites read
+/// linearly. Keys must be supplied for object members and only there.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out, int indent = 2) : out_(out), indent_(indent) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Member key; must be followed by a value or a begin_*().
+  void key(std::string_view name);
+
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view{text}); }
+  void value(double number);
+  void value(std::uint64_t number);
+  void value(std::int64_t number);
+  void value(bool flag);
+  void null();
+
+  // Key + scalar convenience.
+  template <typename T>
+  void kv(std::string_view name, T&& v) {
+    key(name);
+    value(std::forward<T>(v));
+  }
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  void prefix();  // comma/newline/indentation before a value or key
+  void newline(int depth);
+
+  std::ostream& out_;
+  int indent_ = 2;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+};
+
+}  // namespace wtr::io

@@ -1,0 +1,94 @@
+#include "obs/engine_probe.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace wtr::obs {
+
+namespace {
+
+/// The attach family in the backoff sense: procedures whose rejection sends
+/// the UE into its retry machine (plain mobility updates and detaches do
+/// not).
+bool is_attach_family(signaling::Procedure procedure) noexcept {
+  switch (procedure) {
+    case signaling::Procedure::kAttach:
+    case signaling::Procedure::kUpdateLocation:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void EngineProbe::begin_run(const faults::FaultSchedule* faults,
+                            std::uint64_t queue_depth) {
+  faults_ = faults;
+  next_sample_ = 0;  // sample at (or before) the first wake of this run
+  queue_max_ = std::max(queue_max_, queue_depth);
+}
+
+void EngineProbe::push_sample(stats::SimTime now, std::uint64_t queue_depth,
+                              std::uint64_t wakes) {
+  queue_max_ = std::max(queue_max_, queue_depth);
+  if (samples_.size() >= config_.max_samples) return;
+  EngineSample sample;
+  sample.sim_time = now;
+  sample.wakes = wakes;
+  sample.queue_depth = queue_depth;
+  sample.records = records_;
+  sample.attach_attempts = attach_attempts_;
+  sample.attach_failures = attach_failures_;
+  if (faults_ != nullptr) {
+    for (const auto& episode : faults_->episodes()) {
+      if (episode.active_at(now)) ++sample.active_fault_episodes;
+    }
+  }
+  samples_.push_back(sample);
+}
+
+void EngineProbe::on_tick(stats::SimTime now, std::uint64_t queue_depth,
+                          std::uint64_t wakes) {
+  push_sample(now, queue_depth, wakes);
+  // Next boundary strictly after `now` on the cadence grid, so bursty wakes
+  // inside one interval still produce exactly one sample per interval.
+  const stats::SimTime step = std::max<stats::SimTime>(config_.sample_every_s, 1);
+  next_sample_ = (now / step + 1) * step;
+}
+
+void EngineProbe::end_run(stats::SimTime now, std::uint64_t queue_depth,
+                          std::uint64_t wakes) {
+  push_sample(now, queue_depth, wakes);
+  next_sample_ = std::numeric_limits<stats::SimTime>::max();
+}
+
+void EngineProbe::on_signaling(const signaling::SignalingTransaction& txn,
+                               bool data_context) {
+  (void)data_context;
+  ++records_;
+  ++signaling_;
+  ++records_per_day_[stats::day_of(txn.time)];
+  if (is_attach_family(txn.procedure)) {
+    ++attach_attempts_;
+    if (signaling::is_failure(txn.result)) ++attach_failures_;
+  }
+}
+
+void EngineProbe::on_cdr(const records::Cdr& cdr) {
+  ++records_;
+  ++records_per_day_[stats::day_of(cdr.time)];
+}
+
+void EngineProbe::on_xdr(const records::Xdr& xdr) {
+  ++records_;
+  ++records_per_day_[stats::day_of(xdr.time)];
+}
+
+std::uint64_t EngineProbe::records_per_day_max() const noexcept {
+  std::uint64_t best = 0;
+  for (const auto& [day, count] : records_per_day_) best = std::max(best, count);
+  return best;
+}
+
+}  // namespace wtr::obs

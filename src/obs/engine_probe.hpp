@@ -1,0 +1,101 @@
+#pragma once
+
+// EngineProbe: periodic, low-overhead sampling of a running sim::Engine.
+// The engine checks `due(now)` once per wake (one inline comparison) and
+// hands over a sample at the configured sim-time cadence: sim-time progress,
+// event-queue depth, wakes, cumulative record counts, attach
+// failure/backoff pressure, and how many fault episodes are live at the
+// instant. The probe is also a RecordSink so it can count the stream it
+// rides on — per-day record throughput and attach-family failures — without
+// touching the agents. It owns no RNG and never perturbs the simulation.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "faults/fault_schedule.hpp"
+#include "sim/device_agent.hpp"
+
+namespace wtr::obs {
+
+struct EngineProbeConfig {
+  /// Sim-time sampling cadence (default: hourly sim time).
+  stats::SimTime sample_every_s = stats::kSecondsPerHour;
+  /// Hard cap on stored samples (a 22-day run at hourly cadence is 529).
+  std::size_t max_samples = 1 << 16;
+};
+
+struct EngineSample {
+  stats::SimTime sim_time = 0;
+  std::uint64_t wakes = 0;           // cumulative wakes processed
+  std::uint64_t queue_depth = 0;     // pending events at the sample instant
+  std::uint64_t records = 0;         // cumulative records (signaling+cdr+xdr)
+  std::uint64_t attach_attempts = 0; // cumulative attach-family procedures
+  std::uint64_t attach_failures = 0; // ... of which rejected
+  std::uint64_t active_fault_episodes = 0;
+};
+
+class EngineProbe final : public sim::RecordSink {
+ public:
+  explicit EngineProbe(EngineProbeConfig config = {}) : config_(config) {}
+
+  // --- engine-facing hooks -------------------------------------------------
+  /// Called by Engine::run before the event loop. Binds the fault schedule
+  /// for episode-state sampling (null = none) and records the initial
+  /// queue depth. Safe across multiple engines: samples keep accumulating.
+  void begin_run(const faults::FaultSchedule* faults, std::uint64_t queue_depth);
+
+  /// One inline comparison; the engine calls this every wake.
+  [[nodiscard]] bool due(stats::SimTime now) const noexcept {
+    return now >= next_sample_;
+  }
+
+  /// Take a sample at `now` and advance the cadence.
+  void on_tick(stats::SimTime now, std::uint64_t queue_depth, std::uint64_t wakes);
+
+  /// Final sample at the end of a run (horizon or queue drained).
+  void end_run(stats::SimTime now, std::uint64_t queue_depth, std::uint64_t wakes);
+
+  // --- RecordSink ----------------------------------------------------------
+  void on_signaling(const signaling::SignalingTransaction& txn,
+                    bool data_context) override;
+  void on_cdr(const records::Cdr& cdr) override;
+  void on_xdr(const records::Xdr& xdr) override;
+
+  // --- results -------------------------------------------------------------
+  [[nodiscard]] const std::vector<EngineSample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] std::uint64_t queue_depth_max() const noexcept { return queue_max_; }
+  [[nodiscard]] std::uint64_t records_total() const noexcept { return records_; }
+  [[nodiscard]] std::uint64_t signaling_total() const noexcept { return signaling_; }
+  [[nodiscard]] std::uint64_t attach_attempts() const noexcept { return attach_attempts_; }
+  [[nodiscard]] std::uint64_t attach_failures() const noexcept { return attach_failures_; }
+  [[nodiscard]] double attach_failure_rate() const noexcept {
+    return attach_attempts_ == 0 ? 0.0
+                                 : static_cast<double>(attach_failures_) /
+                                       static_cast<double>(attach_attempts_);
+  }
+  [[nodiscard]] const std::map<std::int32_t, std::uint64_t>& records_per_day()
+      const noexcept {
+    return records_per_day_;
+  }
+  /// Peak single-day record count (the throughput the sinks must absorb).
+  [[nodiscard]] std::uint64_t records_per_day_max() const noexcept;
+
+ private:
+  void push_sample(stats::SimTime now, std::uint64_t queue_depth, std::uint64_t wakes);
+
+  EngineProbeConfig config_;
+  const faults::FaultSchedule* faults_ = nullptr;  // borrowed; may be null
+  stats::SimTime next_sample_ = 0;
+  std::vector<EngineSample> samples_;
+  std::uint64_t queue_max_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint64_t signaling_ = 0;
+  std::uint64_t attach_attempts_ = 0;
+  std::uint64_t attach_failures_ = 0;
+  std::map<std::int32_t, std::uint64_t> records_per_day_;
+};
+
+}  // namespace wtr::obs

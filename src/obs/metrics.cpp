@@ -1,0 +1,66 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wtr::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)), buckets_(upper_bounds_.size() + 1, 0) {
+  assert(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()));
+}
+
+void Histogram::add(double v) noexcept {
+  const auto it = std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), v);
+  buckets_[static_cast<std::size_t>(it - upper_bounds_.begin())] += 1;
+  ++count_;
+  sum_ += v;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+}
+
+std::vector<double> exponential_buckets(double start, double factor, std::size_t n) {
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double bound = start;
+  for (std::size_t i = 0; i < n; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> latency_buckets_s() {
+  // 1µs .. ~100s in decade/half-decade steps (17 bounds + overflow).
+  return exponential_buckets(1e-6, std::sqrt(10.0), 17);
+}
+
+std::vector<double> size_buckets() {
+  // 1 .. ~1e9 in decade steps.
+  return exponential_buckets(1.0, 10.0, 10);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram{std::move(upper_bounds)}).first->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+}  // namespace wtr::obs

@@ -1,0 +1,116 @@
+#pragma once
+
+// Self-instrumentation metrics (DESIGN.md: the pipeline must be able to
+// answer "where does the time go" the same way the paper answers it for
+// operator signaling). A MetricsRegistry is a named collection of counters,
+// gauges and fixed-bucket histograms. Everything is single-threaded like the
+// simulator itself, and instrumented call sites hold plain pointers that are
+// null when observability is disabled — the null path is one predictable
+// branch, and nothing here ever touches an RNG, so an instrumented run's
+// signaling output is byte-identical to a bare one.
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wtr::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  /// Keep the running maximum (queue depths, high-water marks).
+  void set_max(double v) noexcept {
+    if (v > value_) value_ = v;
+  }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: `upper_bounds` are the inclusive bucket tops in
+/// ascending order; one implicit overflow bucket catches everything above
+/// the last bound. Tracks count/sum/min/max alongside the buckets.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void add(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] const std::vector<double>& upper_bounds() const noexcept {
+    return upper_bounds_;
+  }
+  /// bucket_counts().size() == upper_bounds().size() + 1 (overflow last).
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// `factor`-spaced exponential ladder: {start, start*factor, ...} (n bounds).
+[[nodiscard]] std::vector<double> exponential_buckets(double start, double factor,
+                                                      std::size_t n);
+/// Default ladders for the two families the subsystem cares about.
+[[nodiscard]] std::vector<double> latency_buckets_s();  // 1µs .. ~100s
+[[nodiscard]] std::vector<double> size_buckets();       // 1 .. ~1e9
+
+/// Named metric registry. Lookups create on first use; returned references
+/// are stable for the registry's lifetime (node-based storage), so hot call
+/// sites resolve a handle once and increment through it. Iteration order is
+/// the name order — exports are deterministic.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  /// `upper_bounds` only applies on first creation; later callers share the
+  /// existing instance regardless of the bounds they pass.
+  Histogram& histogram(const std::string& name, std::vector<double> upper_bounds);
+
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const noexcept {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace wtr::obs

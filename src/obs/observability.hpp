@@ -1,0 +1,57 @@
+#pragma once
+
+// The observability plumbing handle: a trio of non-owning pointers threaded
+// through scenario configs and the engine. Default-constructed (all null) it
+// disables the whole layer — every instrumented call site degrades to a
+// single pointer test, which is what keeps a disabled run bit-identical to
+// the pre-obs build. RunObservation is the owning bundle the harnesses
+// instantiate; view() produces the handle to thread through configs.
+
+#include "obs/engine_probe.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_manifest.hpp"
+#include "obs/scoped_timer.hpp"
+
+namespace wtr::obs {
+
+struct Observability {
+  MetricsRegistry* metrics = nullptr;
+  PhaseTimers* timers = nullptr;
+  EngineProbe* probe = nullptr;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return metrics != nullptr || timers != nullptr || probe != nullptr;
+  }
+};
+
+/// Owning registry+timers+probe bundle for one observed run (or a sweep of
+/// runs — phases and probe samples accumulate across engines).
+class RunObservation {
+ public:
+  explicit RunObservation(EngineProbeConfig probe_config = {}) : probe_(probe_config) {}
+
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] PhaseTimers& timers() noexcept { return timers_; }
+  [[nodiscard]] EngineProbe& probe() noexcept { return probe_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] const PhaseTimers& timers() const noexcept { return timers_; }
+  [[nodiscard]] const EngineProbe& probe() const noexcept { return probe_; }
+
+  [[nodiscard]] Observability view() noexcept {
+    return Observability{&metrics_, &timers_, &probe_};
+  }
+
+  /// Attach all three sources to a manifest (they must outlive it).
+  void fill(RunManifest& manifest) const {
+    manifest.attach_metrics(&metrics_);
+    manifest.attach_timers(&timers_);
+    manifest.attach_probe(&probe_);
+  }
+
+ private:
+  MetricsRegistry metrics_;
+  PhaseTimers timers_;
+  EngineProbe probe_;
+};
+
+}  // namespace wtr::obs

@@ -1,0 +1,187 @@
+#include "obs/run_manifest.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "io/json.hpp"
+
+#ifndef WTR_GIT_DESCRIBE
+#define WTR_GIT_DESCRIBE "unknown"
+#endif
+
+namespace wtr::obs {
+
+std::string_view build_git_describe() noexcept { return WTR_GIT_DESCRIBE; }
+
+RunManifest::RunManifest(std::string name)
+    : name_(std::move(name)), git_describe_(build_git_describe()) {}
+
+void RunManifest::add_result(const std::string& key, double value) {
+  results_.push_back({Result::Kind::kDouble, key, value, 0, {}});
+}
+
+void RunManifest::add_result(const std::string& key, std::uint64_t value) {
+  results_.push_back({Result::Kind::kUint, key, 0.0, value, {}});
+}
+
+void RunManifest::add_result(const std::string& key, const std::string& value) {
+  results_.push_back({Result::Kind::kString, key, 0.0, 0, value});
+}
+
+std::string RunManifest::to_json() const {
+  std::ostringstream out;
+  io::JsonWriter json{out};
+  json.begin_object();
+  json.kv("schema", kManifestSchema);
+  json.kv("name", name_);
+  json.kv("seed", seed_);
+  json.kv("scale", scale_);
+  json.kv("git_describe", git_describe_);
+
+  json.key("phases");
+  json.begin_array();
+  if (timers_ != nullptr) {
+    for (const auto& phase : timers_->phases()) {
+      json.begin_object();
+      json.kv("name", phase.path);
+      json.kv("wall_s", phase.wall_s);
+      json.kv("count", phase.count);
+      json.kv("depth", static_cast<std::int64_t>(phase.depth));
+      json.end_object();
+    }
+  }
+  json.end_array();
+
+  json.key("metrics");
+  json.begin_object();
+  json.key("counters");
+  json.begin_object();
+  if (metrics_ != nullptr) {
+    for (const auto& [name, counter] : metrics_->counters()) {
+      json.kv(name, counter.value());
+    }
+  }
+  json.end_object();
+  json.key("gauges");
+  json.begin_object();
+  if (metrics_ != nullptr) {
+    for (const auto& [name, gauge] : metrics_->gauges()) {
+      json.kv(name, gauge.value());
+    }
+  }
+  json.end_object();
+  json.key("histograms");
+  json.begin_object();
+  if (metrics_ != nullptr) {
+    for (const auto& [name, histogram] : metrics_->histograms()) {
+      json.key(name);
+      json.begin_object();
+      json.kv("count", histogram.count());
+      json.kv("sum", histogram.sum());
+      json.kv("min", histogram.min());
+      json.kv("max", histogram.max());
+      json.key("upper_bounds");
+      json.begin_array();
+      for (const double bound : histogram.upper_bounds()) json.value(bound);
+      json.end_array();
+      json.key("bucket_counts");
+      json.begin_array();
+      for (const std::uint64_t count : histogram.bucket_counts()) json.value(count);
+      json.end_array();
+      json.end_object();
+    }
+  }
+  json.end_object();
+  json.end_object();  // metrics
+
+  json.key("probe");
+  if (probe_ == nullptr) {
+    json.null();
+  } else {
+    json.begin_object();
+    json.kv("samples", static_cast<std::uint64_t>(probe_->samples().size()));
+    json.kv("queue_depth_max", probe_->queue_depth_max());
+    json.kv("records_total", probe_->records_total());
+    json.kv("signaling_total", probe_->signaling_total());
+    json.kv("attach_attempts", probe_->attach_attempts());
+    json.kv("attach_failures", probe_->attach_failures());
+    json.kv("attach_failure_rate", probe_->attach_failure_rate());
+    json.kv("records_per_day_max", probe_->records_per_day_max());
+    json.key("records_per_day");
+    json.begin_object();
+    for (const auto& [day, count] : probe_->records_per_day()) {
+      json.kv(std::to_string(day), count);
+    }
+    json.end_object();
+    json.key("trajectory");
+    json.begin_array();
+    for (const auto& sample : probe_->samples()) {
+      json.begin_object();
+      json.kv("t", static_cast<std::int64_t>(sample.sim_time));
+      json.kv("wakes", sample.wakes);
+      json.kv("queue_depth", sample.queue_depth);
+      json.kv("records", sample.records);
+      json.kv("attach_attempts", sample.attach_attempts);
+      json.kv("attach_failures", sample.attach_failures);
+      json.kv("active_fault_episodes", sample.active_fault_episodes);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+
+  json.key("results");
+  json.begin_object();
+  for (const auto& result : results_) {
+    switch (result.kind) {
+      case Result::Kind::kDouble: json.kv(result.key, result.d); break;
+      case Result::Kind::kUint: json.kv(result.key, result.u); break;
+      case Result::Kind::kString: json.kv(result.key, result.s); break;
+    }
+  }
+  json.end_object();
+  json.end_object();
+  out << '\n';
+  return out.str();
+}
+
+std::string RunManifest::phases_csv() const {
+  std::ostringstream out;
+  out << "phase,wall_s,count,depth\n";
+  if (timers_ != nullptr) {
+    for (const auto& phase : timers_->phases()) {
+      out << phase.path << ',' << io::json_number(phase.wall_s) << ',' << phase.count
+          << ',' << phase.depth << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string RunManifest::default_path(std::string_view directory) const {
+  std::string dir{directory};
+  if (dir.empty()) {
+    if (const char* env = std::getenv("WTR_BENCH_MANIFEST_DIR")) dir = env;
+  }
+  if (dir.empty()) dir = ".";
+  if (dir.back() != '/') dir += '/';
+  return dir + "BENCH_" + name_ + ".json";
+}
+
+std::string RunManifest::write(std::string_view directory) const {
+  const std::string path = default_path(directory);
+  std::ofstream out{path};
+  if (!out) {
+    std::cerr << "[obs] cannot write manifest " << path << " (continuing)\n";
+    return {};
+  }
+  out << to_json();
+  if (!out.good()) {
+    std::cerr << "[obs] short write on manifest " << path << "\n";
+    return {};
+  }
+  return path;
+}
+
+}  // namespace wtr::obs

@@ -1,0 +1,64 @@
+#include "obs/scoped_timer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wtr::obs {
+
+std::string PhaseTimers::begin_span(std::string_view name) {
+  std::string path;
+  if (!stack_.empty()) {
+    path = stack_.back();
+    path += '/';
+  }
+  path += name;
+  const int depth = static_cast<int>(stack_.size());
+  const auto [it, inserted] = slots_.try_emplace(path);
+  if (inserted) {
+    it->second.depth = depth;
+    it->second.order = slots_.size() - 1;
+  }
+  stack_.push_back(path);
+  return path;
+}
+
+void PhaseTimers::end_span(const std::string& path, double elapsed_s) {
+  assert(!stack_.empty() && stack_.back() == path);
+  stack_.pop_back();
+  auto& slot = slots_[path];
+  slot.wall_s += elapsed_s;
+  slot.count += 1;
+}
+
+std::vector<PhaseTimers::Phase> PhaseTimers::phases() const {
+  std::vector<Phase> out;
+  out.reserve(slots_.size());
+  for (const auto& [path, slot] : slots_) {
+    out.push_back(Phase{path, slot.wall_s, slot.count, slot.depth});
+  }
+  std::sort(out.begin(), out.end(), [this](const Phase& a, const Phase& b) {
+    return slots_.at(a.path).order < slots_.at(b.path).order;
+  });
+  return out;
+}
+
+double PhaseTimers::total_s(const std::string& path) const {
+  const auto it = slots_.find(path);
+  return it == slots_.end() ? 0.0 : it->second.wall_s;
+}
+
+ScopedTimer::ScopedTimer(PhaseTimers* timers, std::string_view name)
+    : timers_(timers), start_(std::chrono::steady_clock::now()) {
+  if (timers_ != nullptr) path_ = timers_->begin_span(name);
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (timers_ != nullptr) timers_->end_span(path_, elapsed_s());
+}
+
+double ScopedTimer::elapsed_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+}  // namespace wtr::obs

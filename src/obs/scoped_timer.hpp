@@ -1,0 +1,76 @@
+#pragma once
+
+// Phase wall-time accounting. A PhaseTimers instance accumulates wall time
+// per named phase; ScopedTimer is the RAII span that feeds it, backed by the
+// monotonic std::chrono::steady_clock (never the wall clock — manifests must
+// survive NTP jumps). Spans nest: a timer opened while another is running
+// records under the slash-joined path ("engine/run" inside "pipeline"
+// becomes "pipeline/engine/run"), so the manifest shows the phase tree
+// without any explicit parent bookkeeping at the call sites. A null
+// PhaseTimers* makes ScopedTimer a no-op — disabled observability costs one
+// branch per span, not per event.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wtr::obs {
+
+class PhaseTimers {
+ public:
+  struct Phase {
+    std::string path;        // slash-joined nesting path
+    double wall_s = 0.0;     // accumulated across all spans of this path
+    std::uint64_t count = 0; // completed spans
+    int depth = 0;           // nesting depth (0 = top-level)
+  };
+
+  /// Phases in first-opened order (stable across identical runs).
+  [[nodiscard]] std::vector<Phase> phases() const;
+
+  /// Accumulated seconds for an exact path; 0 when the phase never ran.
+  [[nodiscard]] double total_s(const std::string& path) const;
+
+  /// Number of distinct phase paths seen.
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+
+ private:
+  friend class ScopedTimer;
+
+  struct Slot {
+    double wall_s = 0.0;
+    std::uint64_t count = 0;
+    int depth = 0;
+    std::size_t order = 0;  // first-seen rank for stable export order
+  };
+
+  /// Push a span name; returns the full path for the matching end_span.
+  std::string begin_span(std::string_view name);
+  void end_span(const std::string& path, double elapsed_s);
+
+  std::map<std::string, Slot> slots_;
+  std::vector<std::string> stack_;
+};
+
+class ScopedTimer {
+ public:
+  /// Null `timers` disables the span entirely.
+  ScopedTimer(PhaseTimers* timers, std::string_view name);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds since the span opened (works for null-timer spans too).
+  [[nodiscard]] double elapsed_s() const;
+
+ private:
+  PhaseTimers* timers_;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace wtr::obs

@@ -1,6 +1,24 @@
 #include "signaling/outcome_policy.hpp"
 
+#include <string>
+
+#include "obs/metrics.hpp"
+
 namespace wtr::signaling {
+
+OutcomePolicy::OutcomePolicy(OutcomePolicyConfig config,
+                             const faults::FaultSchedule* faults,
+                             obs::MetricsRegistry* metrics)
+    : config_(config), faults_(faults) {
+  if (metrics == nullptr) return;
+  evaluations_ = &metrics->counter("signaling.evaluations");
+  rejects_ = &metrics->counter("signaling.rejects");
+  for (int i = 0; i < kResultCodeCount; ++i) {
+    const auto code = static_cast<ResultCode>(i);
+    by_code_[static_cast<std::size_t>(i)] = &metrics->counter(
+        std::string("signaling.result.") + std::string(result_code_name(code)));
+  }
+}
 
 ResultCode OutcomePolicy::evaluate(const topology::World& world, stats::SimTime now,
                                    topology::OperatorId home,
@@ -8,6 +26,24 @@ ResultCode OutcomePolicy::evaluate(const topology::World& world, stats::SimTime 
                                    cellnet::RatMask device_rats, cellnet::RatMask sim_rats,
                                    bool subscription_ok, std::uint32_t fault_domain,
                                    stats::Rng& rng) const {
+  const ResultCode result =
+      evaluate_impl(world, now, home, visited, rat, device_rats, sim_rats,
+                    subscription_ok, fault_domain, rng);
+  if (evaluations_ != nullptr) {
+    evaluations_->inc();
+    by_code_[static_cast<std::size_t>(result)]->inc();
+    if (is_failure(result)) rejects_->inc();
+  }
+  return result;
+}
+
+ResultCode OutcomePolicy::evaluate_impl(const topology::World& world, stats::SimTime now,
+                                        topology::OperatorId home,
+                                        topology::OperatorId visited, cellnet::Rat rat,
+                                        cellnet::RatMask device_rats,
+                                        cellnet::RatMask sim_rats, bool subscription_ok,
+                                        std::uint32_t fault_domain,
+                                        stats::Rng& rng) const {
   const auto& operators = world.operators();
   const auto& home_op = operators.get(home);
   const auto& visited_op = operators.get(visited);

@@ -8,12 +8,19 @@
 // FaultSchedule is installed — time-varying injected faults (outages,
 // signaling storms, degraded hub paths, misprovisioning ramps).
 
+#include <array>
+
 #include "cellnet/rat.hpp"
 #include "faults/fault_schedule.hpp"
 #include "signaling/result_code.hpp"
 #include "stats/rng.hpp"
 #include "stats/sim_time.hpp"
 #include "topology/world.hpp"
+
+namespace wtr::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace wtr::obs
 
 namespace wtr::signaling {
 
@@ -25,9 +32,14 @@ struct OutcomePolicyConfig {
 class OutcomePolicy {
  public:
   OutcomePolicy() = default;
+  /// `metrics` (optional, borrowed) mirrors every decision into
+  /// "signaling.evaluations" / "signaling.rejects" / "signaling.result.*"
+  /// counters. Counter handles resolve once here, so the per-call cost with
+  /// metrics off is a single null test and the RNG stream is untouched
+  /// either way.
   explicit OutcomePolicy(OutcomePolicyConfig config,
-                         const faults::FaultSchedule* faults = nullptr)
-      : config_(config), faults_(faults) {}
+                         const faults::FaultSchedule* faults = nullptr,
+                         obs::MetricsRegistry* metrics = nullptr);
 
   /// Evaluate a procedure attempt at sim time `now` by a SIM of `home` on
   /// the radio network of `visited` using `rat`. `device_rats` is the
@@ -50,8 +62,21 @@ class OutcomePolicy {
   [[nodiscard]] const faults::FaultSchedule* faults() const noexcept { return faults_; }
 
  private:
+  [[nodiscard]] ResultCode evaluate_impl(const topology::World& world,
+                                         stats::SimTime now, topology::OperatorId home,
+                                         topology::OperatorId visited, cellnet::Rat rat,
+                                         cellnet::RatMask device_rats,
+                                         cellnet::RatMask sim_rats, bool subscription_ok,
+                                         std::uint32_t fault_domain,
+                                         stats::Rng& rng) const;
+
   OutcomePolicyConfig config_{};
   const faults::FaultSchedule* faults_ = nullptr;  // not owned; may be null
+  // Pre-resolved metric handles (null when observability is off). The
+  // registry owns them; pointers stay valid for its lifetime.
+  obs::Counter* evaluations_ = nullptr;
+  obs::Counter* rejects_ = nullptr;
+  std::array<obs::Counter*, kResultCodeCount> by_code_{};
 };
 
 }  // namespace wtr::signaling

@@ -4,13 +4,16 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/engine_probe.hpp"
+#include "obs/metrics.hpp"
+
 namespace wtr::sim {
 
 Engine::Engine(const topology::World& world, Config config)
     : world_(world),
       config_(config),
       selector_(world),
-      outcomes_(config.outcomes, config.faults),
+      outcomes_(config.outcomes, config.faults, config.metrics),
       rng_(config.seed) {}
 
 void Engine::add_fleet(std::vector<devices::Device> fleet, AgentOptions options) {
@@ -29,11 +32,20 @@ void Engine::add_fleet(std::vector<devices::Device> fleet, AgentOptions options)
 }
 
 void Engine::run(std::vector<RecordSink*> sinks) {
-  assert(!ran_);
+  if (ran_) {
+    throw std::logic_error(
+        "sim::Engine::run: engine already ran; build a new engine for a "
+        "second run (the event queue is consumed)");
+  }
   ran_ = true;
 
   MultiSink fanout;
   for (auto* sink : sinks) fanout.add(sink);
+  obs::EngineProbe* probe = config_.probe;
+  if (probe != nullptr) {
+    fanout.add(probe);
+    probe->begin_run(config_.faults, queue_.size());
+  }
 
   AgentContext ctx;
   ctx.world = &world_;
@@ -42,10 +54,16 @@ void Engine::run(std::vector<RecordSink*> sinks) {
   ctx.sink = &fanout;
 
   const stats::SimTime horizon_end = stats::day_start(config_.horizon_days);
+  stats::SimTime last_time = 0;
   while (!queue_.empty()) {
     const Event event = queue_.pop();
     if (event.time > horizon_end) break;
     ++wakes_;
+    last_time = event.time;
+    if (probe != nullptr && probe->due(event.time)) {
+      // +1: the popped event is still in flight at the sample instant.
+      probe->on_tick(event.time, queue_.size() + 1, wakes_);
+    }
     if (const char* dbg = ::getenv("WTR_DEBUG_WAKES"); dbg && wakes_ % 2'000'000 == 0) {
       std::fprintf(stderr, "[engine] wakes=%llu t=%lld agent=%u queue=%zu\n",
                    (unsigned long long)wakes_, (long long)event.time, event.agent,
@@ -55,6 +73,14 @@ void Engine::run(std::vector<RecordSink*> sinks) {
     if (const auto next = agent.on_wake(event.time, ctx)) {
       queue_.schedule(*next, event.agent);
     }
+  }
+  if (probe != nullptr) probe->end_run(last_time, queue_.size(), wakes_);
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("engine.wakes").inc(wakes_);
+    config_.metrics->counter("engine.runs").inc();
+    config_.metrics->gauge("engine.agents").set_max(static_cast<double>(agents_.size()));
+    config_.metrics->gauge("engine.horizon_days")
+        .set(static_cast<double>(config_.horizon_days));
   }
 }
 

@@ -6,18 +6,31 @@
 // entire output.
 
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "signaling/outcome_policy.hpp"
 #include "sim/device_agent.hpp"
 #include "sim/event_queue.hpp"
 
+namespace wtr::obs {
+class EngineProbe;
+class MetricsRegistry;
+}  // namespace wtr::obs
+
 namespace wtr::sim {
 
 /// Fan-out sink: forwards every record to each registered consumer.
 class MultiSink final : public RecordSink {
  public:
-  void add(RecordSink* sink) { sinks_.push_back(sink); }
+  /// Sinks are borrowed and must be non-null (a null would crash deep in
+  /// the event loop where the culprit registration is long gone).
+  void add(RecordSink* sink) {
+    if (sink == nullptr) {
+      throw std::invalid_argument("sim::MultiSink::add: null RecordSink");
+    }
+    sinks_.push_back(sink);
+  }
 
   void on_signaling(const signaling::SignalingTransaction& txn,
                     bool data_context) override {
@@ -51,6 +64,13 @@ class Engine {
     /// Not owned — must outlive the engine. Null or empty leaves the run
     /// bit-identical to a build without the fault subsystem.
     const faults::FaultSchedule* faults = nullptr;
+    /// Optional observability hooks (borrowed; null disables). The metrics
+    /// registry receives outcome/engine counters; the probe samples the
+    /// event loop on its sim-time cadence and rides the record stream as an
+    /// extra sink. Neither touches any RNG: instrumented runs stay
+    /// byte-identical to bare ones.
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::EngineProbe* probe = nullptr;
   };
 
   Engine(const topology::World& world, Config config);
@@ -68,7 +88,9 @@ class Engine {
   }
 
   /// Run to the horizon, delivering records to the sinks. May be called
-  /// once per engine.
+  /// once per engine; a second call throws std::logic_error (the queue and
+  /// agent state are consumed by the first run, so a silent rerun would
+  /// produce an empty — not repeated — output).
   void run(std::vector<RecordSink*> sinks);
 
   /// Total wake events processed by the last run.

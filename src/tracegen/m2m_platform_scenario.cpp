@@ -36,7 +36,8 @@ cellnet::RatMask all_bands() {
 
 M2MPlatformScenario::M2MPlatformScenario(const M2MPlatformConfig& config)
     : ScenarioBase(world_config_for(config), cellnet::TacPools::Config{config.seed ^ 0x7ac5},
-                   engine_config_for(config), stats::mix64(config.seed, 0xf1ee7)),
+                   engine_config_for(config), stats::mix64(config.seed, 0xf1ee7),
+                   config.obs),
       config_(config) {
   build_es_fleets();
   build_mx_fleets();

@@ -33,6 +33,8 @@ struct M2MPlatformConfig {
   /// Mechanistic 3GPP attach backoff; disabled keeps the calibrated
   /// retry-rate boost the Fig. 3 tail was fit with.
   signaling::AttachBackoffConfig backoff{};
+  /// Observability hooks (borrowed; all-null disables the layer).
+  obs::Observability obs{};
 };
 
 class M2MPlatformScenario final : public ScenarioBase {

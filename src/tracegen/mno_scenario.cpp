@@ -38,7 +38,8 @@ cellnet::RatMask two_g_only() { return cellnet::RatMask{0b001}; }
 
 MnoScenario::MnoScenario(const MnoScenarioConfig& config)
     : ScenarioBase(world_config_for(config), cellnet::TacPools::Config{config.seed ^ 0x6d6e},
-                   engine_config_for(config), stats::mix64(config.seed, 0x6f6b)),
+                   engine_config_for(config), stats::mix64(config.seed, 0x6f6b),
+                   config.obs),
       config_(config) {
   // The scenario models the population of THIS UK MNO. Inbound SIMs'
   // home operators steer their UK roamers to it (commercial preference);

@@ -40,6 +40,9 @@ struct MnoScenarioConfig {
   /// T3411/T3402 backoff; leave disabled for the calibrated legacy
   /// retry-rate boost (the default the headline figures were fit with).
   signaling::AttachBackoffConfig backoff{};
+  /// Observability hooks (borrowed; all-null disables the layer and keeps
+  /// the run byte-identical).
+  obs::Observability obs{};
 };
 
 class MnoScenario final : public ScenarioBase {

@@ -12,15 +12,23 @@ std::unordered_map<signaling::DeviceHash, devices::DeviceClass> class_truth(
 
 ScenarioBase::ScenarioBase(topology::WorldConfig world_config,
                            cellnet::TacPools::Config tac_config,
-                           sim::Engine::Config engine_config, std::uint64_t fleet_seed)
-    : world_(std::make_unique<topology::World>(topology::World::build(world_config))),
-      tac_pools_(tac_config),
-      fleet_builder_(std::make_unique<devices::FleetBuilder>(*world_, tac_pools_,
-                                                             fleet_seed)),
-      engine_(std::make_unique<sim::Engine>(*world_, engine_config)) {}
+                           sim::Engine::Config engine_config, std::uint64_t fleet_seed,
+                           obs::Observability obs)
+    : obs_(obs), tac_pools_(tac_config) {
+  {
+    obs::ScopedTimer timer{obs_.timers, "scenario/world"};
+    world_ = std::make_unique<topology::World>(topology::World::build(world_config));
+  }
+  fleet_builder_ =
+      std::make_unique<devices::FleetBuilder>(*world_, tac_pools_, fleet_seed);
+  engine_config.metrics = obs_.metrics;
+  engine_config.probe = obs_.probe;
+  engine_ = std::make_unique<sim::Engine>(*world_, engine_config);
+}
 
 std::vector<signaling::DeviceHash> ScenarioBase::add_fleet(const devices::FleetSpec& spec,
                                                            sim::AgentOptions options) {
+  obs::ScopedTimer timer{obs_.timers, "scenario/fleets"};
   std::vector<signaling::DeviceHash> hashes;
   if (spec.count == 0) return hashes;
   auto fleet = fleet_builder_->build(spec);
@@ -34,6 +42,11 @@ std::vector<signaling::DeviceHash> ScenarioBase::add_fleet(const devices::FleetS
   }
   engine_->add_fleet(std::move(fleet), std::move(options));
   return hashes;
+}
+
+void ScenarioBase::run(std::vector<sim::RecordSink*> sinks) {
+  obs::ScopedTimer timer{obs_.timers, "engine/run"};
+  engine_->run(std::move(sinks));
 }
 
 }  // namespace wtr::tracegen

@@ -11,6 +11,7 @@
 
 #include "cellnet/tac_catalog.hpp"
 #include "devices/fleet_builder.hpp"
+#include "obs/observability.hpp"
 #include "sim/engine.hpp"
 #include "topology/world.hpp"
 
@@ -31,8 +32,14 @@ class_truth(const GroundTruthMap& truth);
 
 class ScenarioBase {
  public:
+  /// `obs` (all-null by default) wires the observability layer through the
+  /// whole scenario: world build and fleet construction run under phase
+  /// timers ("scenario/world", "scenario/fleets"), the engine gets the
+  /// metrics registry and probe, and run() times "engine/run". Disabled
+  /// observability leaves every output byte-identical.
   ScenarioBase(topology::WorldConfig world_config, cellnet::TacPools::Config tac_config,
-               sim::Engine::Config engine_config, std::uint64_t fleet_seed);
+               sim::Engine::Config engine_config, std::uint64_t fleet_seed,
+               obs::Observability obs = {});
   virtual ~ScenarioBase() = default;
 
   ScenarioBase(const ScenarioBase&) = delete;
@@ -47,8 +54,10 @@ class ScenarioBase {
   [[nodiscard]] sim::Engine& engine() noexcept { return *engine_; }
   [[nodiscard]] std::size_t device_count() const noexcept { return devices_added_; }
 
+  [[nodiscard]] const obs::Observability& observability() const noexcept { return obs_; }
+
   /// Run the simulation once, streaming into the sinks.
-  void run(std::vector<sim::RecordSink*> sinks) { engine_->run(std::move(sinks)); }
+  void run(std::vector<sim::RecordSink*> sinks);
 
  protected:
   /// Build a fleet, register its ground truth and add it to the engine.
@@ -57,6 +66,7 @@ class ScenarioBase {
   std::vector<signaling::DeviceHash> add_fleet(const devices::FleetSpec& spec,
                                                sim::AgentOptions options);
 
+  obs::Observability obs_;
   std::unique_ptr<topology::World> world_;
   cellnet::TacPools tac_pools_;
   std::unique_ptr<devices::FleetBuilder> fleet_builder_;

@@ -26,7 +26,8 @@ sim::Engine::Config engine_config_for(const SmipScenarioConfig& config) {
 
 SmipScenario::SmipScenario(const SmipScenarioConfig& config)
     : ScenarioBase(world_config_for(config), cellnet::TacPools::Config{config.seed ^ 0x51},
-                   engine_config_for(config), stats::mix64(config.seed, 0x5150)),
+                   engine_config_for(config), stats::mix64(config.seed, 0x5150),
+                   config.obs),
       config_(config) {
   const auto& wk = world_->well_known();
   // Steer the Dutch provisioner's UK roamers to the observed MNO (see

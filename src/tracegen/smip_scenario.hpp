@@ -25,6 +25,8 @@ struct SmipScenarioConfig {
   /// Mechanistic 3GPP attach backoff; disabled keeps the calibrated
   /// retry-rate boost.
   signaling::AttachBackoffConfig backoff{};
+  /// Observability hooks (borrowed; all-null disables the layer).
+  obs::Observability obs{};
 };
 
 class SmipScenario final : public ScenarioBase {

@@ -311,6 +311,32 @@ TEST_F(EngineTest, RecordsStayWithinHorizonAndWindows) {
   }
 }
 
+TEST_F(EngineTest, RunTwiceThrows) {
+  Engine engine{world(), Engine::Config{.seed = 6, .horizon_days = 1}};
+  devices::FleetBuilder builder{world(), pools(), 6};
+  devices::FleetSpec spec;
+  spec.count = 5;
+  spec.home_operator = world().well_known().uk_mno;
+  spec.profile = devices::smartphone_profile();
+  spec.deployment_iso = "GB";
+  spec.horizon_days = 1;
+  engine.add_fleet(builder.build(spec), AgentOptions{});
+  CountingSink sink;
+  engine.run({&sink});
+  // A second run would silently continue from drained state and emit
+  // nothing — surfacing that as a logic error is the whole point.
+  EXPECT_THROW(engine.run({&sink}), std::logic_error);
+}
+
+TEST(MultiSinkTest, RejectsNullSink) {
+  MultiSink fanout;
+  EXPECT_THROW(fanout.add(nullptr), std::invalid_argument);
+  CountingSink sink;
+  fanout.add(&sink);  // non-null still fine
+  fanout.on_cdr(records::Cdr{});
+  EXPECT_EQ(sink.cdrs, 1u);
+}
+
 TEST_F(EngineTest, RoamersUseVisitedCountryNetworks) {
   Engine engine{world(), Engine::Config{.seed = 4, .horizon_days = 4}};
   devices::FleetBuilder builder{world(), pools(), 4};
