@@ -40,6 +40,69 @@ inline std::size_t scale_override(std::size_t fallback) {
   return static_cast<std::size_t>(value);
 }
 
+/// Engine thread count from WTR_BENCH_THREADS (same hardening as
+/// scale_override). Output is byte-identical at any value — this only
+/// trades wall time, so baselines stay comparable across thread counts.
+inline unsigned threads_override(unsigned fallback) {
+  const char* env = std::getenv("WTR_BENCH_THREADS");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(env, &end, 10);
+  if (errno != 0 || end == env || *end != '\0' || value <= 0) {
+    std::cerr << "[bench] invalid WTR_BENCH_THREADS=\"" << env
+              << "\" (want a positive integer); using " << fallback << "\n";
+    return fallback;
+  }
+  return static_cast<unsigned>(value);
+}
+
+/// Consume a `--threads=N` argument if present (removed from argv so the
+/// remaining args can go to google-benchmark untouched). Precedence:
+/// --threads=N beats WTR_BENCH_THREADS beats the default of 1.
+inline unsigned threads_from_args(int& argc, char** argv) {
+  unsigned threads = threads_override(1);
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      const std::string value = arg.substr(10);
+      char* end = nullptr;
+      errno = 0;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (errno != 0 || end == value.c_str() || *end != '\0' || parsed <= 0) {
+        std::cerr << "[bench] invalid " << arg
+                  << " (want a positive integer); using " << threads << "\n";
+      } else {
+        threads = static_cast<unsigned>(parsed);
+      }
+      continue;  // swallow the argument
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return threads;
+}
+
+/// Record the engine's parallel-execution metadata in a manifest. These
+/// keys are informational (compare_manifest.py ignores them): thread count
+/// never changes results, only wall time.
+inline void add_thread_metadata(obs::RunManifest& manifest, const sim::Engine& engine,
+                                unsigned threads_requested) {
+  manifest.add_result("engine_threads", static_cast<std::uint64_t>(threads_requested));
+  manifest.add_result("engine_shards", static_cast<std::uint64_t>(engine.shards_used()));
+  manifest.add_result("engine_merge_wall_s", engine.merge_wall_s());
+  const auto& shard_wakes = engine.shard_wakes();
+  if (!shard_wakes.empty()) {
+    std::string wakes;
+    for (std::size_t s = 0; s < shard_wakes.size(); ++s) {
+      if (s != 0) wakes += ',';
+      wakes += std::to_string(shard_wakes[s]);
+    }
+    manifest.add_result("engine_shard_wakes", wakes);
+  }
+}
+
 /// Paper-vs-measured row helper.
 inline void add_check(io::Table& table, const std::string& metric, double paper,
                       double measured, bool percent = true) {
@@ -58,10 +121,12 @@ struct MnoRun {
 /// make_manifest() below.
 inline MnoRun run_mno_scenario(std::size_t default_devices = 16'000,
                                std::uint64_t seed = 2019,
-                               obs::RunObservation* observation = nullptr) {
+                               obs::RunObservation* observation = nullptr,
+                               unsigned threads = 0) {
   tracegen::MnoScenarioConfig config;
   config.seed = seed;
   config.total_devices = scale_override(default_devices);
+  config.threads = threads != 0 ? threads : threads_override(1);
   if (observation != nullptr) config.obs = observation->view();
   auto scenario = std::make_unique<tracegen::MnoScenario>(config);
   std::cerr << "[bench] simulating MNO scenario: " << scenario->device_count()
@@ -84,10 +149,12 @@ struct PlatformRun {
 
 inline PlatformRun run_platform_scenario(std::size_t default_devices = 10'000,
                                          std::uint64_t seed = 2018,
-                                         obs::RunObservation* observation = nullptr) {
+                                         obs::RunObservation* observation = nullptr,
+                                         unsigned threads = 0) {
   tracegen::M2MPlatformConfig config;
   config.seed = seed;
   config.total_devices = scale_override(default_devices);
+  config.threads = threads != 0 ? threads : threads_override(1);
   if (observation != nullptr) config.obs = observation->view();
   auto scenario = std::make_unique<tracegen::M2MPlatformScenario>(config);
   std::cerr << "[bench] simulating M2M platform scenario: " << scenario->device_count()

@@ -9,11 +9,15 @@
 //     would run daily (summarize, labeler, classifier, census, gyration,
 //     ECDF, simulation throughput).
 //
-// `--manifest-only` runs just layer 1 (the CI gate's fast path); any other
+// `--manifest-only` runs just layer 1 (the CI gate's fast path);
+// `--threads=N` (or WTR_BENCH_THREADS) runs the engine sharded across N
+// workers — output is byte-identical, and the manifest gains an A/B
+// speedup measurement against a threads=1 reference run. Any other
 // arguments pass through to google-benchmark.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstring>
 
 #include "bench_common.hpp"
@@ -31,20 +35,29 @@ using namespace wtr;
 
 constexpr std::uint64_t kPipelineSeed = 101;
 
-void run_instrumented_pipeline() {
-  obs::RunObservation observation;
+struct PipelineRun {
+  std::unique_ptr<tracegen::MnoScenario> scenario;
+  std::size_t summaries = 0;
+  std::size_t population = 0;
+  double wall_s = 0.0;  // scenario build → census, end to end
+};
+
+PipelineRun run_pipeline_once(unsigned threads, obs::RunObservation& observation) {
+  const auto start = std::chrono::steady_clock::now();
   tracegen::MnoScenarioConfig config;
   config.seed = kPipelineSeed;
   config.total_devices = bench::scale_override(4'000);
+  config.threads = threads;
   config.build_coverage = false;  // perf path needs no dwell grid
   config.obs = observation.view();
 
   std::cerr << "[bench] instrumented pipeline: " << config.total_devices
-            << " devices, " << config.days << " days...\n";
-  tracegen::MnoScenario scenario{config};
-  core::CatalogAccumulator accumulator{{scenario.observer_plmn(),
-                                        scenario.family_plmns()}};
-  scenario.run({&accumulator});
+            << " devices, " << config.days << " days, " << threads
+            << " thread(s)...\n";
+  auto scenario = std::make_unique<tracegen::MnoScenario>(config);
+  core::CatalogAccumulator accumulator{{scenario->observer_plmn(),
+                                        scenario->family_plmns()}};
+  scenario->run({&accumulator});
 
   auto timed = [&](const char* phase, auto&& fn) {
     obs::ScopedTimer timer{&observation.timers(), phase};
@@ -54,25 +67,64 @@ void run_instrumented_pipeline() {
       timed("analysis/catalog_finalize", [&] { return accumulator.finalize(); });
   const auto summaries = timed("analysis/summarize", [&] { return core::summarize(catalog); });
   const auto population = timed("analysis/census", [&] {
-    return core::run_census(catalog, scenario.observer_plmn(), scenario.mvno_plmns(),
-                            scenario.tac_catalog());
+    return core::run_census(catalog, scenario->observer_plmn(), scenario->mvno_plmns(),
+                            scenario->tac_catalog());
   });
+
+  PipelineRun run;
+  run.scenario = std::move(scenario);
+  run.summaries = summaries.size();
+  run.population = population.size();
+  run.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                   .count();
+  return run;
+}
+
+void run_instrumented_pipeline(unsigned threads) {
+  // With threads > 1, run a threads=1 reference first so the manifest can
+  // report measured speedups. The sharded run's records and probe stats are
+  // byte-identical to the reference's — only the wall times differ.
+  double ref_engine_s = 0.0;
+  double ref_wall_s = 0.0;
+  if (threads > 1) {
+    obs::RunObservation reference;
+    const auto ref = run_pipeline_once(1, reference);
+    ref_engine_s = reference.timers().total_s("engine/run");
+    ref_wall_s = ref.wall_s;
+  }
+
+  obs::RunObservation observation;
+  const auto run = run_pipeline_once(threads, observation);
+  const auto& scenario = *run.scenario;
+  const std::int32_t config_days = tracegen::MnoScenarioConfig{}.days;
 
   const auto& probe = observation.probe();
   const double engine_s = observation.timers().total_s("engine/run");
   const double records_per_sec =
       engine_s > 0.0 ? static_cast<double>(probe.records_total()) / engine_s : 0.0;
 
-  auto manifest = bench::make_manifest("p1", kPipelineSeed, config.total_devices,
-                                       observation);
+  auto manifest = bench::make_manifest("p1", kPipelineSeed,
+                                       bench::scale_override(4'000), observation);
   manifest.add_result("devices", static_cast<std::uint64_t>(scenario.device_count()));
-  manifest.add_result("days", static_cast<std::uint64_t>(config.days));
+  manifest.add_result("days", static_cast<std::uint64_t>(config_days));
   manifest.add_result("records_total", probe.records_total());
   manifest.add_result("records_per_sec", records_per_sec);
   manifest.add_result("queue_depth_max", probe.queue_depth_max());
   manifest.add_result("attach_failure_rate", probe.attach_failure_rate());
-  manifest.add_result("summaries", static_cast<std::uint64_t>(summaries.size()));
-  manifest.add_result("population", static_cast<std::uint64_t>(population.size()));
+  manifest.add_result("summaries", static_cast<std::uint64_t>(run.summaries));
+  manifest.add_result("population", static_cast<std::uint64_t>(run.population));
+  bench::add_thread_metadata(manifest, run.scenario->engine(), threads);
+  if (threads > 1) {
+    manifest.add_result("engine_speedup",
+                        engine_s > 0.0 ? ref_engine_s / engine_s : 0.0);
+    manifest.add_result("end_to_end_speedup",
+                        run.wall_s > 0.0 ? ref_wall_s / run.wall_s : 0.0);
+    std::cerr << "[bench] speedup vs threads=1: engine "
+              << io::format_fixed(engine_s > 0.0 ? ref_engine_s / engine_s : 0.0, 2)
+              << "x, end-to-end "
+              << io::format_fixed(run.wall_s > 0.0 ? ref_wall_s / run.wall_s : 0.0, 2)
+              << "x\n";
+  }
   bench::write_manifest(manifest);
 
   io::Table table{{"pipeline phase", "wall_s", "spans"}};
@@ -224,6 +276,7 @@ BENCHMARK(BM_SimulationThroughput)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const unsigned threads = wtr::bench::threads_from_args(argc, argv);
   bool manifest_only = false;
   // Strip our flag before google-benchmark sees the argument vector.
   int out = 1;
@@ -236,7 +289,7 @@ int main(int argc, char** argv) {
   }
   argc = out;
 
-  run_instrumented_pipeline();
+  run_instrumented_pipeline(threads);
   if (manifest_only) return 0;
 
   benchmark::Initialize(&argc, argv);

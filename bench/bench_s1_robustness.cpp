@@ -16,10 +16,12 @@ struct Row {
   double m2m_inbound = 0.0;   // share of m2m devices that are I:H
 };
 
-Row measure(std::size_t devices, std::uint64_t seed, obs::RunObservation& observation) {
+Row measure(std::size_t devices, std::uint64_t seed, unsigned threads,
+            obs::RunObservation& observation) {
   tracegen::MnoScenarioConfig config;
   config.seed = seed;
   config.total_devices = devices;
+  config.threads = threads;
   config.obs = observation.view();
   tracegen::MnoScenario scenario{config};
   std::cerr << "[bench] devices=" << devices << " seed=" << seed << "...\n";
@@ -41,8 +43,9 @@ Row measure(std::size_t devices, std::uint64_t seed, obs::RunObservation& observ
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wtr;
+  const unsigned threads = bench::threads_from_args(argc, argv);
 
   std::cout << io::figure_banner("S1", "Share stability across scale and seed");
 
@@ -54,10 +57,10 @@ int main() {
                    "m2m that is I:H", "paper"}};
   std::vector<Row> rows;
   for (const std::size_t devices : {2'000, 4'000, 8'000}) {
-    rows.push_back(measure(devices, 2019, observation));
+    rows.push_back(measure(devices, 2019, threads, observation));
   }
   for (const std::uint64_t seed : {7ULL, 1234ULL}) {
-    rows.push_back(measure(4'000, seed, observation));
+    rows.push_back(measure(4'000, seed, threads, observation));
   }
   for (const auto& row : rows) {
     table.add_row({row.label, io::format_percent(row.smart), io::format_percent(row.m2m),
@@ -94,6 +97,7 @@ int main() {
   }
   manifest.add_result("smart_share_spread", spread([](const Row& r) { return r.smart; }));
   manifest.add_result("m2m_share_spread", spread([](const Row& r) { return r.m2m; }));
+  manifest.add_result("engine_threads", static_cast<std::uint64_t>(threads));
   bench::write_manifest(manifest);
   return 0;
 }

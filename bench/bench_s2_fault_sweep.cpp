@@ -66,7 +66,8 @@ class NullSink final : public sim::RecordSink {};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned threads = bench::threads_from_args(argc, argv);
   std::cout << io::figure_banner("S2", "Fault-injection sweep and recovery");
 
   const std::size_t devices = bench::scale_override(8'000);
@@ -83,6 +84,7 @@ int main() {
   tracegen::MnoScenarioConfig config;
   config.seed = kSeed;
   config.total_devices = devices;
+  config.threads = threads;
   config.build_coverage = false;  // shares + resilience need no dwell grid
 
   faults::FaultSchedule schedule;
@@ -239,6 +241,7 @@ int main() {
                                         })));
   manifest.add_result("all_recovered", std::string(all_recovered ? "yes" : "no"));
   manifest.add_result("verdict", std::string(shares_ok && all_recovered ? "PASS" : "FAIL"));
+  bench::add_thread_metadata(manifest, scenario.engine(), threads);
   bench::write_manifest(manifest);
   return shares_ok && all_recovered ? 0 : 1;
 }

@@ -4,12 +4,13 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wtr;
   namespace paper = tracegen::paper;
+  const unsigned threads = bench::threads_from_args(argc, argv);
 
   obs::RunObservation observation;
-  const auto run = bench::run_platform_scenario(10'000, 2018, &observation);
+  const auto run = bench::run_platform_scenario(10'000, 2018, &observation, threads);
   const auto& stats = run.stats;
 
   std::cout << io::figure_banner("T1", "M2M platform shares (§3.2–3.3)");
@@ -62,6 +63,7 @@ int main() {
   manifest.add_result("fraction_any_success", stats.fraction_any_success);
   manifest.add_result("total_records", stats.total_records);
   manifest.add_result("total_devices", stats.total_devices);
+  bench::add_thread_metadata(manifest, run.scenario->engine(), threads);
   bench::write_manifest(manifest);
   return 0;
 }

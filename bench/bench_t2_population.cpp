@@ -5,12 +5,13 @@
 
 #include "cellnet/tac_catalog.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wtr;
   namespace paper = tracegen::paper;
+  const unsigned threads = bench::threads_from_args(argc, argv);
 
   obs::RunObservation observation;
-  const auto run = bench::run_mno_scenario(16'000, 2019, &observation);
+  const auto run = bench::run_mno_scenario(16'000, 2019, &observation, threads);
   const auto& population = run.population;
 
   std::cout << io::figure_banner("T2", "MNO population composition (§4.2–4.3)");
@@ -107,6 +108,7 @@ int main() {
   manifest.add_result("m2m_share", classification.share_of(core::ClassLabel::kM2M));
   manifest.add_result("distinct_apns", classification.distinct_apns);
   manifest.add_result("top3_vendor_inbound_share", top3);
+  bench::add_thread_metadata(manifest, run.scenario->engine(), threads);
   bench::write_manifest(manifest);
   return 0;
 }

@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
-# Two gates:
+# Three gates:
 #
 #  1. Sanitizer gate — configure a separate ASan+UBSan build tree, build
 #     everything, and run the full test suite under the sanitizers. The
 #     plain `build/` tree stays untouched.
-#  2. Perf gate — build bench_p1_pipeline_perf in the plain `build/` tree
+#  2. Thread-sanitizer gate — a second sanitizer tree (TSan cannot be
+#     combined with ASan) building the sharded-engine determinism suite and
+#     running it under TSan: the shard loops run on real threads there, so
+#     any data race in the parallel engine fails the gate.
+#  3. Perf gate — build bench_p1_pipeline_perf in the plain `build/` tree
 #     (no sanitizers; timings must be real), run its instrumented pipeline
 #     (--manifest-only), drop BENCH_p1.json in the repo root, and fail on a
 #     >25% phase-timer or records/sec regression against the checked-in
-#     baseline (bench/baselines/BENCH_p1_baseline.json).
+#     baseline (bench/baselines/BENCH_p1_baseline.json). The baseline is
+#     always recorded at threads=1 (see EXPERIMENTS.md): --rebaseline never
+#     sets WTR_BENCH_THREADS, so thread-count experiments cannot skew the
+#     gate.
 #
 # Usage: scripts/check.sh [--rebaseline] [build-dir]   (default: build-asan)
 #   --rebaseline  refresh the checked-in perf baseline from this machine's
@@ -37,6 +44,17 @@ export ASAN_OPTIONS="detect_leaks=0"
 
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 echo "check.sh: all tests passed under ASan/UBSan"
+
+# --- TSan gate (separate tree: TSan and ASan cannot share a build) ---------
+tsan_dir="build-tsan"
+cmake -B "$tsan_dir" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build "$tsan_dir" -j "$(nproc)" --target test_parallel_engine
+
+TSAN_OPTIONS="halt_on_error=1" "$tsan_dir/tests/test_parallel_engine"
+echo "check.sh: sharded engine race-free under TSan"
 
 # --- Perf gate (plain build: sanitizer overhead would swamp the timers) ----
 baseline="bench/baselines/BENCH_p1_baseline.json"

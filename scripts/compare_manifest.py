@@ -23,6 +23,22 @@ import sys
 
 SCHEMA = "wtr-run-manifest/1"
 
+# Parallel-execution metadata recorded by the benches (thread counts, shard
+# wake splits, merge timings, measured speedups). These describe how a run
+# was executed, not what it produced — output is byte-identical at any
+# thread count — so they never participate in the comparison and a baseline
+# recorded at threads=1 gates a candidate recorded at any thread count.
+THREAD_METADATA_KEYS = frozenset(
+    {
+        "engine_threads",
+        "engine_shards",
+        "engine_merge_wall_s",
+        "engine_shard_wakes",
+        "engine_speedup",
+        "end_to_end_speedup",
+    }
+)
+
 
 def load_manifest(path):
     try:
@@ -102,8 +118,23 @@ def main():
         cs = f"{cand_s:9.3f}" if cand_s is not None else "        -"
         print(f"{name:<{width}}  {bs}  {cs}  {delta:>9}  {'yes' if gated else 'no'}")
 
-    base_rps = base.get("results", {}).get("records_per_sec")
-    cand_rps = cand.get("results", {}).get("records_per_sec")
+    base_results = {
+        k: v for k, v in base.get("results", {}).items() if k not in THREAD_METADATA_KEYS
+    }
+    cand_results = {
+        k: v for k, v in cand.get("results", {}).items() if k not in THREAD_METADATA_KEYS
+    }
+    base_threads = base.get("results", {}).get("engine_threads", 1)
+    cand_threads = cand.get("results", {}).get("engine_threads", 1)
+    if base_threads != cand_threads:
+        print(
+            f"\nnote: baseline ran at engine_threads={base_threads}, candidate at "
+            f"engine_threads={cand_threads} (ignored: output is thread-invariant, "
+            "only wall times move)"
+        )
+
+    base_rps = base_results.get("records_per_sec")
+    cand_rps = cand_results.get("records_per_sec")
     if isinstance(base_rps, (int, float)) and isinstance(cand_rps, (int, float)):
         if base_rps > 0:
             ratio = cand_rps / base_rps

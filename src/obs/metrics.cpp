@@ -20,6 +20,17 @@ void Histogram::add(double v) noexcept {
   if (v > max_) max_ = v;
 }
 
+void Histogram::merge_from(const Histogram& other) noexcept {
+  assert(upper_bounds_ == other.upper_bounds_);
+  for (std::size_t i = 0; i < buckets_.size() && i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
 std::vector<double> exponential_buckets(double start, double factor, std::size_t n) {
   std::vector<double> bounds;
   bounds.reserve(n);
@@ -46,6 +57,18 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
   return histograms_.emplace(name, Histogram{std::move(upper_bounds)}).first->second;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, counter] : other.counters_) {
+    counters_[name].inc(counter.value());
+  }
+  for (const auto& [name, gauge] : other.gauges_) {
+    gauges_[name].set_max(gauge.value());
+  }
+  for (const auto& [name, hist] : other.histograms_) {
+    histogram(name, hist.upper_bounds()).merge_from(hist);
+  }
 }
 
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {

@@ -50,6 +50,11 @@ class Histogram {
 
   void add(double v) noexcept;
 
+  /// Fold another histogram's mass into this one. Bucket ladders must be
+  /// identical (they are keyed by metric name, so a mismatch is a
+  /// programming error, asserted in debug builds).
+  void merge_from(const Histogram& other) noexcept;
+
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
   [[nodiscard]] double sum() const noexcept { return sum_; }
   [[nodiscard]] double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
@@ -106,6 +111,13 @@ class MetricsRegistry {
   [[nodiscard]] const std::map<std::string, Histogram>& histograms() const noexcept {
     return histograms_;
   }
+
+  /// Fold another registry's values into this one: counters add, gauges
+  /// keep the running maximum, histograms merge bucket-wise. Used by the
+  /// sharded engine to collapse per-shard delta registries into the main
+  /// one post-run — counter sums are order-independent, so the merged dump
+  /// is byte-identical to a single-threaded run's.
+  void merge_from(const MetricsRegistry& other);
 
  private:
   std::map<std::string, Counter> counters_;

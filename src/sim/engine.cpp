@@ -1,13 +1,37 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 #include "obs/engine_probe.hpp"
 #include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
 
 namespace wtr::sim {
+
+namespace {
+
+/// Debug-wake cadence shared by both execution paths (stderr heartbeat).
+constexpr std::uint64_t kDebugWakeEvery = 2'000'000;
+
+}  // namespace
+
+/// Everything one shard's event loop owns: the record arena, its wake
+/// count, and — when metrics are on — a private registry fed by a private
+/// OutcomePolicy clone, so shard loops never touch shared counters.
+struct Engine::Shard {
+  Shard(const signaling::OutcomePolicyConfig& outcome_config,
+        const faults::FaultSchedule* faults, obs::MetricsRegistry* main_metrics)
+      : outcomes(outcome_config, faults, main_metrics != nullptr ? &metrics : nullptr) {}
+
+  RecordBuffer buffer;
+  obs::MetricsRegistry metrics;
+  signaling::OutcomePolicy outcomes;
+  std::uint64_t wakes = 0;
+};
 
 Engine::Engine(const topology::World& world, Config config)
     : world_(world),
@@ -19,6 +43,10 @@ Engine::Engine(const topology::World& world, Config config)
 void Engine::add_fleet(std::vector<devices::Device> fleet, AgentOptions options) {
   assert(!ran_);
   agents_.reserve(agents_.size() + fleet.size());
+  first_wakes_.reserve(first_wakes_.size() + fleet.size());
+  // Pre-size the heap for the initial scheduling burst (one event per agent)
+  // so the burst never regrows mid-push.
+  queue_.reserve(agents_.size() + fleet.size());
   for (auto& device : fleet) {
     // Clamp the device's window to the engine horizon.
     device.departure_day = std::min(device.departure_day, config_.horizon_days);
@@ -27,6 +55,7 @@ void Engine::add_fleet(std::vector<devices::Device> fleet, AgentOptions options)
     if (const auto first = agent->first_wake()) {
       queue_.schedule(*first, static_cast<AgentIndex>(agents_.size()));
       agents_.push_back(std::move(agent));
+      first_wakes_.push_back(*first);
     }
   }
 }
@@ -39,6 +68,17 @@ void Engine::run(std::vector<RecordSink*> sinks) {
   }
   ran_ = true;
 
+  const std::size_t shard_count = std::min<std::size_t>(
+      std::max(1u, config_.threads), std::max<std::size_t>(1, agents_.size()));
+  if (shard_count <= 1) {
+    run_single(sinks);
+  } else {
+    run_sharded(sinks, shard_count);
+  }
+  finish_run_metrics();
+}
+
+void Engine::run_single(const std::vector<RecordSink*>& sinks) {
   MultiSink fanout;
   for (auto* sink : sinks) fanout.add(sink);
   obs::EngineProbe* probe = config_.probe;
@@ -53,6 +93,10 @@ void Engine::run(std::vector<RecordSink*> sinks) {
   ctx.outcomes = &outcomes_;
   ctx.sink = &fanout;
 
+  // One lookup before the loop — the env cannot change mid-run, and getenv
+  // walks environ on every call on most libcs.
+  const bool debug_wakes = ::getenv("WTR_DEBUG_WAKES") != nullptr;
+
   const stats::SimTime horizon_end = stats::day_start(config_.horizon_days);
   stats::SimTime last_time = 0;
   while (!queue_.empty()) {
@@ -64,7 +108,7 @@ void Engine::run(std::vector<RecordSink*> sinks) {
       // +1: the popped event is still in flight at the sample instant.
       probe->on_tick(event.time, queue_.size() + 1, wakes_);
     }
-    if (const char* dbg = ::getenv("WTR_DEBUG_WAKES"); dbg && wakes_ % 2'000'000 == 0) {
+    if (debug_wakes && wakes_ % kDebugWakeEvery == 0) {
       std::fprintf(stderr, "[engine] wakes=%llu t=%lld agent=%u queue=%zu\n",
                    (unsigned long long)wakes_, (long long)event.time, event.agent,
                    queue_.size());
@@ -75,13 +119,128 @@ void Engine::run(std::vector<RecordSink*> sinks) {
     }
   }
   if (probe != nullptr) probe->end_run(last_time, queue_.size(), wakes_);
-  if (config_.metrics != nullptr) {
-    config_.metrics->counter("engine.wakes").inc(wakes_);
-    config_.metrics->counter("engine.runs").inc();
-    config_.metrics->gauge("engine.agents").set_max(static_cast<double>(agents_.size()));
-    config_.metrics->gauge("engine.horizon_days")
-        .set(static_cast<double>(config_.horizon_days));
+}
+
+void Engine::run_shard_loop(std::size_t shard_index, std::size_t shard_count,
+                            Shard& shard) {
+  AgentContext ctx;
+  ctx.world = &world_;
+  ctx.selector = &selector_;
+  ctx.outcomes = &shard.outcomes;
+  ctx.sink = &shard.buffer;
+
+  EventQueue queue;
+  queue.reserve(agents_.size() / shard_count + 1);
+  // Initial schedule in ascending agent index: the merge replay relies on
+  // this matching the global add_fleet order restricted to the shard.
+  for (std::size_t i = shard_index; i < agents_.size(); i += shard_count) {
+    queue.schedule(first_wakes_[i], static_cast<AgentIndex>(i));
   }
+
+  const stats::SimTime horizon_end = stats::day_start(config_.horizon_days);
+  while (!queue.empty()) {
+    const Event event = queue.pop();
+    if (event.time > horizon_end) break;
+    ++shard.wakes;
+    auto& agent = *agents_[event.agent];
+    const auto next = agent.on_wake(event.time, ctx);
+    shard.buffer.end_wake(event.agent,
+                          next ? *next : RecordBuffer::kNoNextWake);
+    if (next) queue.schedule(*next, event.agent);
+  }
+}
+
+void Engine::run_sharded(const std::vector<RecordSink*>& sinks,
+                         std::size_t shard_count) {
+  using Clock = std::chrono::steady_clock;
+
+  MultiSink fanout;
+  for (auto* sink : sinks) fanout.add(sink);
+  obs::EngineProbe* probe = config_.probe;
+  if (probe != nullptr) {
+    fanout.add(probe);
+    // queue_ still holds exactly the initial events (one per agent), so the
+    // reported initial depth matches the single-threaded path.
+    probe->begin_run(config_.faults, queue_.size());
+  }
+
+  std::vector<Shard> shards;
+  shards.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shards.emplace_back(config_.outcomes, config_.faults, config_.metrics);
+  }
+
+  {
+    util::ThreadPool pool(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      Shard* shard = &shards[s];
+      pool.submit([this, s, shard_count, shard] {
+        run_shard_loop(s, shard_count, *shard);
+      });
+    }
+    pool.wait();
+  }
+
+  // --- Deterministic k-way merge ------------------------------------------
+  // Rebuild the exact single-threaded pop order by replaying the schedule:
+  // initial wakes enter in agent order (seq 0..N-1, as in add_fleet), and
+  // each replayed wake re-schedules its recorded next wake at pop time —
+  // reproducing the global seq assignment without re-running any agent.
+  const auto merge_start = Clock::now();
+
+  const bool debug_wakes = ::getenv("WTR_DEBUG_WAKES") != nullptr;
+  EventQueue merged;
+  merged.reserve(agents_.size());
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    merged.schedule(first_wakes_[i], static_cast<AgentIndex>(i));
+  }
+  std::vector<RecordBuffer::Cursor> cursors(shard_count);
+
+  const stats::SimTime horizon_end = stats::day_start(config_.horizon_days);
+  stats::SimTime last_time = 0;
+  while (!merged.empty()) {
+    const Event event = merged.pop();
+    if (event.time > horizon_end) break;
+    ++wakes_;
+    last_time = event.time;
+    if (probe != nullptr && probe->due(event.time)) {
+      probe->on_tick(event.time, merged.size() + 1, wakes_);
+    }
+    if (debug_wakes && wakes_ % kDebugWakeEvery == 0) {
+      std::fprintf(stderr, "[engine] wakes=%llu t=%lld agent=%u queue=%zu\n",
+                   (unsigned long long)wakes_, (long long)event.time, event.agent,
+                   merged.size());
+    }
+    const std::size_t s = event.agent % shard_count;
+    assert(shards[s].buffer.peek_agent(cursors[s]) == event.agent);
+    const stats::SimTime next = shards[s].buffer.replay_wake(cursors[s], fanout);
+    if (next != RecordBuffer::kNoNextWake) merged.schedule(next, event.agent);
+  }
+  if (probe != nullptr) probe->end_run(last_time, merged.size(), wakes_);
+
+#ifndef NDEBUG
+  // Every wake a shard processed must have been replayed exactly once.
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    assert(cursors[s].wake == shards[s].buffer.wake_count());
+  }
+#endif
+
+  merge_wall_s_ = std::chrono::duration<double>(Clock::now() - merge_start).count();
+
+  shard_wakes_.resize(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shard_wakes_[s] = shards[s].wakes;
+    if (config_.metrics != nullptr) config_.metrics->merge_from(shards[s].metrics);
+  }
+}
+
+void Engine::finish_run_metrics() {
+  if (config_.metrics == nullptr) return;
+  config_.metrics->counter("engine.wakes").inc(wakes_);
+  config_.metrics->counter("engine.runs").inc();
+  config_.metrics->gauge("engine.agents").set_max(static_cast<double>(agents_.size()));
+  config_.metrics->gauge("engine.horizon_days")
+      .set(static_cast<double>(config_.horizon_days));
 }
 
 }  // namespace wtr::sim

@@ -3,7 +3,20 @@
 // The simulation engine: owns the agents and the event queue, fans records
 // out to the registered sinks, and runs the clock from day 0 to the horizon.
 // Deterministic: (world seed, engine seed, fleet composition) fixes the
-// entire output.
+// entire output — independent of Config::threads.
+//
+// Execution modes:
+//  * threads == 1 (default): the classic single event loop.
+//  * threads == K > 1: agents are partitioned into K shards by stable index
+//    (agent % K); one event loop per shard runs on a thread pool, buffering
+//    its emitted records into a per-shard RecordBuffer arena. A
+//    deterministic k-way merge then rebuilds the global (time, seq) pop
+//    order from the recorded per-wake schedule and replays every record
+//    into the sinks in exactly the single-threaded order — so threads=N
+//    output is byte-identical to threads=1 for every sink, scenario and
+//    fault schedule. Agents never interact (each owns a forked RNG; World,
+//    NetworkSelector and OutcomePolicy are consulted read-only), which is
+//    what makes the shard loops embarrassingly parallel.
 
 #include <memory>
 #include <stdexcept>
@@ -12,6 +25,7 @@
 #include "signaling/outcome_policy.hpp"
 #include "sim/device_agent.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/record_buffer.hpp"
 
 namespace wtr::obs {
 class EngineProbe;
@@ -29,22 +43,44 @@ class MultiSink final : public RecordSink {
     if (sink == nullptr) {
       throw std::invalid_argument("sim::MultiSink::add: null RecordSink");
     }
+    // Grow in small blocks instead of per-push reallocation: registration
+    // happens a handful of times per run, but the pointers are walked per
+    // record, so keeping them in one early-settled allocation matters.
+    if (sinks_.size() == sinks_.capacity()) sinks_.reserve(sinks_.size() + 4);
     sinks_.push_back(sink);
   }
 
   void on_signaling(const signaling::SignalingTransaction& txn,
                     bool data_context) override {
+    // Single consumer is the common case (one accumulator per run): skip
+    // the fan-out loop entirely.
+    if (sinks_.size() == 1) {
+      sinks_.front()->on_signaling(txn, data_context);
+      return;
+    }
     for (auto* sink : sinks_) sink->on_signaling(txn, data_context);
   }
   void on_cdr(const records::Cdr& cdr) override {
+    if (sinks_.size() == 1) {
+      sinks_.front()->on_cdr(cdr);
+      return;
+    }
     for (auto* sink : sinks_) sink->on_cdr(cdr);
   }
   void on_xdr(const records::Xdr& xdr) override {
+    if (sinks_.size() == 1) {
+      sinks_.front()->on_xdr(xdr);
+      return;
+    }
     for (auto* sink : sinks_) sink->on_xdr(xdr);
   }
   void on_dwell(signaling::DeviceHash device, std::int32_t day,
                 cellnet::Plmn visited_plmn, const cellnet::GeoPoint& location,
                 double seconds) override {
+    if (sinks_.size() == 1) {
+      sinks_.front()->on_dwell(device, day, visited_plmn, location, seconds);
+      return;
+    }
     for (auto* sink : sinks_) {
       sink->on_dwell(device, day, visited_plmn, location, seconds);
     }
@@ -60,6 +96,11 @@ class Engine {
     std::uint64_t seed = 7;
     std::int32_t horizon_days = 22;
     signaling::OutcomePolicyConfig outcomes{};
+    /// Shard/worker count for the event loop. 1 (the default) runs the
+    /// classic single-threaded path; K > 1 runs K sharded loops on a thread
+    /// pool and merges deterministically — the output stays byte-identical
+    /// to threads=1. Values above the agent count are clamped.
+    unsigned threads = 1;
     /// Optional fault-injection schedule consulted by the outcome policy.
     /// Not owned — must outlive the engine. Null or empty leaves the run
     /// bit-identical to a build without the fault subsystem.
@@ -68,7 +109,9 @@ class Engine {
     /// registry receives outcome/engine counters; the probe samples the
     /// event loop on its sim-time cadence and rides the record stream as an
     /// extra sink. Neither touches any RNG: instrumented runs stay
-    /// byte-identical to bare ones.
+    /// byte-identical to bare ones. In sharded mode the outcome counters
+    /// accumulate in per-shard registries merged post-run, and the probe is
+    /// driven off the merged stream — trajectories stay deterministic.
     obs::MetricsRegistry* metrics = nullptr;
     obs::EngineProbe* probe = nullptr;
   };
@@ -96,15 +139,38 @@ class Engine {
   /// Total wake events processed by the last run.
   [[nodiscard]] std::uint64_t wakes_processed() const noexcept { return wakes_; }
 
+  /// Shards actually used by the last run (1 for the single-threaded path).
+  [[nodiscard]] std::size_t shards_used() const noexcept {
+    return shard_wakes_.empty() ? 1 : shard_wakes_.size();
+  }
+  /// Wakes processed per shard by the last run (empty for threads=1).
+  [[nodiscard]] const std::vector<std::uint64_t>& shard_wakes() const noexcept {
+    return shard_wakes_;
+  }
+  /// Wall time of the deterministic merge phase (0 for threads=1).
+  [[nodiscard]] double merge_wall_s() const noexcept { return merge_wall_s_; }
+
  private:
+  struct Shard;
+
+  void run_single(const std::vector<RecordSink*>& sinks);
+  void run_sharded(const std::vector<RecordSink*>& sinks, std::size_t shard_count);
+  void run_shard_loop(std::size_t shard_index, std::size_t shard_count, Shard& shard);
+  void finish_run_metrics();
+
   const topology::World& world_;
   Config config_;
   NetworkSelector selector_;
   signaling::OutcomePolicy outcomes_;
   stats::Rng rng_;
   std::vector<std::unique_ptr<DeviceAgent>> agents_;
+  /// First wake per agent (parallel to agents_); seeds the per-shard queues
+  /// and the merge replay without re-consuming any agent RNG.
+  std::vector<stats::SimTime> first_wakes_;
   EventQueue queue_;
   std::uint64_t wakes_ = 0;
+  std::vector<std::uint64_t> shard_wakes_;
+  double merge_wall_s_ = 0.0;
   bool ran_ = false;
 };
 

@@ -1,22 +1,25 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace wtr::sim {
 
 void EventQueue::schedule(stats::SimTime time, AgentIndex agent) {
-  heap_.push(Event{time, next_seq_++, agent});
+  heap_.push_back(Event{time, next_seq_++, agent});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 std::optional<stats::SimTime> EventQueue::next_time() const {
   if (heap_.empty()) return std::nullopt;
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 Event EventQueue::pop() {
   assert(!heap_.empty());
-  Event event = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Event event = heap_.back();
+  heap_.pop_back();
   return event;
 }
 

@@ -2,11 +2,14 @@
 
 // Discrete-event scheduler core: a min-heap of (time, sequence) keyed
 // events. Sequence numbers break ties deterministically so that identical
-// seeds replay identically regardless of heap implementation details.
+// seeds replay identically regardless of heap implementation details. The
+// heap is an explicit vector (not std::priority_queue) so callers can
+// reserve() capacity up front — the initial scheduling burst puts one event
+// per agent into the heap, and regrowing through that burst is measurable
+// churn at fleet scale.
 
 #include <cstdint>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "stats/sim_time.hpp"
@@ -17,12 +20,16 @@ using AgentIndex = std::uint32_t;
 
 struct Event {
   stats::SimTime time = 0;
-  std::uint64_t seq = 0;  // global monotonic tie-breaker
+  std::uint64_t seq = 0;  // monotonic tie-breaker within one queue
   AgentIndex agent = 0;
 };
 
 class EventQueue {
  public:
+  /// Pre-size the heap storage (e.g. from Engine::agent_count() before the
+  /// initial scheduling burst). Never shrinks.
+  void reserve(std::size_t capacity) { heap_.reserve(capacity); }
+
   void schedule(stats::SimTime time, AgentIndex agent);
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
@@ -40,7 +47,7 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Event> heap_;  // max-heap under Later == min-(time,seq) at front
   std::uint64_t next_seq_ = 0;
 };
 

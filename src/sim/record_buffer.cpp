@@ -1,0 +1,40 @@
+#include "sim/record_buffer.hpp"
+
+#include <cassert>
+
+namespace wtr::sim {
+
+void RecordBuffer::end_wake(AgentIndex agent, stats::SimTime next_wake) {
+  wakes_.push_back(WakeEntry{tape_.size(), next_wake, agent});
+}
+
+stats::SimTime RecordBuffer::replay_wake(Cursor& cursor, RecordSink& out) const {
+  assert(cursor.wake < wakes_.size());
+  const WakeEntry& wake = wakes_[cursor.wake];
+  while (cursor.tape < wake.tape_end) {
+    switch (tape_[cursor.tape]) {
+      case Kind::kSignaling: {
+        const auto& item = signaling_[cursor.signaling++];
+        out.on_signaling(item.txn, item.data_context);
+        break;
+      }
+      case Kind::kCdr:
+        out.on_cdr(cdrs_[cursor.cdr++]);
+        break;
+      case Kind::kXdr:
+        out.on_xdr(xdrs_[cursor.xdr++]);
+        break;
+      case Kind::kDwell: {
+        const auto& item = dwells_[cursor.dwell++];
+        out.on_dwell(item.device, item.day, item.visited_plmn, item.location,
+                     item.seconds);
+        break;
+      }
+    }
+    ++cursor.tape;
+  }
+  ++cursor.wake;
+  return wake.next_wake;
+}
+
+}  // namespace wtr::sim

@@ -21,6 +21,7 @@ sim::Engine::Config engine_config_for(const M2MPlatformConfig& config) {
   sim::Engine::Config ec;
   ec.seed = stats::mix64(config.seed, 0x91a7f0u);
   ec.horizon_days = config.days;
+  ec.threads = config.threads;
   ec.outcomes.transient_failure_rate = 0.001;
   ec.faults = config.faults;
   return ec;

@@ -25,6 +25,9 @@ struct M2MPlatformConfig {
   std::uint64_t seed = 2018;
   std::size_t total_devices = 24'000;
   std::int32_t days = 11;
+  /// Engine shard/worker count (sim::Engine::Config::threads). Any value
+  /// yields byte-identical output to threads=1; >1 only changes wall time.
+  unsigned threads = 1;
   /// Platform probes capture no sector geometry; grids can be skipped for
   /// speed unless a consumer needs dwell records.
   bool build_coverage = false;

@@ -27,6 +27,7 @@ sim::Engine::Config engine_config_for(const MnoScenarioConfig& config) {
   sim::Engine::Config ec;
   ec.seed = stats::mix64(config.seed, 0x4d4e4f);
   ec.horizon_days = config.days;
+  ec.threads = config.threads;
   ec.outcomes.transient_failure_rate = 0.001;
   ec.faults = config.faults;
   return ec;

@@ -22,6 +22,9 @@ struct MnoScenarioConfig {
   std::uint64_t seed = 2019;
   std::size_t total_devices = 24'000;
   std::int32_t days = 22;
+  /// Engine shard/worker count (sim::Engine::Config::threads). Any value
+  /// yields byte-identical output to threads=1; >1 only changes wall time.
+  unsigned threads = 1;
   bool build_coverage = true;  // needed for the mobility figures
   /// What-if (§6.1/§8 discussion): the UK retires its 2G networks. The same
   /// population is simulated against 3G/4G-only coverage; 2G-only hardware

@@ -15,6 +15,7 @@ sim::Engine::Config engine_config_for(const SmipScenarioConfig& config) {
   sim::Engine::Config ec;
   ec.seed = stats::mix64(config.seed, 0x534d4950);  // "SMIP"
   ec.horizon_days = config.days;
+  ec.threads = config.threads;
   // Calibrated so ~10% of native meters see ≥1 failed event over the
   // window while the chattier roaming meters reach ~35% (§7.1).
   ec.outcomes.transient_failure_rate = 0.0004;

@@ -19,6 +19,9 @@ struct SmipScenarioConfig {
   std::size_t total_devices = 16'000;
   std::int32_t days = 26;
   double native_share = 0.55;
+  /// Engine shard/worker count (sim::Engine::Config::threads). Any value
+  /// yields byte-identical output to threads=1; >1 only changes wall time.
+  unsigned threads = 1;
   bool build_coverage = true;
   /// Optional fault-injection schedule (borrowed; null/empty = no faults).
   const faults::FaultSchedule* faults = nullptr;
