@@ -18,9 +18,12 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 
 #include "bench_common.hpp"
+#include "ckpt/shutdown.hpp"
 #include "core/activity_metrics.hpp"
 #include "core/census.hpp"
 #include "core/classifier_validation.hpp"
@@ -40,6 +43,7 @@ struct PipelineRun {
   std::size_t summaries = 0;
   std::size_t population = 0;
   double wall_s = 0.0;  // scenario build → census, end to end
+  bool interrupted = false;  // Ctrl-C landed mid-engine (sinks are drained)
 };
 
 PipelineRun run_pipeline_once(unsigned threads, obs::RunObservation& observation) {
@@ -58,6 +62,20 @@ PipelineRun run_pipeline_once(unsigned threads, obs::RunObservation& observation
   core::CatalogAccumulator accumulator{{scenario->observer_plmn(),
                                         scenario->family_plmns()}};
   scenario->run({&accumulator});
+
+  if (scenario->engine().interrupted()) {
+    // Graceful SIGINT/SIGTERM stop: the engine returned at a wake boundary,
+    // so every record produced so far has already been delivered to the
+    // accumulator — nothing buffered is lost. Skip the analysis phases;
+    // the caller writes a *.partial manifest instead of the real one.
+    PipelineRun run;
+    run.scenario = std::move(scenario);
+    run.interrupted = true;
+    run.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return run;
+  }
 
   auto timed = [&](const char* phase, auto&& fn) {
     obs::ScopedTimer timer{&observation.timers(), phase};
@@ -80,7 +98,118 @@ PipelineRun run_pipeline_once(unsigned threads, obs::RunObservation& observation
   return run;
 }
 
-void run_instrumented_pipeline(unsigned threads) {
+/// Byte-exact record-stream capture for the checkpoint guard (doubles via
+/// %a so equality is bit-equality, same as the determinism test suites).
+class GuardStream final : public sim::RecordSink {
+ public:
+  std::string stream;
+
+  void on_signaling(const signaling::SignalingTransaction& txn,
+                    bool data_context) override {
+    stream += 'S';
+    for (const auto& field : signaling::to_csv_fields(txn)) {
+      stream += field;
+      stream += ',';
+    }
+    stream += data_context ? '1' : '0';
+  }
+  void on_cdr(const records::Cdr& cdr) override {
+    stream += 'C';
+    for (const auto& field : records::to_csv_fields(cdr)) {
+      stream += field;
+      stream += ',';
+    }
+  }
+  void on_xdr(const records::Xdr& xdr) override {
+    stream += 'X';
+    for (const auto& field : records::to_csv_fields(xdr)) {
+      stream += field;
+      stream += ',';
+    }
+  }
+  void on_dwell(signaling::DeviceHash device, std::int32_t day,
+                cellnet::Plmn visited_plmn, const cellnet::GeoPoint& location,
+                double seconds) override {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "D%llu,%d,%u,%a,%a,%a",
+                  static_cast<unsigned long long>(device), day, visited_plmn.key(),
+                  location.lat, location.lon, seconds);
+    stream += buf;
+  }
+};
+
+struct CheckpointGuard {
+  bool ran = false;
+  std::uint64_t checkpoints_written = 0;
+  double checkpoint_wall_s = 0.0;
+};
+
+/// A/B guard for the checkpoint subsystem at reduced scale: a cadence-off
+/// run must take the legacy code path untouched (zero snapshots written),
+/// and a cadence-on run must produce a bit-identical record stream — the
+/// snapshot boundaries may never perturb the simulation. Exits nonzero on
+/// divergence (this is a correctness gate riding the perf bench).
+CheckpointGuard run_checkpoint_guard(unsigned threads) {
+  const std::size_t devices = std::max<std::size_t>(bench::scale_override(4'000) / 5, 200);
+  const auto ckpt_path =
+      (std::filesystem::temp_directory_path() / "wtr_bench_p1_guard_ckpt.bin").string();
+
+  auto one = [&](const tracegen::CheckpointOptions& ckpt, GuardStream& sink) {
+    tracegen::MnoScenarioConfig config;
+    config.seed = kPipelineSeed;
+    config.total_devices = devices;
+    config.threads = threads;
+    config.build_coverage = false;
+    config.ckpt = ckpt;
+    tracegen::MnoScenario scenario{config};
+    scenario.run({&sink});
+    CheckpointGuard stats;
+    stats.ran = !scenario.engine().interrupted();
+    stats.checkpoints_written = scenario.engine().checkpoints_written();
+    stats.checkpoint_wall_s = scenario.engine().checkpoint_wall_s();
+    return stats;
+  };
+
+  std::cerr << "[bench] checkpoint guard: " << devices
+            << " devices, cadence off vs 12h...\n";
+  GuardStream off_sink;
+  const auto off = one({}, off_sink);
+
+  tracegen::CheckpointOptions cadence;
+  cadence.every_sim_hours = 12;
+  cadence.path = ckpt_path;
+  GuardStream on_sink;
+  auto on = one(cadence, on_sink);
+  std::filesystem::remove(ckpt_path);
+  std::filesystem::remove(ckpt_path + ".tmp");
+
+  if (!off.ran || !on.ran) return {};  // Ctrl-C mid-guard: nothing to assert
+
+  if (off.checkpoints_written != 0) {
+    std::cerr << "[bench] FAIL: cadence-off run wrote "
+              << off.checkpoints_written << " snapshot(s); empty checkpoint "
+              << "config must be a no-op\n";
+    std::exit(1);
+  }
+  if (on.checkpoints_written == 0) {
+    std::cerr << "[bench] FAIL: cadence-on run wrote no snapshots\n";
+    std::exit(1);
+  }
+  if (off_sink.stream != on_sink.stream) {
+    std::cerr << "[bench] FAIL: checkpointing changed the record stream ("
+              << off_sink.stream.size() << " vs " << on_sink.stream.size()
+              << " bytes) — snapshot boundaries must not perturb the run\n";
+    std::exit(1);
+  }
+  std::cerr << "[bench] checkpoint guard: streams bit-identical, "
+            << on.checkpoints_written << " snapshot(s), "
+            << io::format_fixed(on.checkpoint_wall_s, 3) << "s snapshot wall\n";
+  return on;
+}
+
+/// Returns false when the run was interrupted by SIGINT/SIGTERM — the
+/// partial manifest has been written and the micro benches must not run.
+bool run_instrumented_pipeline(unsigned threads) {
   // With threads > 1, run a threads=1 reference first so the manifest can
   // report measured speedups. The sharded run's records and probe stats are
   // byte-identical to the reference's — only the wall times differ.
@@ -89,12 +218,25 @@ void run_instrumented_pipeline(unsigned threads) {
   if (threads > 1) {
     obs::RunObservation reference;
     const auto ref = run_pipeline_once(1, reference);
+    if (ref.interrupted) return false;
     ref_engine_s = reference.timers().total_s("engine/run");
     ref_wall_s = ref.wall_s;
   }
 
   obs::RunObservation observation;
   const auto run = run_pipeline_once(threads, observation);
+  if (run.interrupted) {
+    // Export what the drained sinks and probe saw under a *.partial name so
+    // an aborted bench leaves a marker instead of a fake baseline.
+    auto manifest = bench::make_manifest("p1.partial", kPipelineSeed,
+                                         bench::scale_override(4'000), observation);
+    manifest.add_result("interrupted", std::string{"signal"});
+    manifest.add_result("records_total", observation.probe().records_total());
+    bench::add_thread_metadata(manifest, run.scenario->engine(), threads);
+    bench::write_manifest(manifest);
+    std::cerr << "[bench] interrupted: sinks drained, partial manifest written\n";
+    return false;
+  }
   const auto& scenario = *run.scenario;
   const std::int32_t config_days = tracegen::MnoScenarioConfig{}.days;
 
@@ -114,6 +256,12 @@ void run_instrumented_pipeline(unsigned threads) {
   manifest.add_result("summaries", static_cast<std::uint64_t>(run.summaries));
   manifest.add_result("population", static_cast<std::uint64_t>(run.population));
   bench::add_thread_metadata(manifest, run.scenario->engine(), threads);
+  const auto guard = run_checkpoint_guard(threads);
+  if (guard.ran) {
+    manifest.add_result("checkpoints_written", guard.checkpoints_written);
+    manifest.add_result("checkpoint_wall_s", guard.checkpoint_wall_s);
+    manifest.add_result("checkpoint_guard", std::string{"ok"});
+  }
   if (threads > 1) {
     manifest.add_result("engine_speedup",
                         engine_s > 0.0 ? ref_engine_s / engine_s : 0.0);
@@ -136,6 +284,7 @@ void run_instrumented_pipeline(unsigned threads) {
   std::cout << io::figure_banner("P1", "Instrumented pipeline phases")
             << table.render() << "records/sec (engine phase): "
             << io::format_fixed(records_per_sec, 0) << "\n\n";
+  return true;
 }
 
 // --- Layer 2: kernel micro-benchmarks --------------------------------------
@@ -289,7 +438,11 @@ int main(int argc, char** argv) {
   }
   argc = out;
 
-  run_instrumented_pipeline(threads);
+  // Ctrl-C lands as a graceful engine stop (drained sinks + a *.partial
+  // manifest) instead of killing the process with buffered state lost.
+  wtr::ckpt::install_shutdown_handlers();
+
+  if (!run_instrumented_pipeline(threads)) return 130;
   if (manifest_only) return 0;
 
   benchmark::Initialize(&argc, argv);

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Three gates:
+# Four gates:
 #
 #  1. Sanitizer gate — configure a separate ASan+UBSan build tree, build
 #     everything, and run the full test suite under the sanitizers. The
-#     plain `build/` tree stays untouched.
+#     plain `build/` tree stays untouched. The checkpoint crash-recovery
+#     suite (SIGKILL injection against wtr_ckpt_harness + snapshot
+#     corruption rejection + the event-queue differential fuzz) then re-runs
+#     as its own serial lane so kill timing isn't skewed by parallel load.
 #  2. Thread-sanitizer gate — a second sanitizer tree (TSan cannot be
 #     combined with ASan) building the sharded-engine determinism suite and
 #     running it under TSan: the shard loops run on real threads there, so
@@ -44,6 +47,15 @@ export ASAN_OPTIONS="detect_leaks=0"
 
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 echo "check.sh: all tests passed under ASan/UBSan"
+
+# --- Crash-recovery gate (kill injection under ASan) -----------------------
+# Re-run the checkpoint/restore suite as its own named lane: it SIGKILLs the
+# sanitized wtr_ckpt_harness child at randomized instants and asserts the
+# resumed output set is byte-identical to an uninterrupted run, then checks
+# torn/bit-flipped snapshots are rejected loudly. Serial on purpose — kill
+# timing is wall-clock sensitive and must not share cores with other tests.
+ctest --test-dir "$build_dir" --output-on-failure -R 'CheckpointRecovery|EventQueueProp'
+echo "check.sh: crash-recovery gate passed (kill injection + queue fuzz under ASan)"
 
 # --- TSan gate (separate tree: TSan and ASan cannot share a build) ---------
 tsan_dir="build-tsan"

@@ -39,6 +39,21 @@ THREAD_METADATA_KEYS = frozenset(
     }
 )
 
+# Checkpoint/restore bookkeeping. Like the thread metadata these describe
+# how a run was executed — whether it was resumed, how many snapshots were
+# cut and what they cost — not what it produced (resume is deterministic and
+# cadence-off runs skip the subsystem entirely), so they never gate either.
+CHECKPOINT_METADATA_KEYS = frozenset(
+    {
+        "resumed_from",
+        "checkpoints_written",
+        "checkpoint_wall_s",
+        "checkpoint_guard",
+    }
+)
+
+IGNORED_RESULT_KEYS = THREAD_METADATA_KEYS | CHECKPOINT_METADATA_KEYS
+
 
 def load_manifest(path):
     try:
@@ -119,10 +134,10 @@ def main():
         print(f"{name:<{width}}  {bs}  {cs}  {delta:>9}  {'yes' if gated else 'no'}")
 
     base_results = {
-        k: v for k, v in base.get("results", {}).items() if k not in THREAD_METADATA_KEYS
+        k: v for k, v in base.get("results", {}).items() if k not in IGNORED_RESULT_KEYS
     }
     cand_results = {
-        k: v for k, v in cand.get("results", {}).items() if k not in THREAD_METADATA_KEYS
+        k: v for k, v in cand.get("results", {}).items() if k not in IGNORED_RESULT_KEYS
     }
     base_threads = base.get("results", {}).get("engine_threads", 1)
     cand_threads = cand.get("results", {}).get("engine_threads", 1)

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Crash-tolerant supervisor for wtr_ckpt_harness: start the run, and as long
+# as it dies mid-flight (SIGKILL'd by the OOM killer, machine reboot mapped
+# to a restart, Ctrl-C'd into a graceful exit-3 stop, ...) restart it with
+# --resume from the last durable checkpoint until it completes. Resume is
+# deterministic, so the supervised run's outputs are byte-identical to a
+# never-interrupted run.
+#
+# Usage: scripts/run_supervised.sh <harness-binary> <out-dir> [harness args...]
+#   e.g. scripts/run_supervised.sh build/tests/wtr_ckpt_harness /tmp/run \
+#            --scenario mno --devices 2000 --ckpt-hours 6 --threads 4
+#
+# Exit codes: 0 = run completed; 2 = usage; 4 = snapshot rejected on resume
+# (corruption — manual intervention required); 5 = restart budget exhausted.
+
+set -uo pipefail
+
+if [[ $# -lt 2 ]]; then
+  echo "usage: $0 <harness-binary> <out-dir> [harness args...]" >&2
+  exit 2
+fi
+
+harness="$1"
+out_dir="$2"
+shift 2
+
+max_restarts="${WTR_SUPERVISE_MAX_RESTARTS:-50}"
+mkdir -p "$out_dir"
+ckpt="$out_dir/ckpt.bin"
+
+attempt=0
+while :; do
+  args=("--out" "$out_dir" "$@")
+  if [[ $attempt -gt 0 && -f "$ckpt" ]]; then
+    # A previous attempt left a durable checkpoint: resume from it. The
+    # harness truncates records.txt back to the checkpointed offset itself.
+    args+=("--resume")
+  fi
+
+  "$harness" "${args[@]}"
+  status=$?
+
+  case $status in
+    0)
+      echo "run_supervised: completed after $attempt restart(s)" >&2
+      exit 0
+      ;;
+    2 | 4)
+      # Usage error or rejected snapshot: retrying cannot help.
+      exit "$status"
+      ;;
+    *)
+      # Interrupted (3) or killed outright (129+): restart and resume.
+      attempt=$((attempt + 1))
+      if [[ $attempt -gt $max_restarts ]]; then
+        echo "run_supervised: giving up after $max_restarts restarts" >&2
+        exit 5
+      fi
+      echo "run_supervised: harness exited $status; restart #$attempt" >&2
+      if [[ ! -f "$ckpt" ]]; then
+        echo "run_supervised: no checkpoint yet; restarting from scratch" >&2
+      fi
+      ;;
+  esac
+done

@@ -1,0 +1,32 @@
+#include "ckpt/shutdown.hpp"
+
+#include <csignal>
+
+namespace wtr::ckpt {
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown_flag = 0;
+
+extern "C" void wtr_shutdown_handler(int signum) {
+  g_shutdown_flag = 1;
+  // Second delivery should terminate for real: restore default disposition
+  // so a stuck drain cannot swallow repeated Ctrl-C. std::signal is
+  // async-signal-safe for resetting to SIG_DFL.
+  std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  std::signal(SIGINT, &wtr_shutdown_handler);
+  std::signal(SIGTERM, &wtr_shutdown_handler);
+}
+
+bool shutdown_requested() noexcept { return g_shutdown_flag != 0; }
+
+void request_shutdown() noexcept { g_shutdown_flag = 1; }
+
+void reset_shutdown_flag() noexcept { g_shutdown_flag = 0; }
+
+}  // namespace wtr::ckpt

@@ -56,4 +56,79 @@ void ResilienceReport::add_ingest(IngestDegradation degradation) {
   summary_.ingest.push_back(std::move(degradation));
 }
 
+void ResilienceReport::save_state(util::BinWriter& out) const {
+  out.u64(summary_.procedures);
+  out.u64(summary_.failures);
+  for (const auto count : summary_.by_code) out.u64(count);
+  out.u64(summary_.failures_by_day.size());
+  for (const auto& [day, count] : summary_.failures_by_day) {
+    out.i32(day);
+    out.u64(count);
+  }
+  out.u64(summary_.failures_by_operator.size());
+  for (const auto& [op, count] : summary_.failures_by_operator) {
+    out.u32(op);
+    out.u64(count);
+  }
+  out.u64(summary_.recoveries.size());
+  for (const auto& recovery : summary_.recoveries) {
+    out.u64(recovery.episode_index);
+    out.u32(recovery.op);
+    out.i64(recovery.outage_end);
+    out.b(recovery.first_success_after.has_value());
+    out.i64(recovery.first_success_after.value_or(0));
+  }
+  out.u64(summary_.ingest.size());
+  for (const auto& ingest : summary_.ingest) {
+    out.str(ingest.stream);
+    out.u64(ingest.rows);
+    out.u64(ingest.delivered);
+    out.u64(ingest.bad_csv);
+    out.u64(ingest.bad_fields);
+  }
+}
+
+void ResilienceReport::restore_state(util::BinReader& in) {
+  summary_.procedures = in.u64();
+  summary_.failures = in.u64();
+  for (auto& count : summary_.by_code) count = in.u64();
+  summary_.failures_by_day.clear();
+  const auto n_days = in.u64();
+  for (std::uint64_t i = 0; i < n_days; ++i) {
+    const auto day = in.i32();
+    summary_.failures_by_day[day] = in.u64();
+  }
+  summary_.failures_by_operator.clear();
+  const auto n_ops = in.u64();
+  for (std::uint64_t i = 0; i < n_ops; ++i) {
+    const auto op = in.u32();
+    summary_.failures_by_operator[op] = in.u64();
+  }
+  summary_.recoveries.clear();
+  const auto n_recoveries = in.u64();
+  summary_.recoveries.reserve(n_recoveries);
+  for (std::uint64_t i = 0; i < n_recoveries; ++i) {
+    OutageRecovery recovery;
+    recovery.episode_index = in.u64();
+    recovery.op = in.u32();
+    recovery.outage_end = in.i64();
+    const bool has_success = in.b();
+    const auto success_time = in.i64();
+    if (has_success) recovery.first_success_after = success_time;
+    summary_.recoveries.push_back(recovery);
+  }
+  summary_.ingest.clear();
+  const auto n_ingest = in.u64();
+  summary_.ingest.reserve(n_ingest);
+  for (std::uint64_t i = 0; i < n_ingest; ++i) {
+    IngestDegradation ingest;
+    ingest.stream = in.str();
+    ingest.rows = in.u64();
+    ingest.delivered = in.u64();
+    ingest.bad_csv = in.u64();
+    ingest.bad_fields = in.u64();
+    summary_.ingest.push_back(std::move(ingest));
+  }
+}
+
 }  // namespace wtr::faults

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/snapshot.hpp"
 #include "faults/fault_schedule.hpp"
 #include "sim/device_agent.hpp"
 
@@ -68,7 +69,7 @@ struct ResilienceSummary {
   }
 };
 
-class ResilienceReport final : public sim::RecordSink {
+class ResilienceReport final : public sim::RecordSink, public ckpt::Checkpointable {
  public:
   /// `world` and `schedule` are borrowed and must outlive the report. Every
   /// kOutage episode of the schedule gets a recovery slot. `metrics`
@@ -86,6 +87,13 @@ class ResilienceReport final : public sim::RecordSink {
 
   /// Snapshot of everything accumulated so far.
   [[nodiscard]] const ResilienceSummary& summary() const noexcept { return summary_; }
+
+  /// Checkpoint support: serialize / restore the accumulated summary (the
+  /// borrowed world/schedule and the mirrored counters are rebuilt by the
+  /// harness; the counters live in the MetricsRegistry, which snapshots
+  /// separately).
+  void save_state(util::BinWriter& out) const override;
+  void restore_state(util::BinReader& in) override;
 
  private:
   const topology::World* world_;

@@ -85,6 +85,59 @@ void EngineProbe::on_xdr(const records::Xdr& xdr) {
   ++records_per_day_[stats::day_of(xdr.time)];
 }
 
+void EngineProbe::save_state(util::BinWriter& out) const {
+  out.i64(next_sample_);
+  out.u64(samples_.size());
+  for (const auto& sample : samples_) {
+    out.i64(sample.sim_time);
+    out.u64(sample.wakes);
+    out.u64(sample.queue_depth);
+    out.u64(sample.records);
+    out.u64(sample.attach_attempts);
+    out.u64(sample.attach_failures);
+    out.u64(sample.active_fault_episodes);
+  }
+  out.u64(queue_max_);
+  out.u64(records_);
+  out.u64(signaling_);
+  out.u64(attach_attempts_);
+  out.u64(attach_failures_);
+  out.u64(records_per_day_.size());
+  for (const auto& [day, count] : records_per_day_) {
+    out.i32(day);
+    out.u64(count);
+  }
+}
+
+void EngineProbe::restore_state(util::BinReader& in) {
+  next_sample_ = in.i64();
+  samples_.clear();
+  const auto n_samples = in.u64();
+  samples_.reserve(n_samples);
+  for (std::uint64_t i = 0; i < n_samples; ++i) {
+    EngineSample sample;
+    sample.sim_time = in.i64();
+    sample.wakes = in.u64();
+    sample.queue_depth = in.u64();
+    sample.records = in.u64();
+    sample.attach_attempts = in.u64();
+    sample.attach_failures = in.u64();
+    sample.active_fault_episodes = in.u64();
+    samples_.push_back(sample);
+  }
+  queue_max_ = in.u64();
+  records_ = in.u64();
+  signaling_ = in.u64();
+  attach_attempts_ = in.u64();
+  attach_failures_ = in.u64();
+  records_per_day_.clear();
+  const auto n_days = in.u64();
+  for (std::uint64_t i = 0; i < n_days; ++i) {
+    const auto day = in.i32();
+    records_per_day_[day] = in.u64();
+  }
+}
+
 std::uint64_t EngineProbe::records_per_day_max() const noexcept {
   std::uint64_t best = 0;
   for (const auto& [day, count] : records_per_day_) best = std::max(best, count);

@@ -45,6 +45,11 @@ class EngineProbe final : public sim::RecordSink {
   /// queue depth. Safe across multiple engines: samples keep accumulating.
   void begin_run(const faults::FaultSchedule* faults, std::uint64_t queue_depth);
 
+  /// Resume support: rebind the borrowed fault schedule without resetting
+  /// the restored sampling cadence (begin_run would restart it at 0 and
+  /// emit a duplicate sample at the resume point).
+  void rebind_faults(const faults::FaultSchedule* faults) noexcept { faults_ = faults; }
+
   /// One inline comparison; the engine calls this every wake.
   [[nodiscard]] bool due(stats::SimTime now) const noexcept {
     return now >= next_sample_;
@@ -82,6 +87,12 @@ class EngineProbe final : public sim::RecordSink {
   }
   /// Peak single-day record count (the throughput the sinks must absorb).
   [[nodiscard]] std::uint64_t records_per_day_max() const noexcept;
+
+  /// Checkpoint support: serialize the trajectory accumulated so far (the
+  /// borrowed fault schedule is rebound by the engine on resume, and the
+  /// config is reconstructed by the scenario).
+  void save_state(util::BinWriter& out) const;
+  void restore_state(util::BinReader& in);
 
  private:
   void push_sample(stats::SimTime now, std::uint64_t queue_depth, std::uint64_t wakes);

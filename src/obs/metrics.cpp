@@ -71,6 +71,63 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   }
 }
 
+void Histogram::save_state(util::BinWriter& out) const {
+  out.u64(upper_bounds_.size());
+  for (const auto bound : upper_bounds_) out.f64(bound);
+  for (const auto bucket : buckets_) out.u64(bucket);
+  out.u64(count_);
+  out.f64(sum_);
+  out.f64(min_);
+  out.f64(max_);
+}
+
+void Histogram::restore_state(util::BinReader& in) {
+  const auto n_bounds = in.u64();
+  upper_bounds_.resize(n_bounds);
+  for (auto& bound : upper_bounds_) bound = in.f64();
+  buckets_.resize(n_bounds + 1);
+  for (auto& bucket : buckets_) bucket = in.u64();
+  count_ = in.u64();
+  sum_ = in.f64();
+  min_ = in.f64();
+  max_ = in.f64();
+}
+
+void MetricsRegistry::save_state(util::BinWriter& out) const {
+  out.u64(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.str(name);
+    counter.save_state(out);
+  }
+  out.u64(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.str(name);
+    gauge.save_state(out);
+  }
+  out.u64(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    out.str(name);
+    hist.save_state(out);
+  }
+}
+
+void MetricsRegistry::restore_state(util::BinReader& in) {
+  // Write through existing map nodes (call sites hold stable references into
+  // them); metrics only present in the snapshot are created on demand.
+  const auto n_counters = in.u64();
+  for (std::uint64_t i = 0; i < n_counters; ++i) {
+    counters_[in.str()].restore_state(in);
+  }
+  const auto n_gauges = in.u64();
+  for (std::uint64_t i = 0; i < n_gauges; ++i) {
+    gauges_[in.str()].restore_state(in);
+  }
+  const auto n_histograms = in.u64();
+  for (std::uint64_t i = 0; i < n_histograms; ++i) {
+    histogram(in.str(), {}).restore_state(in);
+  }
+}
+
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "util/binio.hpp"
+
 namespace wtr::obs {
 
 /// Monotonic event count.
@@ -22,6 +24,9 @@ class Counter {
  public:
   void inc(std::uint64_t n = 1) noexcept { value_ += n; }
   [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+  void save_state(util::BinWriter& out) const { out.u64(value_); }
+  void restore_state(util::BinReader& in) { value_ = in.u64(); }
 
  private:
   std::uint64_t value_ = 0;
@@ -36,6 +41,9 @@ class Gauge {
     if (v > value_) value_ = v;
   }
   [[nodiscard]] double value() const noexcept { return value_; }
+
+  void save_state(util::BinWriter& out) const { out.f64(value_); }
+  void restore_state(util::BinReader& in) { value_ = in.f64(); }
 
  private:
   double value_ = 0.0;
@@ -69,6 +77,11 @@ class Histogram {
   [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const noexcept {
     return buckets_;
   }
+
+  /// Checkpoint support: the full histogram, bucket ladder included, so a
+  /// restored registry needs no out-of-band bounds knowledge.
+  void save_state(util::BinWriter& out) const;
+  void restore_state(util::BinReader& in);
 
  private:
   std::vector<double> upper_bounds_;
@@ -118,6 +131,13 @@ class MetricsRegistry {
   /// one post-run — counter sums are order-independent, so the merged dump
   /// is byte-identical to a single-threaded run's.
   void merge_from(const MetricsRegistry& other);
+
+  /// Checkpoint support: serialize every metric by name; restore replaces
+  /// the registry contents wholesale (existing handles stay valid for
+  /// metrics that exist in the snapshot — node-based maps don't move nodes
+  /// on insert, and restore writes through the existing nodes).
+  void save_state(util::BinWriter& out) const;
+  void restore_state(util::BinReader& in);
 
  private:
   std::map<std::string, Counter> counters_;

@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "stats/rng.hpp"
+#include "util/binio.hpp"
 
 namespace wtr::signaling {
 
@@ -54,6 +55,17 @@ class AttachBackoff {
   }
   /// Completed long-backoff waits since the last success (escalation step).
   [[nodiscard]] int long_cycles() const noexcept { return long_cycles_; }
+
+  /// Checkpoint support: the timers' dynamic state (the config is rebuilt
+  /// by the scenario, so only the counters travel).
+  void save_state(util::BinWriter& out) const {
+    out.i32(attempts_);
+    out.i32(long_cycles_);
+  }
+  void restore_state(util::BinReader& in) {
+    attempts_ = in.i32();
+    long_cycles_ = in.i32();
+  }
 
  private:
   AttachBackoffConfig config_{};

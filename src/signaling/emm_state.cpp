@@ -67,4 +67,19 @@ std::uint64_t EmmStateMachine::total_procedures() const noexcept {
   return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
 }
 
+void EmmStateMachine::save_state(util::BinWriter& out) const {
+  out.u8(static_cast<std::uint8_t>(state_));
+  out.b(serving_.has_value());
+  out.u32(serving_.value_or(topology::kInvalidOperator));
+  for (const auto count : counts_) out.u64(count);
+}
+
+void EmmStateMachine::restore_state(util::BinReader& in) {
+  state_ = static_cast<EmmState>(in.u8());
+  const bool has_serving = in.b();
+  const auto serving = in.u32();
+  serving_ = has_serving ? std::optional<topology::OperatorId>{serving} : std::nullopt;
+  for (auto& count : counts_) count = in.u64();
+}
+
 }  // namespace wtr::signaling

@@ -15,6 +15,7 @@
 #include "signaling/procedure.hpp"
 #include "signaling/result_code.hpp"
 #include "topology/operator_registry.hpp"
+#include "util/binio.hpp"
 
 namespace wtr::signaling {
 
@@ -60,6 +61,10 @@ class EmmStateMachine {
     return counts_[static_cast<std::size_t>(procedure)];
   }
   [[nodiscard]] std::uint64_t total_procedures() const noexcept;
+
+  /// Checkpoint support: serialize / restore the full machine state.
+  void save_state(util::BinWriter& out) const;
+  void restore_state(util::BinReader& in);
 
  private:
   void count(Procedure procedure) noexcept {

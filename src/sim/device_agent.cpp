@@ -1,8 +1,10 @@
 #include "sim/device_agent.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "cellnet/country.hpp"
 #include "stats/distributions.hpp"
@@ -299,6 +301,61 @@ void DeviceAgent::finalize(SimTime now, const AgentContext& ctx) {
                    rat, /*data_context=*/true);
   }
   finalized_ = true;
+}
+
+void DeviceAgent::save_state(util::BinWriter& out) const {
+  out.u64(device_.id);
+  out.str(device_.current_country);
+  out.f64(device_.east_m);
+  out.f64(device_.north_m);
+  for (const auto word : rng_.state()) out.u64(word);
+  emm_.save_state(out);
+  backoff_.save_state(out);
+  out.f64(pending_retry_delay_s_);
+  out.u32(serving_.visited);
+  out.u8(static_cast<std::uint8_t>(serving_.rat));
+  out.u32(serving_.sector);
+  out.f64(serving_.location.lat);
+  out.f64(serving_.location.lon);
+  out.b(serving_.is_home);
+  out.b(preferred_visited_.has_value());
+  out.u32(preferred_visited_.value_or(topology::kInvalidOperator));
+  out.i64(last_wake_);
+  out.i64(dwell_since_);
+  out.b(last_attach_failed_);
+  out.b(finalized_);
+}
+
+void DeviceAgent::restore_state(util::BinReader& in) {
+  const auto id = in.u64();
+  if (id != device_.id) {
+    throw std::runtime_error(
+        "DeviceAgent::restore_state: snapshot device id does not match the "
+        "rebuilt fleet (different scenario seed or composition?)");
+  }
+  device_.current_country = in.str();
+  device_.east_m = in.f64();
+  device_.north_m = in.f64();
+  std::array<std::uint64_t, 4> rng_state{};
+  for (auto& word : rng_state) word = in.u64();
+  rng_.set_state(rng_state);
+  emm_.restore_state(in);
+  backoff_.restore_state(in);
+  pending_retry_delay_s_ = in.f64();
+  serving_.visited = in.u32();
+  serving_.rat = static_cast<cellnet::Rat>(in.u8());
+  serving_.sector = in.u32();
+  serving_.location.lat = in.f64();
+  serving_.location.lon = in.f64();
+  serving_.is_home = in.b();
+  const bool has_preferred = in.b();
+  const auto preferred = in.u32();
+  preferred_visited_ =
+      has_preferred ? std::optional<topology::OperatorId>{preferred} : std::nullopt;
+  last_wake_ = in.i64();
+  dwell_since_ = in.i64();
+  last_attach_failed_ = in.b();
+  finalized_ = in.b();
 }
 
 std::optional<SimTime> DeviceAgent::on_wake(SimTime now, const AgentContext& ctx) {

@@ -97,6 +97,15 @@ class DeviceAgent {
     return backoff_;
   }
 
+  /// Checkpoint support: serialize everything that mutates after
+  /// construction (RNG stream, EMM machine, backoff timers, position,
+  /// serving cell, dwell bookkeeping). The immutable identity/behaviour
+  /// fields are rebuilt deterministically by the scenario; restore_state
+  /// verifies the device id matches and throws std::runtime_error when the
+  /// snapshot belongs to a differently composed fleet.
+  void save_state(util::BinWriter& out) const;
+  void restore_state(util::BinReader& in);
+
  private:
   struct Serving {
     topology::OperatorId visited = topology::kInvalidOperator;

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "ckpt/shutdown.hpp"
 #include "obs/engine_probe.hpp"
 #include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
@@ -60,6 +61,151 @@ void Engine::add_fleet(std::vector<devices::Device> fleet, AgentOptions options)
   }
 }
 
+std::uint64_t Engine::fleet_fingerprint() const {
+  std::uint64_t h = stats::mix64(config_.seed, 0xc4e9'0000u);
+  h = stats::mix64(h, static_cast<std::uint64_t>(config_.horizon_days));
+  h = stats::mix64(h, agents_.size());
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    h = stats::mix64(h, agents_[i]->device().id);
+    h = stats::mix64(h, static_cast<std::uint64_t>(first_wakes_[i]));
+  }
+  return h;
+}
+
+void Engine::write_checkpoint(stats::SimTime resume_time, const EventQueue& queue,
+                              const obs::MetricsRegistry* metrics_view) {
+  if (config_.checkpoint_path.empty()) return;
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+
+  util::BinWriter payload;
+  payload.u64(fleet_fingerprint());
+  payload.i64(resume_time);
+  payload.u64(wakes_);
+  payload.i64(last_time_);
+
+  // Pending events in exact global pop order: resume reschedules them in
+  // this order into a fresh queue, reproducing the relative (time, seq)
+  // ordering against everything scheduled after the snapshot point.
+  const auto events = queue.snapshot_events();
+  payload.u64(events.size());
+  for (const auto& event : events) {
+    payload.i64(event.time);
+    payload.u32(event.agent);
+  }
+
+  payload.u64(agents_.size());
+  for (const auto& agent : agents_) agent->save_state(payload);
+
+  payload.b(metrics_view != nullptr);
+  if (metrics_view != nullptr) metrics_view->save_state(payload);
+
+  payload.b(config_.probe != nullptr);
+  if (config_.probe != nullptr) config_.probe->save_state(payload);
+
+  payload.u64(checkpointables_.size());
+  for (const auto& [name, component] : checkpointables_) {
+    payload.str(name);
+    util::BinWriter section;
+    component->save_state(section);
+    payload.str(section.bytes());
+  }
+
+  ckpt::write_snapshot_atomic(config_.checkpoint_path, payload.bytes());
+  ++checkpoints_written_;
+  checkpoint_wall_s_ +=
+      std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void Engine::resume_from(const std::string& path) {
+  if (ran_) {
+    throw std::logic_error("sim::Engine::resume_from: engine already ran");
+  }
+  const std::string payload = ckpt::read_snapshot(path);
+  util::BinReader in(payload);
+
+  const auto fingerprint = in.u64();
+  if (fingerprint != fleet_fingerprint()) {
+    throw ckpt::SnapshotError(
+        path +
+        ": snapshot fleet/config fingerprint mismatch — the engine must be "
+        "rebuilt with the identical seed, horizon and fleet before resuming");
+  }
+  resume_time_ = in.i64();
+  wakes_ = in.u64();
+  last_time_ = in.i64();
+
+  resume_events_.clear();
+  const auto n_events = in.u64();
+  resume_events_.reserve(n_events);
+  for (std::uint64_t i = 0; i < n_events; ++i) {
+    const auto time = in.i64();
+    const auto agent = in.u32();
+    if (agent >= agents_.size()) {
+      throw ckpt::SnapshotError(path + ": snapshot references agent index " +
+                                std::to_string(agent) + " beyond fleet size " +
+                                std::to_string(agents_.size()));
+    }
+    resume_events_.emplace_back(time, agent);
+  }
+
+  const auto n_agents = in.u64();
+  if (n_agents != agents_.size()) {
+    throw ckpt::SnapshotError(
+        path + ": snapshot holds " + std::to_string(n_agents) +
+        " agents but the rebuilt engine has " + std::to_string(agents_.size()));
+  }
+  for (auto& agent : agents_) agent->restore_state(in);
+
+  const bool has_metrics = in.b();
+  if (has_metrics != (config_.metrics != nullptr)) {
+    throw ckpt::SnapshotError(
+        path + ": snapshot and engine disagree on metrics instrumentation "
+               "(both runs must enable or disable it together)");
+  }
+  if (has_metrics) config_.metrics->restore_state(in);
+
+  const bool has_probe = in.b();
+  if (has_probe != (config_.probe != nullptr)) {
+    throw ckpt::SnapshotError(
+        path + ": snapshot and engine disagree on probe instrumentation "
+               "(both runs must enable or disable it together)");
+  }
+  if (has_probe) config_.probe->restore_state(in);
+
+  const auto n_components = in.u64();
+  if (n_components != checkpointables_.size()) {
+    throw ckpt::SnapshotError(
+        path + ": snapshot holds " + std::to_string(n_components) +
+        " checkpointable components but " +
+        std::to_string(checkpointables_.size()) + " are registered");
+  }
+  for (auto& [name, component] : checkpointables_) {
+    const auto saved_name = in.str();
+    if (saved_name != name) {
+      throw ckpt::SnapshotError(path + ": checkpointable order mismatch: "
+                                       "snapshot has '" +
+                                saved_name + "' where '" + name +
+                                "' is registered");
+    }
+    const auto section = in.str();
+    util::BinReader section_in(section);
+    component->restore_state(section_in);
+    section_in.expect_exhausted("checkpointable '" + name + "'");
+  }
+  in.expect_exhausted("engine snapshot " + path);
+
+  // Replace the add_fleet initial schedule with the snapshot's pending
+  // events (single-threaded path runs straight off queue_; the sharded path
+  // re-partitions resume_events_ itself).
+  queue_ = EventQueue{};
+  queue_.reserve(resume_events_.size());
+  for (const auto& [time, agent] : resume_events_) queue_.schedule(time, agent);
+
+  resumed_ = true;
+  resumed_from_ = path;
+}
+
 void Engine::run(std::vector<RecordSink*> sinks) {
   if (ran_) {
     throw std::logic_error(
@@ -75,7 +221,10 @@ void Engine::run(std::vector<RecordSink*> sinks) {
   } else {
     run_sharded(sinks, shard_count);
   }
-  finish_run_metrics();
+  // An interrupted run withholds the run-summary metrics: the resumed
+  // process emits them once at its own completion, so the resumed dump is
+  // byte-identical to an uninterrupted run's (engine.runs stays 1).
+  if (!interrupted_) finish_run_metrics();
 }
 
 void Engine::run_single(const std::vector<RecordSink*>& sinks) {
@@ -84,7 +233,13 @@ void Engine::run_single(const std::vector<RecordSink*>& sinks) {
   obs::EngineProbe* probe = config_.probe;
   if (probe != nullptr) {
     fanout.add(probe);
-    probe->begin_run(config_.faults, queue_.size());
+    if (!resumed_) {
+      probe->begin_run(config_.faults, queue_.size());
+    } else {
+      // The probe trajectory was restored from the snapshot; only the
+      // borrowed schedule pointer needs re-binding in this process.
+      probe->rebind_faults(config_.faults);
+    }
   }
 
   AgentContext ctx;
@@ -98,54 +253,85 @@ void Engine::run_single(const std::vector<RecordSink*>& sinks) {
   const bool debug_wakes = ::getenv("WTR_DEBUG_WAKES") != nullptr;
 
   const stats::SimTime horizon_end = stats::day_start(config_.horizon_days);
-  stats::SimTime last_time = 0;
-  while (!queue_.empty()) {
-    const Event event = queue_.pop();
-    if (event.time > horizon_end) break;
-    ++wakes_;
-    last_time = event.time;
-    if (probe != nullptr && probe->due(event.time)) {
-      // +1: the popped event is still in flight at the sample instant.
-      probe->on_tick(event.time, queue_.size() + 1, wakes_);
-    }
-    if (debug_wakes && wakes_ % kDebugWakeEvery == 0) {
-      std::fprintf(stderr, "[engine] wakes=%llu t=%lld agent=%u queue=%zu\n",
-                   (unsigned long long)wakes_, (long long)event.time, event.agent,
-                   queue_.size());
-    }
-    auto& agent = *agents_[event.agent];
-    if (const auto next = agent.on_wake(event.time, ctx)) {
-      queue_.schedule(*next, event.agent);
-    }
+  const stats::SimTime cadence_s =
+      config_.checkpoint_every_sim_hours > 0
+          ? config_.checkpoint_every_sim_hours * stats::kSecondsPerHour
+          : 0;
+  stats::SimTime stop_time = -1;
+  if (config_.stop_after_sim_hours > 0) {
+    const stats::SimTime t = config_.stop_after_sim_hours * stats::kSecondsPerHour;
+    if (t < horizon_end) stop_time = t;
   }
-  if (probe != nullptr) probe->end_run(last_time, queue_.size(), wakes_);
+
+  // The run is a sequence of checkpoint windows; without a cadence, a stop
+  // point or a shutdown request the single window covers the whole horizon
+  // and the loop below is step-for-step the legacy event loop.
+  stats::SimTime window_start = resumed_ ? resume_time_ : 0;
+  bool shutdown_hit = false;
+  while (true) {
+    stats::SimTime stop = horizon_end;
+    if (cadence_s > 0) {
+      stop = std::min(stop, (window_start / cadence_s + 1) * cadence_s);
+    }
+    if (stop_time >= 0) stop = std::min(stop, stop_time);
+
+    while (!queue_.empty() && *queue_.next_time() <= stop) {
+      if (ckpt::shutdown_requested()) {
+        shutdown_hit = true;
+        break;
+      }
+      const Event event = queue_.pop();
+      ++wakes_;
+      last_time_ = event.time;
+      if (probe != nullptr && probe->due(event.time)) {
+        // +1: the popped event is still in flight at the sample instant.
+        probe->on_tick(event.time, queue_.size() + 1, wakes_);
+      }
+      if (debug_wakes && wakes_ % kDebugWakeEvery == 0) {
+        std::fprintf(stderr, "[engine] wakes=%llu t=%lld agent=%u queue=%zu\n",
+                     (unsigned long long)wakes_, (long long)event.time, event.agent,
+                     queue_.size());
+      }
+      auto& agent = *agents_[event.agent];
+      if (const auto next = agent.on_wake(event.time, ctx)) {
+        queue_.schedule(*next, event.agent);
+      }
+    }
+
+    if (shutdown_hit || (stop_time >= 0 && stop == stop_time)) {
+      interrupted_ = true;
+      // A shutdown can land mid-window: the snapshot then resumes at the
+      // last processed event, which recomputes the same next cadence
+      // boundary the interrupted process was heading for.
+      write_checkpoint(shutdown_hit ? last_time_ : stop, queue_, config_.metrics);
+      return;
+    }
+    window_start = stop;
+    if (stop >= horizon_end) break;
+    write_checkpoint(stop, queue_, config_.metrics);
+  }
+
+  // The legacy loop popped (and discarded) the first beyond-horizon event
+  // before exiting; replicate so the final probe sample sees the same
+  // queue depth byte-for-byte.
+  if (!queue_.empty()) queue_.pop();
+  if (probe != nullptr) probe->end_run(last_time_, queue_.size(), wakes_);
 }
 
-void Engine::run_shard_loop(std::size_t shard_index, std::size_t shard_count,
-                            Shard& shard) {
+void Engine::run_shard_window(Shard& shard, EventQueue& queue,
+                              stats::SimTime stop) {
   AgentContext ctx;
   ctx.world = &world_;
   ctx.selector = &selector_;
   ctx.outcomes = &shard.outcomes;
   ctx.sink = &shard.buffer;
 
-  EventQueue queue;
-  queue.reserve(agents_.size() / shard_count + 1);
-  // Initial schedule in ascending agent index: the merge replay relies on
-  // this matching the global add_fleet order restricted to the shard.
-  for (std::size_t i = shard_index; i < agents_.size(); i += shard_count) {
-    queue.schedule(first_wakes_[i], static_cast<AgentIndex>(i));
-  }
-
-  const stats::SimTime horizon_end = stats::day_start(config_.horizon_days);
-  while (!queue.empty()) {
+  while (!queue.empty() && *queue.next_time() <= stop) {
     const Event event = queue.pop();
-    if (event.time > horizon_end) break;
     ++shard.wakes;
     auto& agent = *agents_[event.agent];
     const auto next = agent.on_wake(event.time, ctx);
-    shard.buffer.end_wake(event.agent,
-                          next ? *next : RecordBuffer::kNoNextWake);
+    shard.buffer.end_wake(event.agent, next ? *next : RecordBuffer::kNoNextWake);
     if (next) queue.schedule(*next, event.agent);
   }
 }
@@ -159,9 +345,13 @@ void Engine::run_sharded(const std::vector<RecordSink*>& sinks,
   obs::EngineProbe* probe = config_.probe;
   if (probe != nullptr) {
     fanout.add(probe);
-    // queue_ still holds exactly the initial events (one per agent), so the
-    // reported initial depth matches the single-threaded path.
-    probe->begin_run(config_.faults, queue_.size());
+    if (!resumed_) {
+      // queue_ still holds exactly the initial events (one per agent), so
+      // the reported initial depth matches the single-threaded path.
+      probe->begin_run(config_.faults, queue_.size());
+    } else {
+      probe->rebind_faults(config_.faults);
+    }
   }
 
   std::vector<Shard> shards;
@@ -170,67 +360,143 @@ void Engine::run_sharded(const std::vector<RecordSink*>& sinks,
     shards.emplace_back(config_.outcomes, config_.faults, config_.metrics);
   }
 
-  {
-    util::ThreadPool pool(shard_count);
+  // Shard queues persist across checkpoint windows: pending events carry
+  // over; only the record arenas are drained per window. Initial schedule
+  // in ascending agent index — the merge replay relies on this matching
+  // the global add_fleet order restricted to each shard. On resume the
+  // snapshot's pending events (already in global pop order) re-partition
+  // the same way.
+  std::vector<EventQueue> shard_queues(shard_count);
+  for (auto& queue : shard_queues) queue.reserve(agents_.size() / shard_count + 1);
+  EventQueue merged;
+  merged.reserve(agents_.size());
+  if (!resumed_) {
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+      shard_queues[i % shard_count].schedule(first_wakes_[i],
+                                             static_cast<AgentIndex>(i));
+      merged.schedule(first_wakes_[i], static_cast<AgentIndex>(i));
+    }
+  } else {
+    for (const auto& [time, agent] : resume_events_) {
+      shard_queues[agent % shard_count].schedule(time, agent);
+      merged.schedule(time, agent);
+    }
+  }
+
+  const bool debug_wakes = ::getenv("WTR_DEBUG_WAKES") != nullptr;
+  const stats::SimTime horizon_end = stats::day_start(config_.horizon_days);
+  const stats::SimTime cadence_s =
+      config_.checkpoint_every_sim_hours > 0
+          ? config_.checkpoint_every_sim_hours * stats::kSecondsPerHour
+          : 0;
+  stats::SimTime stop_time = -1;
+  if (config_.stop_after_sim_hours > 0) {
+    const stats::SimTime t = config_.stop_after_sim_hours * stats::kSecondsPerHour;
+    if (t < horizon_end) stop_time = t;
+  }
+
+  std::vector<RecordBuffer::Cursor> cursors(shard_count);
+  util::ThreadPool pool(shard_count);
+  double merge_total_s = 0.0;
+  stats::SimTime window_start = resumed_ ? resume_time_ : 0;
+  stats::SimTime stop = 0;
+  bool reached_horizon = false;
+  while (true) {
+    stop = horizon_end;
+    if (cadence_s > 0) {
+      stop = std::min(stop, (window_start / cadence_s + 1) * cadence_s);
+    }
+    if (stop_time >= 0) stop = std::min(stop, stop_time);
+
     for (std::size_t s = 0; s < shard_count; ++s) {
       Shard* shard = &shards[s];
-      pool.submit([this, s, shard_count, shard] {
-        run_shard_loop(s, shard_count, *shard);
+      EventQueue* queue = &shard_queues[s];
+      pool.submit([this, shard, queue, stop] {
+        run_shard_window(*shard, *queue, stop);
       });
     }
     pool.wait();
-  }
 
-  // --- Deterministic k-way merge ------------------------------------------
-  // Rebuild the exact single-threaded pop order by replaying the schedule:
-  // initial wakes enter in agent order (seq 0..N-1, as in add_fleet), and
-  // each replayed wake re-schedules its recorded next wake at pop time —
-  // reproducing the global seq assignment without re-running any agent.
-  const auto merge_start = Clock::now();
-
-  const bool debug_wakes = ::getenv("WTR_DEBUG_WAKES") != nullptr;
-  EventQueue merged;
-  merged.reserve(agents_.size());
-  for (std::size_t i = 0; i < agents_.size(); ++i) {
-    merged.schedule(first_wakes_[i], static_cast<AgentIndex>(i));
-  }
-  std::vector<RecordBuffer::Cursor> cursors(shard_count);
-
-  const stats::SimTime horizon_end = stats::day_start(config_.horizon_days);
-  stats::SimTime last_time = 0;
-  while (!merged.empty()) {
-    const Event event = merged.pop();
-    if (event.time > horizon_end) break;
-    ++wakes_;
-    last_time = event.time;
-    if (probe != nullptr && probe->due(event.time)) {
-      probe->on_tick(event.time, merged.size() + 1, wakes_);
+    // --- Deterministic k-way merge of this window ---------------------------
+    // Rebuild the exact single-threaded pop order by replaying the
+    // schedule: each replayed wake re-schedules its recorded next wake at
+    // pop time, reproducing the global seq assignment without re-running
+    // any agent.
+    const auto merge_start = Clock::now();
+    while (!merged.empty() && *merged.next_time() <= stop) {
+      const Event event = merged.pop();
+      ++wakes_;
+      last_time_ = event.time;
+      if (probe != nullptr && probe->due(event.time)) {
+        probe->on_tick(event.time, merged.size() + 1, wakes_);
+      }
+      if (debug_wakes && wakes_ % kDebugWakeEvery == 0) {
+        std::fprintf(stderr, "[engine] wakes=%llu t=%lld agent=%u queue=%zu\n",
+                     (unsigned long long)wakes_, (long long)event.time, event.agent,
+                     merged.size());
+      }
+      const std::size_t s = event.agent % shard_count;
+      assert(shards[s].buffer.peek_agent(cursors[s]) == event.agent);
+      const stats::SimTime next = shards[s].buffer.replay_wake(cursors[s], fanout);
+      if (next != RecordBuffer::kNoNextWake) merged.schedule(next, event.agent);
     }
-    if (debug_wakes && wakes_ % kDebugWakeEvery == 0) {
-      std::fprintf(stderr, "[engine] wakes=%llu t=%lld agent=%u queue=%zu\n",
-                   (unsigned long long)wakes_, (long long)event.time, event.agent,
-                   merged.size());
-    }
-    const std::size_t s = event.agent % shard_count;
-    assert(shards[s].buffer.peek_agent(cursors[s]) == event.agent);
-    const stats::SimTime next = shards[s].buffer.replay_wake(cursors[s], fanout);
-    if (next != RecordBuffer::kNoNextWake) merged.schedule(next, event.agent);
-  }
-  if (probe != nullptr) probe->end_run(last_time, merged.size(), wakes_);
+    merge_total_s +=
+        std::chrono::duration<double>(Clock::now() - merge_start).count();
 
 #ifndef NDEBUG
-  // Every wake a shard processed must have been replayed exactly once.
-  for (std::size_t s = 0; s < shard_count; ++s) {
-    assert(cursors[s].wake == shards[s].buffer.wake_count());
-  }
+    // The window boundary is a barrier: every wake a shard processed this
+    // window must have been replayed exactly once.
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      assert(cursors[s].wake == shards[s].buffer.wake_count());
+    }
 #endif
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      shards[s].buffer.clear();
+      cursors[s] = RecordBuffer::Cursor{};
+    }
 
-  merge_wall_s_ = std::chrono::duration<double>(Clock::now() - merge_start).count();
+    // Shutdown requests are honoured at barriers only — mid-window the
+    // shard agents have advanced past the merge point, so barrier state is
+    // the only consistent snapshot state in sharded mode.
+    if ((stop_time >= 0 && stop == stop_time) || ckpt::shutdown_requested()) {
+      interrupted_ = true;
+      break;
+    }
+    window_start = stop;
+    if (stop >= horizon_end) {
+      reached_horizon = true;
+      break;
+    }
+    if (config_.metrics != nullptr) {
+      // Snapshot the registry the single-threaded path would have at this
+      // barrier: main contents plus every shard's delta so far.
+      obs::MetricsRegistry barrier_view = *config_.metrics;
+      for (const auto& shard : shards) barrier_view.merge_from(shard.metrics);
+      write_checkpoint(stop, merged, &barrier_view);
+    } else {
+      write_checkpoint(stop, merged, nullptr);
+    }
+  }
 
+  if (reached_horizon) {
+    // Legacy tail: pop the first beyond-horizon event before the final
+    // probe sample, matching the single-threaded path byte-for-byte.
+    if (!merged.empty()) merged.pop();
+    if (probe != nullptr) probe->end_run(last_time_, merged.size(), wakes_);
+  }
+
+  merge_wall_s_ = merge_total_s;
   shard_wakes_.resize(shard_count);
   for (std::size_t s = 0; s < shard_count; ++s) {
     shard_wakes_[s] = shards[s].wakes;
     if (config_.metrics != nullptr) config_.metrics->merge_from(shards[s].metrics);
+  }
+
+  if (interrupted_) {
+    // Shard deltas were folded into the main registry above, so the main
+    // registry IS the barrier view and the snapshot matches what a
+    // threads=1 interrupt at this barrier would have written.
+    write_checkpoint(stop, merged, config_.metrics);
   }
 }
 

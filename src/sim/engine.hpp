@@ -20,8 +20,11 @@
 
 #include <memory>
 #include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "ckpt/snapshot.hpp"
 #include "signaling/outcome_policy.hpp"
 #include "sim/device_agent.hpp"
 #include "sim/event_queue.hpp"
@@ -114,6 +117,24 @@ class Engine {
     /// driven off the merged stream — trajectories stay deterministic.
     obs::MetricsRegistry* metrics = nullptr;
     obs::EngineProbe* probe = nullptr;
+    /// Checkpoint cadence in sim hours; 0 (the default) disables
+    /// checkpointing entirely and the run takes the exact legacy code
+    /// path — output stays byte-identical to a build without the
+    /// subsystem. With cadence on, a snapshot is written atomically to
+    /// `checkpoint_path` at every cadence boundary; in sharded mode the
+    /// boundaries double as merge barriers, so the snapshot is
+    /// thread-count-independent (threads=1 and threads=N write
+    /// bit-identical snapshots at the same boundary).
+    std::int64_t checkpoint_every_sim_hours = 0;
+    /// Where cadence (and graceful-shutdown / stop_after) snapshots land.
+    /// Empty disables snapshot writes even when a cadence is set.
+    std::string checkpoint_path;
+    /// Deterministic in-process interrupt: stop at this sim-hour boundary,
+    /// write a final snapshot, and return with interrupted() == true.
+    /// 0 disables; values at or beyond the horizon are ignored. The
+    /// recovery tests use this to cut a run at an exact sim-time point
+    /// without involving signals.
+    std::int64_t stop_after_sim_hours = 0;
   };
 
   Engine(const topology::World& world, Config config);
@@ -129,6 +150,35 @@ class Engine {
   [[nodiscard]] const devices::Device& device(std::size_t index) const {
     return agents_[index]->device();
   }
+
+  /// Read access to a full agent (EMM machine, backoff timers) — used by
+  /// the recovery tests to assert resumed state equals uninterrupted state.
+  [[nodiscard]] const DeviceAgent& agent(std::size_t index) const {
+    return *agents_[index];
+  }
+
+  /// Register an external component whose state rides inside engine
+  /// snapshots (trace-file sinks, resilience reports). Save/restore follows
+  /// registration order; the name is recorded in the snapshot and verified
+  /// on resume, so a mismatched participant list fails loudly instead of
+  /// silently misaligning the payload. Must be called before run(), and the
+  /// same components must be registered in the same order before
+  /// resume_from().
+  void register_checkpointable(std::string name, ckpt::Checkpointable* component) {
+    if (component == nullptr) {
+      throw std::invalid_argument("sim::Engine::register_checkpointable: null");
+    }
+    checkpointables_.emplace_back(std::move(name), component);
+  }
+
+  /// Restore engine state from a snapshot written by a previous process.
+  /// Call after add_fleet() rebuilt the identical fleet (same world seed,
+  /// engine config and fleet composition — verified via a fingerprint) and
+  /// after registering the same checkpointables. The subsequent run()
+  /// continues from the snapshot point and produces output byte-identical
+  /// to the uninterrupted remainder, for threads=1 and threads=N alike.
+  /// Throws ckpt::SnapshotError on any integrity or compatibility failure.
+  void resume_from(const std::string& path);
 
   /// Run to the horizon, delivering records to the sinks. May be called
   /// once per engine; a second call throws std::logic_error (the queue and
@@ -150,13 +200,39 @@ class Engine {
   /// Wall time of the deterministic merge phase (0 for threads=1).
   [[nodiscard]] double merge_wall_s() const noexcept { return merge_wall_s_; }
 
+  /// True when the last run() returned early — graceful shutdown request
+  /// or Config::stop_after_sim_hours — rather than reaching the horizon.
+  [[nodiscard]] bool interrupted() const noexcept { return interrupted_; }
+  /// True when this engine was primed from a snapshot via resume_from().
+  [[nodiscard]] bool resumed() const noexcept { return resumed_; }
+  [[nodiscard]] const std::string& resumed_from() const noexcept {
+    return resumed_from_;
+  }
+  /// Snapshots written by the last run (cadence boundaries + final).
+  [[nodiscard]] std::uint64_t checkpoints_written() const noexcept {
+    return checkpoints_written_;
+  }
+  /// Cumulative wall time spent serializing and writing snapshots.
+  [[nodiscard]] double checkpoint_wall_s() const noexcept { return checkpoint_wall_s_; }
+
  private:
   struct Shard;
 
   void run_single(const std::vector<RecordSink*>& sinks);
   void run_sharded(const std::vector<RecordSink*>& sinks, std::size_t shard_count);
-  void run_shard_loop(std::size_t shard_index, std::size_t shard_count, Shard& shard);
+  void run_shard_window(Shard& shard, EventQueue& queue, stats::SimTime stop);
   void finish_run_metrics();
+
+  /// Identity of (engine seed, horizon, fleet): a snapshot resumes only
+  /// onto an identically rebuilt engine.
+  [[nodiscard]] std::uint64_t fleet_fingerprint() const;
+  /// Serialize full engine state resuming at `resume_time` and write it
+  /// atomically to Config::checkpoint_path (no-op when the path is empty).
+  /// `queue` is the live global queue (queue_ for threads=1, the merge
+  /// queue for threads=N); `metrics_view` is the registry to persist — the
+  /// main one for threads=1, a barrier-merged clone for threads=N.
+  void write_checkpoint(stats::SimTime resume_time, const EventQueue& queue,
+                        const obs::MetricsRegistry* metrics_view);
 
   const topology::World& world_;
   Config config_;
@@ -172,6 +248,19 @@ class Engine {
   std::vector<std::uint64_t> shard_wakes_;
   double merge_wall_s_ = 0.0;
   bool ran_ = false;
+
+  // --- checkpoint/restore state --------------------------------------------
+  std::vector<std::pair<std::string, ckpt::Checkpointable*>> checkpointables_;
+  /// Pending events restored from a snapshot, in global pop order; seeds
+  /// the run queue(s) in place of first_wakes_ when resumed_.
+  std::vector<std::pair<stats::SimTime, AgentIndex>> resume_events_;
+  stats::SimTime resume_time_ = 0;   // window accounting restarts here
+  stats::SimTime last_time_ = 0;     // time of the last processed event
+  bool resumed_ = false;
+  bool interrupted_ = false;
+  std::string resumed_from_;
+  std::uint64_t checkpoints_written_ = 0;
+  double checkpoint_wall_s_ = 0.0;
 };
 
 }  // namespace wtr::sim

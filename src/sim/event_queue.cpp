@@ -23,4 +23,13 @@ Event EventQueue::pop() {
   return event;
 }
 
+std::vector<Event> EventQueue::snapshot_events() const {
+  std::vector<Event> events = heap_;
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  });
+  return events;
+}
+
 }  // namespace wtr::sim

@@ -39,6 +39,12 @@ class EventQueue {
   /// Pop the earliest event; requires non-empty.
   Event pop();
 
+  /// Checkpoint support: the pending events in exact pop order — (time,
+  /// seq) ascending. Rescheduling them in this order into a fresh queue
+  /// assigns seqs 0..n-1 and preserves every relative ordering against
+  /// events scheduled later, which is what makes resume replay-exact.
+  [[nodiscard]] std::vector<Event> snapshot_events() const;
+
  private:
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {

@@ -79,6 +79,18 @@ class RecordBuffer final : public RecordSink {
   /// `next_wake` (kNoNextWake when the agent is done).
   void end_wake(AgentIndex agent, stats::SimTime next_wake);
 
+  /// Drop all buffered records and wake boundaries (capacity retained).
+  /// The checkpointing engine calls this after replaying each window so
+  /// arena memory stays bounded by one window instead of the whole run.
+  void clear() noexcept {
+    tape_.clear();
+    signaling_.clear();
+    cdrs_.clear();
+    xdrs_.clear();
+    dwells_.clear();
+    wakes_.clear();
+  }
+
   // --- replay side (merge thread) ------------------------------------------
   [[nodiscard]] std::size_t wake_count() const noexcept { return wakes_.size(); }
   [[nodiscard]] std::size_t record_count() const noexcept { return tape_.size(); }

@@ -68,6 +68,18 @@ class Rng {
   /// (current seed material, tag). Does not consume this generator's stream.
   [[nodiscard]] Rng fork(std::uint64_t tag) const noexcept;
 
+  /// Raw xoshiro256** state for checkpoint/restore. A restored generator
+  /// continues the stream bit-exactly from where the saved one stopped.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const noexcept {
+    return state_;
+  }
+  /// Restore a previously captured state. The all-zero state is invalid for
+  /// xoshiro (it is a fixed point); only feed states captured via state().
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    assert(state[0] != 0 || state[1] != 0 || state[2] != 0 || state[3] != 0);
+    state_ = state;
+  }
+
   /// Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& items) noexcept {

@@ -38,6 +38,8 @@ struct M2MPlatformConfig {
   signaling::AttachBackoffConfig backoff{};
   /// Observability hooks (borrowed; all-null disables the layer).
   obs::Observability obs{};
+  /// Checkpoint/restore plumbing (all-default = off, legacy code path).
+  CheckpointOptions ckpt{};
 };
 
 class M2MPlatformScenario final : public ScenarioBase {

@@ -30,6 +30,9 @@ sim::Engine::Config engine_config_for(const MnoScenarioConfig& config) {
   ec.threads = config.threads;
   ec.outcomes.transient_failure_rate = 0.001;
   ec.faults = config.faults;
+  ec.checkpoint_every_sim_hours = config.ckpt.every_sim_hours;
+  ec.checkpoint_path = config.ckpt.path;
+  ec.stop_after_sim_hours = config.ckpt.stop_after_sim_hours;
   return ec;
 }
 

@@ -46,6 +46,8 @@ struct MnoScenarioConfig {
   /// Observability hooks (borrowed; all-null disables the layer and keeps
   /// the run byte-identical).
   obs::Observability obs{};
+  /// Checkpoint/restore plumbing (all-default = off, legacy code path).
+  CheckpointOptions ckpt{};
 };
 
 class MnoScenario final : public ScenarioBase {

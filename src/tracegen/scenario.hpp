@@ -17,6 +17,18 @@
 
 namespace wtr::tracegen {
 
+/// Checkpoint/restore passthrough shared by all scenario configs (maps 1:1
+/// onto the sim::Engine::Config checkpoint fields). All-default disables
+/// checkpointing and keeps the run on the legacy byte-identical code path.
+struct CheckpointOptions {
+  /// Snapshot cadence in sim hours (0 = off).
+  std::int64_t every_sim_hours = 0;
+  /// Snapshot path, replaced atomically at every boundary (empty = off).
+  std::string path;
+  /// Deterministic in-process interrupt at this sim-hour boundary (0 = off).
+  std::int64_t stop_after_sim_hours = 0;
+};
+
 struct GroundTruthEntry {
   devices::DeviceClass device_class = devices::DeviceClass::kM2M;
   devices::Vertical vertical = devices::Vertical::kNone;
@@ -58,6 +70,12 @@ class ScenarioBase {
 
   /// Run the simulation once, streaming into the sinks.
   void run(std::vector<sim::RecordSink*> sinks);
+
+  /// Resume the engine from a snapshot written by a previous process (see
+  /// sim::Engine::resume_from). The scenario must be constructed with the
+  /// identical config first, and any engine().register_checkpointable()
+  /// calls must already have happened in the same order as at save time.
+  void resume_from(const std::string& path) { engine_->resume_from(path); }
 
  protected:
   /// Build a fleet, register its ground truth and add it to the engine.

@@ -20,6 +20,9 @@ sim::Engine::Config engine_config_for(const SmipScenarioConfig& config) {
   // window while the chattier roaming meters reach ~35% (§7.1).
   ec.outcomes.transient_failure_rate = 0.0004;
   ec.faults = config.faults;
+  ec.checkpoint_every_sim_hours = config.ckpt.every_sim_hours;
+  ec.checkpoint_path = config.ckpt.path;
+  ec.stop_after_sim_hours = config.ckpt.stop_after_sim_hours;
   return ec;
 }
 

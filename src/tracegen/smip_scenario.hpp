@@ -30,6 +30,8 @@ struct SmipScenarioConfig {
   signaling::AttachBackoffConfig backoff{};
   /// Observability hooks (borrowed; all-null disables the layer).
   obs::Observability obs{};
+  /// Checkpoint/restore plumbing (all-default = off, legacy code path).
+  CheckpointOptions ckpt{};
 };
 
 class SmipScenario final : public ScenarioBase {

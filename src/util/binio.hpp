@@ -1,0 +1,82 @@
+#pragma once
+
+// Bounds-checked binary (de)serialization primitives for the checkpoint
+// subsystem. Encoding is explicit little-endian regardless of host order, so
+// a snapshot written on one machine restores on any other. BinReader throws
+// std::runtime_error on any overrun or malformed length — a truncated or
+// corrupted buffer must surface as a loud error, never as silently wrong
+// state (the checkpoint layer wraps these errors with file context).
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace wtr::util {
+
+class BinWriter {
+ public:
+  void u8(std::uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  /// Doubles round-trip bit-exactly (the resume determinism guarantee needs
+  /// the restored RNG-adjacent state to be *identical*, not just close).
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(std::string_view v) {
+    u64(v.size());
+    buffer_.append(v.data(), v.size());
+  }
+  void raw(const void* data, std::size_t size) {
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+
+  [[nodiscard]] const std::string& bytes() const noexcept { return buffer_; }
+  [[nodiscard]] std::string take() noexcept { return std::move(buffer_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+class BinReader {
+ public:
+  explicit BinReader(std::string_view bytes) noexcept : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] bool b() { return u8() != 0; }
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - offset_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+  /// Remaining bytes must all be consumed by a well-formed deserializer;
+  /// call this at the end of a section to catch format drift.
+  void expect_exhausted(const std::string& context) const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::string_view bytes_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace wtr::util

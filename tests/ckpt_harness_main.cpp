@@ -1,0 +1,356 @@
+// wtr_ckpt_harness: the child process the crash-recovery tests and the
+// supervised-run script drive. It runs one scenario with checkpointing
+// enabled, streaming records into a crash-safe TraceFileSink, and exits with
+// a small, scriptable contract:
+//
+//   exit 0  run reached the horizon; records.txt / metrics.txt / probe.txt /
+//           MANIFEST.json (+ resilience.txt when faulted) are complete
+//   exit 2  usage error
+//   exit 3  run was interrupted (SIGINT/SIGTERM or --stop-hours); the final
+//           checkpoint and the flushed record prefix are on disk
+//   exit 4  resume failed (corrupt/mismatched snapshot) — diagnostic on
+//           stderr, nothing resumed
+//
+// MANIFEST.json is written with timers detached and a fixed git describe so
+// an interrupted+resumed run can be byte-compared against an uninterrupted
+// one; the volatile recovery bookkeeping (resumed_from, checkpoints_written,
+// checkpoint_wall_s) goes to RUN_META.json instead.
+//
+// A faulted run (--faults) injects the same deterministic schedule the
+// parallel-engine tests use — a full UK outage on day 3 (hours 8..14) and a
+// 35% registration storm on day 5 (hours 10..16) — with mechanistic 3GPP
+// backoff enabled, and accumulates a checkpointed ResilienceReport.
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ckpt/file_sink.hpp"
+#include "ckpt/shutdown.hpp"
+#include "ckpt/snapshot.hpp"
+#include "faults/fault_schedule.hpp"
+#include "faults/resilience_report.hpp"
+#include "obs/observability.hpp"
+#include "obs/run_manifest.hpp"
+#include "stats/sim_time.hpp"
+#include "tracegen/m2m_platform_scenario.hpp"
+#include "tracegen/mno_scenario.hpp"
+#include "tracegen/smip_scenario.hpp"
+
+namespace {
+
+using namespace wtr;
+
+struct Options {
+  std::string scenario = "mno";  // mno | smip | platform
+  std::string out_dir;
+  std::string ckpt_path;           // default: <out_dir>/ckpt.bin
+  std::int64_t ckpt_hours = 0;     // snapshot cadence (0 = off)
+  std::int64_t stop_hours = 0;     // deterministic in-process interrupt
+  unsigned threads = 1;
+  std::size_t devices = 600;
+  std::uint64_t seed = 42;
+  bool faults = false;
+  bool resume = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --out DIR [--scenario mno|smip|platform] [--ckpt PATH]\n"
+               "          [--ckpt-hours N] [--stop-hours N] [--threads K]\n"
+               "          [--devices N] [--seed N] [--faults] [--resume]\n",
+               argv0);
+  return 2;
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--faults") {
+      opt.faults = true;
+    } else if (arg == "--resume") {
+      opt.resume = true;
+    } else if (arg == "--scenario") {
+      const char* v = value();
+      if (!v) return false;
+      opt.scenario = v;
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (!v) return false;
+      opt.out_dir = v;
+    } else if (arg == "--ckpt") {
+      const char* v = value();
+      if (!v) return false;
+      opt.ckpt_path = v;
+    } else if (arg == "--ckpt-hours") {
+      const char* v = value();
+      if (!v) return false;
+      opt.ckpt_hours = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--stop-hours") {
+      const char* v = value();
+      if (!v) return false;
+      opt.stop_hours = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--threads") {
+      const char* v = value();
+      if (!v) return false;
+      opt.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--devices") {
+      const char* v = value();
+      if (!v) return false;
+      opt.devices = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (!v) return false;
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else {
+      return false;
+    }
+  }
+  if (opt.out_dir.empty()) return false;
+  if (opt.scenario != "mno" && opt.scenario != "smip" && opt.scenario != "platform") {
+    return false;
+  }
+  if (opt.ckpt_path.empty()) opt.ckpt_path = opt.out_dir + "/ckpt.bin";
+  return true;
+}
+
+std::string hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+std::string dump_metrics(const obs::MetricsRegistry& metrics) {
+  std::string out;
+  for (const auto& [name, counter] : metrics.counters()) {
+    out += name + "=" + std::to_string(counter.value()) + "\n";
+  }
+  for (const auto& [name, gauge] : metrics.gauges()) {
+    out += name + "=" + hex_double(gauge.value()) + "\n";
+  }
+  for (const auto& [name, hist] : metrics.histograms()) {
+    out += name + ": n=" + std::to_string(hist.count()) +
+           " sum=" + hex_double(hist.sum()) + " buckets=";
+    for (const auto b : hist.bucket_counts()) out += std::to_string(b) + ",";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string dump_probe(const obs::EngineProbe& probe) {
+  std::string out;
+  for (const auto& s : probe.samples()) {
+    out += std::to_string(s.sim_time) + "|" + std::to_string(s.wakes) + "|" +
+           std::to_string(s.queue_depth) + "|" + std::to_string(s.records) + "|" +
+           std::to_string(s.attach_attempts) + "|" +
+           std::to_string(s.attach_failures) + "|" +
+           std::to_string(s.active_fault_episodes) + "\n";
+  }
+  out += "max=" + std::to_string(probe.queue_depth_max());
+  out += " records=" + std::to_string(probe.records_total());
+  out += " failures=" + std::to_string(probe.attach_failures());
+  out += "\n";
+  return out;
+}
+
+std::string dump_resilience(const faults::ResilienceSummary& summary) {
+  std::string out;
+  out += "procedures=" + std::to_string(summary.procedures) + "\n";
+  out += "failures=" + std::to_string(summary.failures) + "\n";
+  for (std::size_t code = 0; code < summary.by_code.size(); ++code) {
+    out += "code," + std::to_string(code) + "=" +
+           std::to_string(summary.by_code[code]) + "\n";
+  }
+  for (const auto& [day, n] : summary.failures_by_day) {
+    out += "day," + std::to_string(day) + "=" + std::to_string(n) + "\n";
+  }
+  for (const auto& [op, n] : summary.failures_by_operator) {
+    out += "op," + std::to_string(op) + "=" + std::to_string(n) + "\n";
+  }
+  for (const auto& rec : summary.recoveries) {
+    out += "recovery," + std::to_string(rec.episode_index) + "," +
+           std::to_string(rec.op) + "," + std::to_string(rec.outage_end) + "," +
+           (rec.first_success_after ? std::to_string(*rec.first_success_after)
+                                    : std::string{"none"}) +
+           "\n";
+  }
+  return out;
+}
+
+void write_text(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    throw std::runtime_error("cannot open " + path + ": " + std::strerror(errno));
+  }
+  if (!body.empty() && std::fwrite(body.data(), 1, body.size(), f) != body.size()) {
+    std::fclose(f);
+    throw std::runtime_error("short write to " + path);
+  }
+  std::fclose(f);
+}
+
+/// The deterministic fault schedule the byte-identity tests use: a total UK
+/// outage plus a registration storm, targeted at the world's uk_mno id. The
+/// id is read from a throwaway 10-device scenario built with the same world
+/// seed — identically-configured worlds build identically, so the id matches
+/// the real run's world (the schedule must exist before the real scenario is
+/// constructed because the engine borrows it at construction time).
+void build_fault_schedule(const Options& opt, faults::FaultSchedule& schedule) {
+  constexpr stats::SimTime kHour = 3600;
+  topology::OperatorId uk_mno = topology::kInvalidOperator;
+  if (opt.scenario == "smip") {
+    tracegen::SmipScenarioConfig probe_config;
+    probe_config.seed = opt.seed;
+    probe_config.total_devices = 10;
+    probe_config.build_coverage = false;
+    tracegen::SmipScenario throwaway{probe_config};
+    uk_mno = throwaway.world().well_known().uk_mno;
+  } else {
+    tracegen::MnoScenarioConfig probe_config;
+    probe_config.seed = opt.seed;
+    probe_config.total_devices = 10;
+    probe_config.build_coverage = false;
+    tracegen::MnoScenario throwaway{probe_config};
+    uk_mno = throwaway.world().well_known().uk_mno;
+  }
+  schedule.add_outage(uk_mno, stats::day_start(3) + 8 * kHour,
+                      stats::day_start(3) + 14 * kHour, 1.0);
+  schedule.add_storm(uk_mno, stats::day_start(5) + 10 * kHour,
+                     stats::day_start(5) + 16 * kHour, 0.35);
+}
+
+std::unique_ptr<tracegen::ScenarioBase> make_scenario(
+    const Options& opt, const faults::FaultSchedule* faults, obs::Observability obs) {
+  tracegen::CheckpointOptions ckpt;
+  ckpt.every_sim_hours = opt.ckpt_hours;
+  ckpt.path = opt.ckpt_path;
+  ckpt.stop_after_sim_hours = opt.stop_hours;
+  if (opt.scenario == "smip") {
+    tracegen::SmipScenarioConfig config;
+    config.seed = opt.seed;
+    config.total_devices = opt.devices;
+    config.threads = opt.threads;
+    config.faults = faults;
+    config.backoff.enabled = opt.faults;
+    config.obs = obs;
+    config.ckpt = ckpt;
+    return std::make_unique<tracegen::SmipScenario>(config);
+  }
+  if (opt.scenario == "platform") {
+    tracegen::M2MPlatformConfig config;
+    config.seed = opt.seed;
+    config.total_devices = opt.devices;
+    config.threads = opt.threads;
+    config.faults = faults;
+    config.obs = obs;
+    config.ckpt = ckpt;
+    return std::make_unique<tracegen::M2MPlatformScenario>(config);
+  }
+  tracegen::MnoScenarioConfig config;
+  config.seed = opt.seed;
+  config.total_devices = opt.devices;
+  config.threads = opt.threads;
+  config.build_coverage = false;
+  config.faults = faults;
+  config.backoff.enabled = opt.faults;
+  config.obs = obs;
+  config.ckpt = ckpt;
+  return std::make_unique<tracegen::MnoScenario>(config);
+}
+
+void write_run_meta(const Options& opt, const sim::Engine& engine) {
+  std::string meta = "{\n";
+  meta += "  \"interrupted\": " + std::string(engine.interrupted() ? "true" : "false") +
+          ",\n";
+  meta += "  \"resumed\": " + std::string(engine.resumed() ? "true" : "false") + ",\n";
+  meta += "  \"resumed_from\": \"" + engine.resumed_from() + "\",\n";
+  meta += "  \"checkpoints_written\": " + std::to_string(engine.checkpoints_written()) +
+          ",\n";
+  meta += "  \"checkpoint_wall_s\": " + std::to_string(engine.checkpoint_wall_s()) + "\n";
+  meta += "}\n";
+  write_text(opt.out_dir + "/RUN_META.json", meta);
+}
+
+int run_harness(const Options& opt) {
+  obs::RunObservation observation;
+
+  faults::FaultSchedule schedule;
+  if (opt.faults) build_fault_schedule(opt, schedule);
+
+  auto scenario = make_scenario(opt, opt.faults ? &schedule : nullptr,
+                                observation.view());
+
+  // Crash-safe record sink: its byte offset rides in every checkpoint, so a
+  // resume truncates records.txt back to exactly the checkpointed prefix.
+  ckpt::TraceFileSink sink{opt.out_dir + "/records.txt", opt.resume};
+  scenario->engine().register_checkpointable("trace_sink", &sink);
+
+  std::unique_ptr<faults::ResilienceReport> report;
+  if (opt.faults) {
+    report = std::make_unique<faults::ResilienceReport>(scenario->world(), schedule,
+                                                        &observation.metrics());
+    scenario->engine().register_checkpointable("resilience", report.get());
+  }
+
+  // Registration order above must match the save-time order; resume_from
+  // verifies the recorded names and restores in-place.
+  if (opt.resume) scenario->resume_from(opt.ckpt_path);
+
+  ckpt::install_shutdown_handlers();
+
+  std::vector<sim::RecordSink*> sinks{&sink};
+  if (report) sinks.push_back(report.get());
+  scenario->run(sinks);
+
+  write_run_meta(opt, scenario->engine());
+
+  if (scenario->engine().interrupted()) {
+    // The final checkpoint already flushed+fsynced the sink; make the
+    // record prefix durable even when no checkpoint path was configured.
+    sink.flush_and_sync();
+    return 3;
+  }
+
+  sink.flush_and_sync();
+  write_text(opt.out_dir + "/metrics.txt", dump_metrics(observation.metrics()));
+  write_text(opt.out_dir + "/probe.txt", dump_probe(observation.probe()));
+  if (report) {
+    write_text(opt.out_dir + "/resilience.txt", dump_resilience(report->summary()));
+  }
+
+  // Timers deliberately detached and git describe pinned: the manifest must
+  // be byte-identical between an uninterrupted run and a killed+resumed one.
+  obs::RunManifest manifest{"ckpt-harness"};
+  manifest.set_seed(opt.seed);
+  manifest.set_scale(opt.devices);
+  manifest.set_git_describe("fixed");
+  manifest.attach_metrics(&observation.metrics());
+  manifest.attach_probe(&observation.probe());
+  manifest.add_result("records_total", observation.probe().records_total());
+  manifest.add_result("wakes", scenario->engine().wakes_processed());
+  write_text(opt.out_dir + "/MANIFEST.json", manifest.to_json());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) return usage(argv[0]);
+  try {
+    return run_harness(opt);
+  } catch (const wtr::ckpt::SnapshotError& e) {
+    std::fprintf(stderr, "wtr_ckpt_harness: snapshot rejected: %s\n", e.what());
+    return 4;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "wtr_ckpt_harness: fatal: %s\n", e.what());
+    return 4;
+  }
+}

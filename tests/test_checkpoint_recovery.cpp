@@ -1,0 +1,546 @@
+// Crash-recovery suite for the checkpoint subsystem. Two layers:
+//
+//  * Process-level kill injection: wtr_ckpt_harness (path baked in via
+//    WTR_CKPT_HARNESS_PATH) is SIGKILL'd at randomized instants — each kill
+//    waits for a *new* snapshot inode to land, then fires after a random
+//    extra delay, so every cycle makes progress and the kill point varies —
+//    then restarted with --resume until it completes. The recovered output
+//    set (records / metrics / probe / manifest / resilience report) must be
+//    byte-identical to an uninterrupted golden run, at threads=1 and
+//    threads=4, under a non-empty FaultSchedule with 3GPP backoff enabled.
+//
+//  * Snapshot integrity: a deliberately truncated and a bit-flipped
+//    snapshot must be rejected with a nonzero exit and a diagnostic on
+//    stderr (never a silent wrong resume), and a config-mismatched resume
+//    must fail the fleet-fingerprint check. The pristine snapshot then
+//    resumes cleanly — proving the rejections were about corruption.
+//
+//  * In-process resume-across-faults: a faulted run interrupted *inside* an
+//    outage window must resume with identical backoff timers (asserted via
+//    the full per-agent state blob, which contains every T3411/T3402 timer
+//    and the agent RNG), an identical spliced record stream, and identical
+//    ResilienceReport totals — threads 1 and 4.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ckpt/snapshot.hpp"
+#include "faults/fault_schedule.hpp"
+#include "faults/resilience_report.hpp"
+#include "obs/observability.hpp"
+#include "stats/sim_time.hpp"
+#include "tracegen/mno_scenario.hpp"
+#include "util/binio.hpp"
+
+#ifndef WTR_CKPT_HARNESS_PATH
+#error "WTR_CKPT_HARNESS_PATH must point at the wtr_ckpt_harness binary"
+#endif
+
+namespace wtr {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- process plumbing -------------------------------------------------------
+
+std::string make_temp_dir(const std::string& tag) {
+  std::string tmpl = "/tmp/wtr_ckpt_" + tag + "_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  char* dir = mkdtemp(buf.data());
+  EXPECT_NE(dir, nullptr) << "mkdtemp failed for " << tmpl;
+  return dir != nullptr ? std::string{dir} : std::string{};
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  return std::string{std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::string& body) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+}
+
+pid_t spawn_harness(const std::vector<std::string>& args,
+                    const std::string& stderr_path = {}) {
+  std::vector<std::string> full;
+  full.emplace_back(WTR_CKPT_HARNESS_PATH);
+  full.insert(full.end(), args.begin(), args.end());
+  std::vector<char*> argv;
+  argv.reserve(full.size() + 1);
+  for (auto& s : full) argv.push_back(s.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = fork();
+  if (pid == 0) {
+    if (!stderr_path.empty()) {
+      const int fd =
+          ::open(stderr_path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, 2);
+        ::close(fd);
+      }
+    }
+    ::execv(argv[0], argv.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+/// Blocking wait; returns the exit code, or -signal when killed.
+int wait_exit(pid_t pid) {
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return -9999;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return -WTERMSIG(status);
+  return -9999;
+}
+
+int run_to_exit(const std::vector<std::string>& args,
+                const std::string& stderr_path = {}) {
+  return wait_exit(spawn_harness(args, stderr_path));
+}
+
+ino_t snapshot_inode(const std::string& path) {
+  struct stat sb{};
+  return ::stat(path.c_str(), &sb) == 0 ? sb.st_ino : 0;
+}
+
+struct KillRunResult {
+  int kills = 0;
+  bool completed = false;
+  int attempts = 0;
+};
+
+/// Run the harness to completion while SIGKILL-ing it `target_kills` times.
+/// Each kill waits for a NEW snapshot (atomic rename = new inode) and fires
+/// after a random extra delay — a killed attempt therefore always resumes
+/// from a strictly newer checkpoint than the previous one, which guarantees
+/// forward progress no matter where the kill lands.
+KillRunResult run_with_kills(const std::string& out_dir,
+                             const std::vector<std::string>& base_args,
+                             int target_kills, std::mt19937& rng) {
+  const std::string ckpt = out_dir + "/ckpt.bin";
+  std::uniform_int_distribution<int> extra_ms_dist{0, 120};
+  KillRunResult result;
+
+  while (result.attempts < 40) {
+    std::vector<std::string> args = base_args;
+    if (fs::exists(ckpt)) args.emplace_back("--resume");
+    ++result.attempts;
+    const pid_t pid = spawn_harness(args);
+
+    bool killed = false;
+    bool reaped = false;
+    int status = 0;
+    if (result.kills < target_kills) {
+      const ino_t start_ino = snapshot_inode(ckpt);
+      const int extra_ms = extra_ms_dist(rng);
+      for (int waited_ms = 0; waited_ms < 120'000; waited_ms += 5) {
+        if (::waitpid(pid, &status, WNOHANG) == pid) {
+          reaped = true;  // finished before we could kill it
+          break;
+        }
+        if (snapshot_inode(ckpt) != start_ino) {
+          ::usleep(static_cast<useconds_t>(extra_ms) * 1000);
+          ::kill(pid, SIGKILL);
+          killed = true;
+          ++result.kills;
+          break;
+        }
+        ::usleep(5'000);
+      }
+    }
+
+    const int exit_code =
+        reaped ? (WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status))
+               : wait_exit(pid);
+    if (killed) {
+      EXPECT_EQ(exit_code, -SIGKILL);
+      continue;  // resume on the next attempt
+    }
+    if (exit_code == 0) {
+      result.completed = true;
+      return result;
+    }
+    ADD_FAILURE() << "harness exited " << exit_code << " without being killed";
+    return result;
+  }
+  ADD_FAILURE() << "restart budget exhausted";
+  return result;
+}
+
+void expect_same_file(const std::string& golden_dir, const std::string& crash_dir,
+                      const std::string& name) {
+  SCOPED_TRACE(name);
+  const auto golden = read_file(golden_dir + "/" + name);
+  const auto recovered = read_file(crash_dir + "/" + name);
+  EXPECT_FALSE(golden.empty());
+  EXPECT_EQ(golden, recovered);
+}
+
+// --- kill injection ---------------------------------------------------------
+
+void run_kill_recovery(unsigned threads, std::uint32_t rng_seed) {
+  const auto golden_dir = make_temp_dir("golden");
+  const auto crash_dir = make_temp_dir("crash");
+  ASSERT_FALSE(golden_dir.empty());
+  ASSERT_FALSE(crash_dir.empty());
+
+  const std::vector<std::string> common{
+      "--scenario", "mno",         "--faults", "--devices", "800",
+      "--seed",     "42",          "--ckpt-hours", "6",
+      "--threads",  std::to_string(threads)};
+
+  auto with_out = [&](const std::string& dir) {
+    std::vector<std::string> args = common;
+    args.emplace_back("--out");
+    args.emplace_back(dir);
+    return args;
+  };
+
+  ASSERT_EQ(run_to_exit(with_out(golden_dir)), 0);
+
+  std::mt19937 rng{rng_seed};
+  const auto result = run_with_kills(crash_dir, with_out(crash_dir), 3, rng);
+  EXPECT_TRUE(result.completed);
+  EXPECT_GE(result.kills, 3) << "run finished before enough kills landed — "
+                                "raise --devices or lower --ckpt-hours";
+
+  for (const auto* name :
+       {"records.txt", "metrics.txt", "probe.txt", "MANIFEST.json",
+        "resilience.txt"}) {
+    expect_same_file(golden_dir, crash_dir, name);
+  }
+
+  fs::remove_all(golden_dir);
+  fs::remove_all(crash_dir);
+}
+
+TEST(CheckpointRecovery, KillInjectionFaultedThreads1) {
+  run_kill_recovery(1, 0xc0ffee);
+}
+
+TEST(CheckpointRecovery, KillInjectionFaultedThreads4) {
+  run_kill_recovery(4, 0xbeef42);
+}
+
+// --- snapshot integrity -----------------------------------------------------
+
+TEST(CheckpointRecovery, CorruptSnapshotsAreRejected) {
+  const auto dir = make_temp_dir("corrupt");
+  ASSERT_FALSE(dir.empty());
+  const std::string ckpt = dir + "/ckpt.bin";
+  const std::string errs = dir + "/stderr.txt";
+
+  const std::vector<std::string> base{"--scenario", "mno", "--devices", "200",
+                                      "--seed", "7", "--out", dir};
+
+  // Produce a deterministic snapshot via the in-process interrupt.
+  {
+    auto args = base;
+    args.insert(args.end(), {"--stop-hours", "24"});
+    ASSERT_EQ(run_to_exit(args), 3);
+    ASSERT_TRUE(fs::exists(ckpt));
+  }
+  const std::string pristine = read_file(ckpt);
+  ASSERT_GT(pristine.size(), 64u);
+
+  auto resume_args = base;
+  resume_args.emplace_back("--resume");
+
+  {  // Torn file: truncated to half its length.
+    write_file(ckpt, pristine.substr(0, pristine.size() / 2));
+    EXPECT_EQ(run_to_exit(resume_args, errs), 4);
+    EXPECT_NE(read_file(errs).find("snapshot"), std::string::npos);
+  }
+  {  // Single bit flip in the middle of the payload.
+    std::string flipped = pristine;
+    flipped[flipped.size() / 2] ^= 0x10;
+    write_file(ckpt, flipped);
+    EXPECT_EQ(run_to_exit(resume_args, errs), 4);
+    EXPECT_NE(read_file(errs).find("snapshot"), std::string::npos);
+  }
+  {  // Pristine bytes but a different world: fleet fingerprint must reject.
+    write_file(ckpt, pristine);
+    std::vector<std::string> wrong{"--scenario", "mno",  "--devices", "200",
+                                   "--seed",     "8",    "--out",     dir,
+                                   "--resume"};
+    EXPECT_EQ(run_to_exit(wrong, errs), 4);
+  }
+  {  // Sanity: the pristine snapshot with the right config resumes cleanly.
+    write_file(ckpt, pristine);
+    EXPECT_EQ(run_to_exit(resume_args), 0);
+  }
+
+  fs::remove_all(dir);
+}
+
+// --- in-process resume across an outage window ------------------------------
+
+std::string hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+/// StreamSerializer with a checkpointed byte offset: the in-process stand-in
+/// for ckpt::TraceFileSink (same truncate-to-offset resume semantics, but
+/// against an in-memory string the test can splice and compare).
+class CheckpointableStream final : public sim::RecordSink,
+                                   public ckpt::Checkpointable {
+ public:
+  std::string stream;
+
+  void on_signaling(const signaling::SignalingTransaction& txn,
+                    bool data_context) override {
+    stream += "S:";
+    for (const auto& field : signaling::to_csv_fields(txn)) {
+      stream += field;
+      stream += ',';
+    }
+    stream += data_context ? "dc\n" : "-\n";
+  }
+  void on_cdr(const records::Cdr& cdr) override {
+    stream += "C:";
+    for (const auto& field : records::to_csv_fields(cdr)) {
+      stream += field;
+      stream += ',';
+    }
+    stream += '\n';
+  }
+  void on_xdr(const records::Xdr& xdr) override {
+    stream += "X:";
+    for (const auto& field : records::to_csv_fields(xdr)) {
+      stream += field;
+      stream += ',';
+    }
+    stream += '\n';
+  }
+  void on_dwell(signaling::DeviceHash device, std::int32_t day,
+                cellnet::Plmn visited_plmn, const cellnet::GeoPoint& location,
+                double seconds) override {
+    stream += "D:";
+    stream += std::to_string(device);
+    stream += ',';
+    stream += std::to_string(day);
+    stream += ',';
+    stream += std::to_string(visited_plmn.key());
+    stream += ',';
+    stream += hex_double(location.lat);
+    stream += ',';
+    stream += hex_double(location.lon);
+    stream += ',';
+    stream += hex_double(seconds);
+    stream += '\n';
+  }
+
+  void save_state(util::BinWriter& out) const override { out.u64(stream.size()); }
+  void restore_state(util::BinReader& in) override {
+    const auto size = in.u64();
+    if (size > stream.size()) {
+      throw std::runtime_error("stream shorter than checkpointed offset");
+    }
+    stream.resize(size);
+  }
+};
+
+std::string dump_metrics(const obs::MetricsRegistry& metrics) {
+  std::string out;
+  for (const auto& [name, counter] : metrics.counters()) {
+    out += name + "=" + std::to_string(counter.value()) + "\n";
+  }
+  for (const auto& [name, gauge] : metrics.gauges()) {
+    out += name + "=" + hex_double(gauge.value()) + "\n";
+  }
+  for (const auto& [name, hist] : metrics.histograms()) {
+    out += name + ": n=" + std::to_string(hist.count()) +
+           " sum=" + hex_double(hist.sum()) + " buckets=";
+    for (const auto b : hist.bucket_counts()) out += std::to_string(b) + ",";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string dump_probe(const obs::EngineProbe& probe) {
+  std::string out;
+  for (const auto& s : probe.samples()) {
+    out += std::to_string(s.sim_time) + "|" + std::to_string(s.wakes) + "|" +
+           std::to_string(s.queue_depth) + "|" + std::to_string(s.records) + "|" +
+           std::to_string(s.attach_attempts) + "|" +
+           std::to_string(s.attach_failures) + "|" +
+           std::to_string(s.active_fault_episodes) + "\n";
+  }
+  return out;
+}
+
+std::string dump_resilience(const faults::ResilienceSummary& summary) {
+  std::string out;
+  out += "procedures=" + std::to_string(summary.procedures) + "\n";
+  out += "failures=" + std::to_string(summary.failures) + "\n";
+  for (std::size_t code = 0; code < summary.by_code.size(); ++code) {
+    out += std::to_string(summary.by_code[code]) + ",";
+  }
+  out += "\n";
+  for (const auto& [day, n] : summary.failures_by_day) {
+    out += "day," + std::to_string(day) + "=" + std::to_string(n) + "\n";
+  }
+  for (const auto& [op, n] : summary.failures_by_operator) {
+    out += "op," + std::to_string(op) + "=" + std::to_string(n) + "\n";
+  }
+  for (const auto& rec : summary.recoveries) {
+    out += "recovery," + std::to_string(rec.episode_index) + "," +
+           std::to_string(rec.outage_end) + "," +
+           (rec.first_success_after ? std::to_string(*rec.first_success_after)
+                                    : std::string{"none"}) +
+           "\n";
+  }
+  return out;
+}
+
+/// Every mutable per-agent field — RNG words, EMM machine, every backoff
+/// timer — serialized for the whole fleet. Blob equality is the strongest
+/// possible "same backoff timers after resume" statement.
+std::string fleet_state_blob(const sim::Engine& engine) {
+  util::BinWriter out;
+  for (std::size_t i = 0; i < engine.agent_count(); ++i) {
+    engine.agent(i).save_state(out);
+  }
+  return out.take();
+}
+
+tracegen::MnoScenarioConfig faulted_config(unsigned threads,
+                                           const faults::FaultSchedule* faults,
+                                           obs::Observability obs) {
+  tracegen::MnoScenarioConfig config;
+  config.seed = 42;
+  config.total_devices = 400;
+  config.threads = threads;
+  config.build_coverage = false;
+  config.faults = faults;
+  config.backoff.enabled = true;
+  config.obs = obs;
+  return config;
+}
+
+struct FaultedCapture {
+  std::string stream;
+  std::string metrics;
+  std::string probe;
+  std::string resilience;
+  std::string fleet;
+};
+
+FaultedCapture run_faulted_uninterrupted(unsigned threads,
+                                         const faults::FaultSchedule& schedule) {
+  obs::RunObservation observation;
+  tracegen::MnoScenario scenario{
+      faulted_config(threads, &schedule, observation.view())};
+  CheckpointableStream sink;
+  scenario.engine().register_checkpointable("stream", &sink);
+  faults::ResilienceReport report{scenario.world(), schedule,
+                                  &observation.metrics()};
+  scenario.engine().register_checkpointable("resilience", &report);
+  scenario.run({&sink, &report});
+  return {sink.stream, dump_metrics(observation.metrics()),
+          dump_probe(observation.probe()), dump_resilience(report.summary()),
+          fleet_state_blob(scenario.engine())};
+}
+
+TEST(CheckpointRecovery, ResumeInsideOutageWindowIsDeterministic) {
+  // Schedule: full UK outage on day 3, hours 8..14 — the interrupt lands at
+  // hour 82 (= day 3 + 10h), squarely inside the window, while rejected
+  // attaches are sitting on live backoff timers.
+  constexpr stats::SimTime kHour = 3600;
+  constexpr std::int64_t kStopHours = 3 * 24 + 10;
+  faults::FaultSchedule schedule;
+  {
+    tracegen::MnoScenarioConfig probe_config;
+    probe_config.seed = 42;
+    probe_config.total_devices = 10;
+    probe_config.build_coverage = false;
+    tracegen::MnoScenario throwaway{probe_config};
+    const auto uk = throwaway.world().well_known().uk_mno;
+    schedule.add_outage(uk, stats::day_start(3) + 8 * kHour,
+                        stats::day_start(3) + 14 * kHour, 1.0);
+    schedule.add_storm(uk, stats::day_start(5) + 10 * kHour,
+                       stats::day_start(5) + 16 * kHour, 0.35);
+  }
+
+  const auto golden = run_faulted_uninterrupted(1, schedule);
+  ASSERT_FALSE(golden.stream.empty());
+
+  for (const unsigned threads : {1u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const auto dir = make_temp_dir("outage");
+    ASSERT_FALSE(dir.empty());
+    const std::string ckpt = dir + "/ckpt.bin";
+
+    // Phase 1: run to the in-process interrupt inside the outage window.
+    std::string partial_stream;
+    {
+      obs::RunObservation observation;
+      auto config = faulted_config(threads, &schedule, observation.view());
+      config.ckpt.path = ckpt;
+      config.ckpt.stop_after_sim_hours = kStopHours;
+      tracegen::MnoScenario scenario{config};
+      CheckpointableStream sink;
+      scenario.engine().register_checkpointable("stream", &sink);
+      faults::ResilienceReport report{scenario.world(), schedule,
+                                      &observation.metrics()};
+      scenario.engine().register_checkpointable("resilience", &report);
+      scenario.run({&sink, &report});
+      ASSERT_TRUE(scenario.engine().interrupted());
+      ASSERT_TRUE(fs::exists(ckpt));
+      partial_stream = sink.stream;
+    }
+    EXPECT_FALSE(partial_stream.empty());
+    // The interrupted prefix must itself be a prefix of the golden stream.
+    ASSERT_LE(partial_stream.size(), golden.stream.size());
+    EXPECT_EQ(partial_stream, golden.stream.substr(0, partial_stream.size()));
+
+    // Phase 2: identical construction, restore, run to the horizon.
+    obs::RunObservation observation;
+    tracegen::MnoScenario scenario{
+        faulted_config(threads, &schedule, observation.view())};
+    CheckpointableStream sink;
+    sink.stream = partial_stream;  // the "persisted" prefix a file sink keeps
+    scenario.engine().register_checkpointable("stream", &sink);
+    faults::ResilienceReport report{scenario.world(), schedule,
+                                    &observation.metrics()};
+    scenario.engine().register_checkpointable("resilience", &report);
+    scenario.resume_from(ckpt);
+    EXPECT_TRUE(scenario.engine().resumed());
+    scenario.run({&sink, &report});
+    EXPECT_FALSE(scenario.engine().interrupted());
+
+    EXPECT_EQ(sink.stream, golden.stream);
+    EXPECT_EQ(dump_metrics(observation.metrics()), golden.metrics);
+    EXPECT_EQ(dump_probe(observation.probe()), golden.probe);
+    EXPECT_EQ(dump_resilience(report.summary()), golden.resilience);
+    EXPECT_EQ(fleet_state_blob(scenario.engine()), golden.fleet);
+
+    fs::remove_all(dir);
+  }
+}
+
+}  // namespace
+}  // namespace wtr
