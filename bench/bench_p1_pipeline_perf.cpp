@@ -21,12 +21,15 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <sstream>
 
 #include "bench_common.hpp"
 #include "ckpt/shutdown.hpp"
 #include "core/activity_metrics.hpp"
 #include "core/census.hpp"
 #include "core/classifier_validation.hpp"
+#include "core/trace_replay.hpp"
+#include "io/bintrace.hpp"
 #include "stats/distributions.hpp"
 #include "tracegen/mno_scenario.hpp"
 
@@ -207,6 +210,142 @@ CheckpointGuard run_checkpoint_guard(unsigned threads) {
   return on;
 }
 
+struct TraceFormatGuard {
+  bool ran = false;
+  std::uint64_t csv_bytes = 0;
+  std::uint64_t binary_bytes = 0;
+  std::uint64_t records = 0;
+  double csv_wall_s = 0.0;
+  double binary_wall_s = 0.0;
+};
+
+/// A/B guard for the trace interchange formats at reduced scale: export a
+/// scenario's three record families as CSV, convert that CSV to WTRTRC1
+/// binary, then replay both through the auto-detecting replay_*_trace entry
+/// points into byte-exact capture sinks. The captures must be bit-identical
+/// (exit nonzero otherwise — a correctness gate riding the perf bench), and
+/// the measured walls feed the replay_speedup manifest key.
+TraceFormatGuard run_trace_format_guard() {
+  const std::size_t devices = std::max<std::size_t>(bench::scale_override(4'000) / 5, 200);
+  std::cerr << "[bench] trace format guard: " << devices
+            << " devices, CSV vs WTRTRC1 replay...\n";
+
+  // Export the scenario's replayable families as canonical CSV.
+  std::ostringstream sig_csv, cdr_csv, xdr_csv;
+  {
+    core::CsvTraceExportSink csv_sink{sig_csv, cdr_csv, xdr_csv};
+    tracegen::MnoScenarioConfig config;
+    config.seed = kPipelineSeed;
+    config.total_devices = devices;
+    config.build_coverage = false;
+    tracegen::MnoScenario scenario{config};
+    scenario.run({&csv_sink});
+    if (scenario.engine().interrupted()) return {};  // Ctrl-C: nothing to assert
+  }
+  const std::string sig = sig_csv.str();
+  const std::string cdr = cdr_csv.str();
+  const std::string xdr = xdr_csv.str();
+
+  // Convert CSV → binary by replaying each stream into a BinaryTraceSink.
+  // Converting from the CSV text (rather than re-running the scenario into
+  // a binary sink) keeps the A/B honest: CSV rounds call durations to one
+  // decimal, so both files must carry the post-rounding values.
+  std::uint64_t records = 0;
+  auto to_binary = [&records](const std::string& csv,
+                              core::ReplayStats (*replay)(std::istream&,
+                                                          sim::RecordSink&)) {
+    std::ostringstream out;
+    {
+      io::BinaryTraceSink sink{out};
+      std::istringstream in{csv};
+      const auto stats = replay(in, sink);
+      records += stats.delivered;
+    }
+    return out.str();
+  };
+  const std::string sig_bin = to_binary(sig, core::replay_signaling_csv);
+  const std::string cdr_bin = to_binary(cdr, core::replay_cdr_csv);
+  const std::string xdr_bin = to_binary(xdr, core::replay_xdr_csv);
+
+  // Correctness pass (untimed): replay both formats through the
+  // format-sniffing entry points into byte-exact capture sinks.
+  auto capture_replay = [](const std::string& s, const std::string& c,
+                           const std::string& x) {
+    GuardStream sink;
+    std::istringstream si{s}, ci{c}, xi{x};
+    core::replay_signaling_trace(si, sink);
+    core::replay_cdr_trace(ci, sink);
+    core::replay_xdr_trace(xi, sink);
+    return std::move(sink.stream);
+  };
+  const std::string csv_capture = capture_replay(sig, cdr, xdr);
+  const std::string bin_capture = capture_replay(sig_bin, cdr_bin, xdr_bin);
+
+  // Timing pass: replay into a sink that only folds each record into a
+  // checksum, so the walls measure the decoders — not a capture sink that
+  // re-formats every record into strings and would dilute the ratio.
+  struct FoldSink final : sim::RecordSink {
+    std::uint64_t fold = 0;
+    void on_signaling(const signaling::SignalingTransaction& txn,
+                      bool data_context) override {
+      fold += txn.device ^ static_cast<std::uint64_t>(txn.time) ^ txn.sector ^
+              (data_context ? 1u : 0u);
+    }
+    void on_cdr(const records::Cdr& cdr) override {
+      fold += cdr.device ^ static_cast<std::uint64_t>(cdr.time);
+    }
+    void on_xdr(const records::Xdr& xdr) override {
+      fold += xdr.device ^ xdr.bytes_up ^ xdr.bytes_down ^ xdr.apn.size();
+    }
+    void on_dwell(signaling::DeviceHash device, std::int32_t, cellnet::Plmn,
+                  const cellnet::GeoPoint&, double) override {
+      fold += device;
+    }
+  };
+  constexpr int kReps = 3;
+  std::uint64_t fold_csv = 0;
+  std::uint64_t fold_bin = 0;
+  auto timed_replay = [&](const std::string& s, const std::string& c,
+                          const std::string& x, std::uint64_t& fold) {
+    double wall = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      FoldSink sink;
+      std::istringstream si{s}, ci{c}, xi{x};
+      const auto start = std::chrono::steady_clock::now();
+      core::replay_signaling_trace(si, sink);
+      core::replay_cdr_trace(ci, sink);
+      core::replay_xdr_trace(xi, sink);
+      wall += std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                  .count();
+      fold ^= sink.fold;  // keep the sink's work observable
+    }
+    return wall;
+  };
+  TraceFormatGuard guard;
+  guard.csv_wall_s = timed_replay(sig, cdr, xdr, fold_csv);
+  guard.binary_wall_s = timed_replay(sig_bin, cdr_bin, xdr_bin, fold_bin);
+
+  if (csv_capture != bin_capture || fold_csv != fold_bin) {
+    std::cerr << "[bench] FAIL: binary trace replay diverged from CSV replay ("
+              << csv_capture.size() << " vs " << bin_capture.size()
+              << " bytes) — the two interchange formats must reproduce the "
+              << "same record stream\n";
+    std::exit(1);
+  }
+
+  guard.ran = true;
+  guard.csv_bytes = sig.size() + cdr.size() + xdr.size();
+  guard.binary_bytes = sig_bin.size() + cdr_bin.size() + xdr_bin.size();
+  guard.records = records;
+  const double speedup =
+      guard.binary_wall_s > 0.0 ? guard.csv_wall_s / guard.binary_wall_s : 0.0;
+  std::cerr << "[bench] trace format guard: streams bit-identical, " << records
+            << " records, " << guard.csv_bytes << " B csv vs "
+            << guard.binary_bytes << " B binary, replay "
+            << io::format_fixed(speedup, 2) << "x faster\n";
+  return guard;
+}
+
 /// Returns false when the run was interrupted by SIGINT/SIGTERM — the
 /// partial manifest has been written and the micro benches must not run.
 bool run_instrumented_pipeline(unsigned threads) {
@@ -261,6 +400,18 @@ bool run_instrumented_pipeline(unsigned threads) {
     manifest.add_result("checkpoints_written", guard.checkpoints_written);
     manifest.add_result("checkpoint_wall_s", guard.checkpoint_wall_s);
     manifest.add_result("checkpoint_guard", std::string{"ok"});
+  }
+  const auto trace_guard = run_trace_format_guard();
+  if (trace_guard.ran) {
+    manifest.add_result("trace_bytes_csv", trace_guard.csv_bytes);
+    manifest.add_result("trace_bytes_binary", trace_guard.binary_bytes);
+    manifest.add_result("replay_wall_s_csv", trace_guard.csv_wall_s);
+    manifest.add_result("replay_wall_s_binary", trace_guard.binary_wall_s);
+    manifest.add_result("replay_speedup",
+                        trace_guard.binary_wall_s > 0.0
+                            ? trace_guard.csv_wall_s / trace_guard.binary_wall_s
+                            : 0.0);
+    manifest.add_result("trace_format_guard", std::string{"ok"});
   }
   if (threads > 1) {
     manifest.add_result("engine_speedup",

@@ -6,7 +6,7 @@
 //   wtr_cli --scenario platform --report platform
 //   wtr_cli --scenario smip --report smip
 //   wtr_cli --scenario mno --report revenue,silent,clearing
-//   wtr_cli --replay-dir traces/ --report census        (CSV replay mode)
+//   wtr_cli --replay-dir traces/ --report census   (CSV/binary replay mode)
 
 #include <cstring>
 #include <fstream>
@@ -19,6 +19,7 @@
 #include "core/revenue.hpp"
 #include "core/smip_analysis.hpp"
 #include "core/trace_replay.hpp"
+#include "io/bintrace.hpp"
 #include "io/table.hpp"
 #include "tracegen/m2m_platform_scenario.hpp"
 #include "tracegen/mno_scenario.hpp"
@@ -41,7 +42,8 @@ void usage() {
       "wtr_cli [--scenario mno|platform|smip] [--devices N] [--seed S]\n"
       "        [--report census,platform,smip,revenue,silent,clearing]\n"
       "        [--replay-dir DIR]   replay DIR/{signaling,cdr,xdr}.csv through\n"
-      "                             the census instead of simulating\n";
+      "                             the census instead of simulating (each file\n"
+      "                             may be CSV or WTRTRC1 binary, auto-detected)\n";
 }
 
 std::vector<std::string> split_commas(const std::string& text) {
@@ -114,22 +116,31 @@ void print_census(const core::ClassifiedPopulation& population) {
 }
 
 int run_replay(const Options& options) {
-  // Operator mode: consume schema-compatible CSV traces.
+  // Operator mode: consume schema-compatible traces — CSV or WTRTRC1
+  // binary, auto-detected per file from the first byte.
   core::CatalogAccumulator accumulator{{cellnet::Plmn{234, 1, 2},
                                         {cellnet::Plmn{234, 1, 2}}}};
   core::ReplayStats totals;
-  auto feed = [&](const std::string& name,
-                  core::ReplayStats (*replay)(std::istream&, sim::RecordSink&)) {
-    std::ifstream in{options.replay_dir + "/" + name};
+  bool corrupt = false;
+  auto feed = [&](const std::string& name, auto replay) {
+    std::ifstream in{options.replay_dir + "/" + name, std::ios::binary};
     if (!in) {
       std::cerr << "missing " << options.replay_dir << "/" << name << "\n";
       return;
     }
-    totals += replay(in, accumulator);
+    try {
+      totals += replay(in, accumulator, nullptr);
+    } catch (const io::BinaryTraceError& e) {
+      // A failed CRC poisons everything after it; report and stop trusting
+      // this run rather than skip-and-count like malformed CSV rows.
+      std::cerr << options.replay_dir << "/" << name << ": " << e.what() << "\n";
+      corrupt = true;
+    }
   };
-  feed("signaling.csv", core::replay_signaling_csv);
-  feed("cdr.csv", core::replay_cdr_csv);
-  feed("xdr.csv", core::replay_xdr_csv);
+  feed("signaling.csv", core::replay_signaling_trace);
+  feed("cdr.csv", core::replay_cdr_trace);
+  feed("xdr.csv", core::replay_xdr_trace);
+  if (corrupt) return 3;
   std::cout << "replayed " << totals.delivered << "/" << totals.rows << " rows ("
             << totals.bad_csv << " bad CSV, " << totals.bad_fields
             << " bad fields)\n";

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Four gates:
 #
-#  1. Sanitizer gate — configure a separate ASan+UBSan build tree, build
-#     everything, and run the full test suite under the sanitizers. The
-#     plain `build/` tree stays untouched. The checkpoint crash-recovery
-#     suite (SIGKILL injection against wtr_ckpt_harness + snapshot
-#     corruption rejection + the event-queue differential fuzz) then re-runs
-#     as its own serial lane so kill timing isn't skewed by parallel load.
+#  1. Sanitizer gate — configure a separate ASan+UBSan build tree (UBSan
+#     includes float-cast-overflow, so a NaN reaching a float->int bin cast
+#     is a hard failure, not a silent garbage bucket), build everything, and
+#     run the full test suite under the sanitizers. The plain `build/` tree
+#     stays untouched. The checkpoint crash-recovery suite (SIGKILL
+#     injection against wtr_ckpt_harness + snapshot corruption rejection +
+#     the event-queue differential fuzz + binary-trace corruption/bit-flip
+#     tests) then re-runs as its own serial lane so kill timing isn't
+#     skewed by parallel load.
 #  2. Thread-sanitizer gate — a second sanitizer tree (TSan cannot be
 #     combined with ASan) building the sharded-engine determinism suite and
 #     running it under TSan: the shard loops run on real threads there, so
@@ -37,8 +40,8 @@ build_dir="${1:-build-asan}"
 
 cmake -B "$build_dir" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined,float-cast-overflow -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined,float-cast-overflow"
 cmake --build "$build_dir" -j "$(nproc)"
 
 # halt_on_error so CI fails loudly on the first UB report.
@@ -52,10 +55,13 @@ echo "check.sh: all tests passed under ASan/UBSan"
 # Re-run the checkpoint/restore suite as its own named lane: it SIGKILLs the
 # sanitized wtr_ckpt_harness child at randomized instants and asserts the
 # resumed output set is byte-identical to an uninterrupted run, then checks
-# torn/bit-flipped snapshots are rejected loudly. Serial on purpose — kill
-# timing is wall-clock sensitive and must not share cores with other tests.
-ctest --test-dir "$build_dir" --output-on-failure -R 'CheckpointRecovery|EventQueueProp'
-echo "check.sh: crash-recovery gate passed (kill injection + queue fuzz under ASan)"
+# torn/bit-flipped snapshots are rejected loudly. The binary-trace
+# corruption suite rides along: truncations, bit flips, dangling dictionary
+# indices, and oversized block lengths must all surface as BinaryTraceError,
+# never as a sanitizer report. Serial on purpose — kill timing is
+# wall-clock sensitive and must not share cores with other tests.
+ctest --test-dir "$build_dir" --output-on-failure -R 'CheckpointRecovery|EventQueueProp|BinaryTrace'
+echo "check.sh: crash-recovery gate passed (kill injection + queue fuzz + trace corruption under ASan)"
 
 # --- TSan gate (separate tree: TSan and ASan cannot share a build) ---------
 tsan_dir="build-tsan"

@@ -52,7 +52,24 @@ CHECKPOINT_METADATA_KEYS = frozenset(
     }
 )
 
-IGNORED_RESULT_KEYS = THREAD_METADATA_KEYS | CHECKPOINT_METADATA_KEYS
+# Trace-format A/B metadata from the CSV-vs-binary replay guard. Byte sizes
+# and replay walls depend on the guard's scenario scale and the machine, and
+# the guard already hard-fails the bench binary itself when the two formats
+# disagree, so these are informational here and never gate.
+TRACE_FORMAT_METADATA_KEYS = frozenset(
+    {
+        "trace_bytes_csv",
+        "trace_bytes_binary",
+        "replay_wall_s_csv",
+        "replay_wall_s_binary",
+        "replay_speedup",
+        "trace_format_guard",
+    }
+)
+
+IGNORED_RESULT_KEYS = (
+    THREAD_METADATA_KEYS | CHECKPOINT_METADATA_KEYS | TRACE_FORMAT_METADATA_KEYS
+)
 
 
 def load_manifest(path):

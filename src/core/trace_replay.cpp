@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "io/bintrace.hpp"
 #include "io/csv.hpp"
 #include "obs/metrics.hpp"
 #include "records/cdr.hpp"
@@ -22,14 +23,17 @@ void record_replay_metrics(obs::MetricsRegistry* metrics, const char* stream,
   metrics->counter(prefix + "bad_fields").inc(stats.bad_fields);
 }
 
-/// Generic line pump: validates the header, then parses/delivers each row.
+/// Generic row pump: validates the header, then parses/delivers each row.
+/// Rows are logical CSV rows — a quoted field may span physical lines
+/// (read_logical_row rejoins them), so rows the writer quoted for embedded
+/// newlines replay instead of being dropped as two bad_csv halves.
 template <typename ParseFn, typename DeliverFn>
 ReplayStats replay(std::istream& in, const std::vector<std::string>& expected_header,
                    ParseFn parse, DeliverFn deliver) {
   ReplayStats stats;
   std::string line;
   bool header_checked = false;
-  while (std::getline(in, line)) {
+  while (io::read_logical_row(in, line)) {
     if (line.empty()) continue;
     const auto fields = io::csv_decode_row(line);
     if (!header_checked) {
@@ -105,6 +109,83 @@ ReplayStats replay_xdr_csv(std::istream& in, sim::RecordSink& sink,
   const auto stats = replay_xdr_csv(in, sink);
   record_replay_metrics(metrics, "xdr", stats);
   return stats;
+}
+
+ReplayStats replay_binary_trace(std::istream& in, sim::RecordSink& sink,
+                                obs::MetricsRegistry* metrics, const char* stream) {
+  io::BinaryTraceReader reader{in};
+  const auto binary = reader.replay(sink);
+  ReplayStats stats;
+  stats.rows = binary.records;
+  stats.delivered = binary.delivered;
+  stats.bad_fields = binary.bad_fields;
+  // bad_csv stays 0: structural damage in a binary trace throws instead of
+  // skipping (a failed CRC poisons everything after it).
+  record_replay_metrics(metrics, stream, stats);
+  return stats;
+}
+
+namespace {
+
+template <typename CsvReplayFn>
+ReplayStats replay_auto(std::istream& in, sim::RecordSink& sink,
+                        obs::MetricsRegistry* metrics, const char* stream,
+                        CsvReplayFn csv_replay) {
+  if (io::is_binary_trace(in)) {
+    return replay_binary_trace(in, sink, metrics, stream);
+  }
+  const auto stats = csv_replay(in, sink);
+  record_replay_metrics(metrics, stream, stats);
+  return stats;
+}
+
+}  // namespace
+
+ReplayStats replay_signaling_trace(std::istream& in, sim::RecordSink& sink,
+                                   obs::MetricsRegistry* metrics) {
+  return replay_auto(in, sink, metrics, "signaling",
+                     [](std::istream& i, sim::RecordSink& s) {
+                       return replay_signaling_csv(i, s);
+                     });
+}
+
+ReplayStats replay_cdr_trace(std::istream& in, sim::RecordSink& sink,
+                             obs::MetricsRegistry* metrics) {
+  return replay_auto(in, sink, metrics, "cdr",
+                     [](std::istream& i, sim::RecordSink& s) {
+                       return replay_cdr_csv(i, s);
+                     });
+}
+
+ReplayStats replay_xdr_trace(std::istream& in, sim::RecordSink& sink,
+                             obs::MetricsRegistry* metrics) {
+  return replay_auto(in, sink, metrics, "xdr",
+                     [](std::istream& i, sim::RecordSink& s) {
+                       return replay_xdr_csv(i, s);
+                     });
+}
+
+CsvTraceExportSink::CsvTraceExportSink(std::ostream& signaling, std::ostream& cdr,
+                                       std::ostream& xdr)
+    : signaling_(signaling), cdr_(cdr), xdr_(xdr) {
+  signaling_.write_row(signaling::csv_header());
+  cdr_.write_row(records::cdr_csv_header());
+  xdr_.write_row(records::xdr_csv_header());
+}
+
+void CsvTraceExportSink::on_signaling(const signaling::SignalingTransaction& txn,
+                                      bool /*data_context*/) {
+  // The CSV export does not carry the interface family; replay derives it
+  // from the RAT (see replay_signaling_csv).
+  signaling_.write_row(signaling::to_csv_fields(txn));
+}
+
+void CsvTraceExportSink::on_cdr(const records::Cdr& cdr) {
+  cdr_.write_row(records::to_csv_fields(cdr));
+}
+
+void CsvTraceExportSink::on_xdr(const records::Xdr& xdr) {
+  xdr_.write_row(records::to_csv_fields(xdr));
 }
 
 }  // namespace wtr::core

@@ -1,13 +1,19 @@
 #pragma once
 
-// Trace replay: feed exported (or schema-compatible external) CSV traces
-// back through any RecordSink — the bridge between this reproduction and
-// real operator logs. An operator with radio/CDR/xDR extracts in the wire
-// format of records/*.hpp can run the paper's full §4–7 pipeline on them
-// by replaying into a CatalogAccumulator.
+// Trace replay: feed exported (or schema-compatible external) traces back
+// through any RecordSink — the bridge between this reproduction and real
+// operator logs. An operator with radio/CDR/xDR extracts in the wire format
+// of records/*.hpp can run the paper's full §4–7 pipeline on them by
+// replaying into a CatalogAccumulator. Two interchange formats are spoken:
+// line-oriented CSV (lenient: dirty rows are counted and skipped) and the
+// WTRTRC1 binary columnar format (io/bintrace.hpp; CRC-guarded, ~an order
+// of magnitude faster to replay). The replay_*_trace entry points sniff the
+// magic byte and pick the decoder, so every harness accepts either file.
 
 #include <istream>
+#include <ostream>
 
+#include "io/csv.hpp"
 #include "sim/device_agent.hpp"
 
 namespace wtr::obs {
@@ -56,5 +62,46 @@ ReplayStats replay_cdr_csv(std::istream& in, sim::RecordSink& sink,
                            obs::MetricsRegistry* metrics);
 ReplayStats replay_xdr_csv(std::istream& in, sim::RecordSink& sink,
                            obs::MetricsRegistry* metrics);
+
+/// Format-agnostic entry points: peek the first byte — the WTRTRC1 magic
+/// (0x89) cannot open a CSV line — and dispatch to the matching decoder.
+/// The stream name only labels the mirrored metrics. A binary stream may
+/// carry any record family regardless of which wrapper opened it (binary
+/// traces are usually written per family, like the CSV exports); structural
+/// corruption in a binary stream throws io::BinaryTraceError instead of
+/// the CSV skip-and-count, because nothing after a failed CRC can be
+/// trusted.
+ReplayStats replay_signaling_trace(std::istream& in, sim::RecordSink& sink,
+                                   obs::MetricsRegistry* metrics = nullptr);
+ReplayStats replay_cdr_trace(std::istream& in, sim::RecordSink& sink,
+                             obs::MetricsRegistry* metrics = nullptr);
+ReplayStats replay_xdr_trace(std::istream& in, sim::RecordSink& sink,
+                             obs::MetricsRegistry* metrics = nullptr);
+
+/// Replay a WTRTRC1 binary trace (all families it carries) into `sink`.
+/// Throws io::BinaryTraceError on structural corruption.
+ReplayStats replay_binary_trace(std::istream& in, sim::RecordSink& sink,
+                                obs::MetricsRegistry* metrics = nullptr,
+                                const char* stream = "binary");
+
+/// RecordSink that exports the three replayable families as canonical CSV
+/// (header + one row per record) — the inverse of the replay_*_csv
+/// functions and the producer side of the CSV-vs-binary A/B harnesses.
+/// Dwell callbacks are ignored (dwell has no CSV stream).
+class CsvTraceExportSink final : public sim::RecordSink {
+ public:
+  /// Writes the three headers immediately.
+  CsvTraceExportSink(std::ostream& signaling, std::ostream& cdr, std::ostream& xdr);
+
+  void on_signaling(const signaling::SignalingTransaction& txn,
+                    bool data_context) override;
+  void on_cdr(const records::Cdr& cdr) override;
+  void on_xdr(const records::Xdr& xdr) override;
+
+ private:
+  io::CsvWriter signaling_;
+  io::CsvWriter cdr_;
+  io::CsvWriter xdr_;
+};
 
 }  // namespace wtr::core

@@ -82,6 +82,27 @@ std::optional<std::vector<std::string>> csv_decode_row(std::string_view line) {
   return fields;
 }
 
+bool read_logical_row(std::istream& in, std::string& row, std::size_t max_bytes) {
+  row.clear();
+  std::string line;
+  bool in_quotes = false;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!first) row.push_back('\n');  // restore the newline getline consumed
+    first = false;
+    // Quote parity over the new physical line only ("" toggles twice and
+    // cancels out, so per-character toggling tracks RFC 4180 exactly for
+    // well-formed rows).
+    for (const char c : line) {
+      if (c == '"') in_quotes = !in_quotes;
+    }
+    row += line;
+    if (!in_quotes) return true;
+    if (row.size() >= max_bytes) return true;  // decoder rejects it as unterminated
+  }
+  return !first;  // EOF inside a quote still yields the (malformed) tail
+}
+
 std::optional<std::uint64_t> parse_u64(std::string_view text) {
   std::uint64_t value = 0;
   const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);

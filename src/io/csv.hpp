@@ -5,6 +5,7 @@
 // project are plain ASCII, so no encoding handling is needed.
 
 #include <cstdint>
+#include <istream>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -16,12 +17,25 @@ namespace wtr::io {
 /// Serialize one row, quoting fields as needed.
 [[nodiscard]] std::string csv_encode_row(const std::vector<std::string>& fields);
 
-/// Parse one logical CSV line into fields. Returns std::nullopt when the
-/// line is malformed: an unterminated quoted field, text after a closing
+/// Parse one logical CSV row into fields. Returns std::nullopt when the
+/// row is malformed: an unterminated quoted field, text after a closing
 /// quote, or a quote opening mid-way through an unquoted field — corrupted
 /// rows are reported, never silently misparsed. Embedded newlines inside
-/// quotes are not supported by this line-at-a-time API.
+/// quoted fields are fine when the caller hands in a full logical row (see
+/// read_logical_row); a bare physical line that ends inside a quote still
+/// fails as unterminated.
 [[nodiscard]] std::optional<std::vector<std::string>> csv_decode_row(std::string_view line);
+
+/// Read one logical CSV row from `in` into `row`: physical lines are joined
+/// (with the '\n' restored) while an unclosed quote is pending, so rows that
+/// csv_encode_row wrote with embedded newlines round-trip instead of being
+/// dropped as malformed halves. Returns false on EOF with nothing read. The
+/// quote scan tracks RFC 4180 parity ("" stays inside the field), so a
+/// stray quote in a corrupted row cannot swallow the rest of the file
+/// beyond `max_bytes` — at the cap the oversized row is returned as-is and
+/// csv_decode_row rejects it as unterminated.
+bool read_logical_row(std::istream& in, std::string& row,
+                      std::size_t max_bytes = 1u << 20);
 
 /// Strict numeric field parsers (whole-string match; nullopt otherwise).
 [[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text);

@@ -37,4 +37,58 @@ std::optional<Cdr> cdr_from_csv_fields(std::span<const std::string> fields) {
   return cdr;
 }
 
+void CdrColumns::clear() {
+  device.clear();
+  time.clear();
+  sim_plmn.clear();
+  visited_plmn.clear();
+  duration_s.clear();
+  rat.clear();
+}
+
+void bin_append(CdrColumns& columns, io::TraceDict& dict, const Cdr& cdr) {
+  columns.device.push_back(cdr.device);
+  columns.time.push_back(cdr.time);
+  columns.sim_plmn.push_back(dict.intern(cdr.sim_plmn.to_string()));
+  columns.visited_plmn.push_back(dict.intern(cdr.visited_plmn.to_string()));
+  columns.duration_s.push_back(cdr.duration_s);
+  columns.rat.push_back(static_cast<std::uint8_t>(cdr.rat));
+}
+
+void bin_write(util::BinWriter& out, const CdrColumns& columns) {
+  io::write_varint_column(out, columns.device);
+  io::write_delta_column(out, columns.time);
+  io::write_dict_column(out, columns.sim_plmn);
+  io::write_dict_column(out, columns.visited_plmn);
+  io::write_f64_column(out, columns.duration_s);
+  io::write_u8_column(out, columns.rat);
+}
+
+CdrColumns bin_read_cdr(util::BinReader& in, std::size_t n, std::size_t dict_size) {
+  CdrColumns columns;
+  columns.device = io::read_varint_column(in, n);
+  columns.time = io::read_delta_column(in, n);
+  columns.sim_plmn = io::read_dict_column(in, n, dict_size);
+  columns.visited_plmn = io::read_dict_column(in, n, dict_size);
+  columns.duration_s = io::read_f64_column(in, n);
+  columns.rat = io::read_u8_column(in, n);
+  return columns;
+}
+
+std::optional<Cdr> bin_extract(const CdrColumns& columns,
+                               std::span<const std::optional<cellnet::Plmn>> plmns,
+                               std::size_t i) {
+  const auto& sim = plmns[columns.sim_plmn[i]];
+  const auto& visited = plmns[columns.visited_plmn[i]];
+  if (!sim || !visited || columns.rat[i] >= cellnet::kRatCount) return std::nullopt;
+  Cdr cdr;
+  cdr.device = columns.device[i];
+  cdr.time = columns.time[i];
+  cdr.sim_plmn = *sim;
+  cdr.visited_plmn = *visited;
+  cdr.duration_s = columns.duration_s[i];
+  cdr.rat = static_cast<cellnet::Rat>(columns.rat[i]);
+  return cdr;
+}
+
 }  // namespace wtr::records

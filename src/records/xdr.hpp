@@ -12,6 +12,7 @@
 #include "cellnet/apn.hpp"
 #include "cellnet/plmn.hpp"
 #include "cellnet/rat.hpp"
+#include "io/trace_columns.hpp"
 #include "signaling/transaction.hpp"
 #include "stats/sim_time.hpp"
 
@@ -37,5 +38,35 @@ struct Xdr {
 
 /// Inverse of to_csv_fields; nullopt on malformed rows.
 [[nodiscard]] std::optional<Xdr> xdr_from_csv_fields(std::span<const std::string> fields);
+
+// --- Binary columnar codec (io/bintrace block payloads) ---------------------
+// APNs share the block dictionary with the PLMN strings; a fleet hammering
+// one platform APN costs a few bytes per block, not per record.
+
+struct XdrColumns {
+  std::vector<std::uint64_t> device;
+  std::vector<std::int64_t> time;
+  std::vector<std::uint32_t> sim_plmn;      // dict index of Plmn::to_string
+  std::vector<std::uint32_t> visited_plmn;  // dict index
+  std::vector<std::uint64_t> bytes_up;
+  std::vector<std::uint64_t> bytes_down;
+  std::vector<std::uint32_t> apn;           // dict index (full wire form)
+  std::vector<std::uint8_t> rat;
+
+  [[nodiscard]] std::size_t size() const noexcept { return device.size(); }
+  void clear();
+};
+
+void bin_append(XdrColumns& columns, io::TraceDict& dict, const Xdr& xdr);
+void bin_write(util::BinWriter& out, const XdrColumns& columns);
+[[nodiscard]] XdrColumns bin_read_xdr(util::BinReader& in, std::size_t n,
+                                      std::size_t dict_size);
+/// Nullopt on enum/PLMN validation failure (a bad field, mirroring CSV).
+/// `plmns` is the block dictionary parsed once by the reader; `dict` still
+/// carries the raw strings (the APN column reads them verbatim).
+[[nodiscard]] std::optional<Xdr> bin_extract(
+    const XdrColumns& columns,
+    std::span<const std::optional<cellnet::Plmn>> plmns,
+    std::span<const std::string> dict, std::size_t i);
 
 }  // namespace wtr::records

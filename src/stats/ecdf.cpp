@@ -42,6 +42,9 @@ double Ecdf::fraction_above(double x) const { return 1.0 - fraction_at_most(x); 
 double Ecdf::quantile(double q) const {
   assert(!samples_.empty());
   ensure_sorted();
+  // NaN propagates instead of reaching floor(NaN) and an undefined
+  // float→integer cast below.
+  if (std::isnan(q)) return q;
   const double clamped_q = std::min(std::max(q, 0.0), 1.0);
   if (samples_.size() == 1) return samples_.front();
   const double pos = clamped_q * static_cast<double>(samples_.size() - 1);
@@ -65,6 +68,11 @@ double Ecdf::max() const {
 
 double Ecdf::mean() const {
   assert(!samples_.empty());
+  // Sum in sorted order always: float addition is not associative, so
+  // summing in insertion order before the first quantile()/describe() call
+  // and in sorted order after would let call order change the reported
+  // mean — breaking the engine's byte-identical-output guarantee.
+  ensure_sorted();
   return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
          static_cast<double>(samples_.size());
 }

@@ -28,7 +28,8 @@ class Ecdf {
   /// Fraction of samples strictly greater than x.
   [[nodiscard]] double fraction_above(double x) const;
 
-  /// q-quantile with linear interpolation, q in [0, 1]. Requires non-empty.
+  /// q-quantile with linear interpolation, q clamped to [0, 1]. Requires
+  /// non-empty. quantile(NaN) returns NaN (it never indexes the samples).
   [[nodiscard]] double quantile(double q) const;
 
   [[nodiscard]] double median() const { return quantile(0.5); }

@@ -13,6 +13,12 @@ LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
 
 void LinearHistogram::add(double value, std::uint64_t count) {
   total_ += count;
+  if (std::isnan(value)) {
+    // NaN fails both range guards below and would reach the float→size_t
+    // cast, which is UB (-fsanitize=float-cast-overflow traps it).
+    nan_ += count;
+    return;
+  }
   if (value < lo_) {
     underflow_ += count;
     return;
@@ -45,8 +51,17 @@ LogHistogram::LogHistogram(std::size_t max_exponent) : counts_(max_exponent + 1,
 
 void LogHistogram::add(double value, std::uint64_t count) {
   total_ += count;
+  if (std::isnan(value)) {
+    nan_ += count;  // would otherwise hit an undefined float→size_t cast
+    return;
+  }
   if (value < 1.0) {
     zero_ += count;
+    return;
+  }
+  if (std::isinf(value)) {
+    // floor(log2(inf)) is inf; clamp to the top bin like any huge finite.
+    counts_.back() += count;
     return;
   }
   auto exponent = static_cast<std::size_t>(std::floor(std::log2(value)));

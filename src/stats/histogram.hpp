@@ -25,6 +25,9 @@ class LinearHistogram {
   [[nodiscard]] std::uint64_t bin_value(std::size_t bin) const;
   [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
   [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  /// NaN samples land here (they compare false against both range guards;
+  /// casting them would be UB) — still included in total().
+  [[nodiscard]] std::uint64_t nan_count() const noexcept { return nan_; }
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
 
  private:
@@ -34,6 +37,7 @@ class LinearHistogram {
   std::vector<std::uint64_t> counts_;
   std::uint64_t underflow_ = 0;
   std::uint64_t overflow_ = 0;
+  std::uint64_t nan_ = 0;
   std::uint64_t total_ = 0;
 };
 
@@ -48,11 +52,16 @@ class LogHistogram {
   [[nodiscard]] std::uint64_t zero_bin() const noexcept { return zero_; }
   [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
   [[nodiscard]] std::uint64_t bin_value(std::size_t exponent) const;
+  /// NaN samples land here (log2/floor of NaN would be UB to cast) — still
+  /// included in total(). +inf clamps into the last bin like any
+  /// over-range finite value.
+  [[nodiscard]] std::uint64_t nan_count() const noexcept { return nan_; }
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
 
  private:
   std::vector<std::uint64_t> counts_;
   std::uint64_t zero_ = 0;
+  std::uint64_t nan_ = 0;
   std::uint64_t total_ = 0;
 };
 

@@ -4,46 +4,30 @@
 
 namespace wtr::util {
 
-void BinReader::need(std::size_t n) const {
-  if (offset_ + n > bytes_.size()) {
-    throw std::runtime_error("binio: read past end of buffer (offset " +
-                             std::to_string(offset_) + " + " + std::to_string(n) +
-                             " > " + std::to_string(bytes_.size()) + ")");
+void BinReader::overrun(std::size_t n) const {
+  throw std::runtime_error("binio: read past end of buffer (offset " +
+                           std::to_string(offset_) + " + " + std::to_string(n) +
+                           " > " + std::to_string(bytes_.size()) + ")");
+}
+
+void BinReader::varint_overflow() {
+  throw std::runtime_error("binio: varint overflows 64 bits");
+}
+
+void BinReader::varint_overlong() {
+  throw std::runtime_error("binio: varint longer than 10 bytes");
+}
+
+std::string BinReader::vstr() {
+  const std::uint64_t size = varint();
+  if (size > remaining()) {
+    throw std::runtime_error("binio: vstr length " + std::to_string(size) +
+                             " exceeds remaining " + std::to_string(remaining()) +
+                             " bytes");
   }
-}
-
-std::uint8_t BinReader::u8() {
-  need(1);
-  return static_cast<std::uint8_t>(bytes_[offset_++]);
-}
-
-std::uint32_t BinReader::u32() {
-  need(4);
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes_[offset_ + i]))
-         << (8 * i);
-  }
-  offset_ += 4;
-  return v;
-}
-
-std::uint64_t BinReader::u64() {
-  need(8);
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes_[offset_ + i]))
-         << (8 * i);
-  }
-  offset_ += 8;
-  return v;
-}
-
-double BinReader::f64() {
-  const std::uint64_t bits = u64();
-  double v = 0.0;
-  std::memcpy(&v, &bits, sizeof v);
-  return v;
+  std::string out(bytes_.substr(offset_, static_cast<std::size_t>(size)));
+  offset_ += static_cast<std::size_t>(size);
+  return out;
 }
 
 std::string BinReader::str() {

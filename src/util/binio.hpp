@@ -38,6 +38,28 @@ class BinWriter {
     u64(v.size());
     buffer_.append(v.data(), v.size());
   }
+  /// LEB128 varint: 1 byte for values < 128, growing 7 bits per byte. The
+  /// columnar trace format leans on this — device counters, dictionary
+  /// indices and byte counts are small far more often than not.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      u8(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    u8(static_cast<std::uint8_t>(v));
+  }
+  /// Zigzag-mapped signed varint (small magnitudes of either sign stay
+  /// short) — used for delta-coded timestamp columns.
+  void varint_signed(std::int64_t v) {
+    varint((static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63));
+  }
+  /// Length-prefixed string with a varint length (str() burns 8 bytes on
+  /// the length; dictionary entries are short and plentiful).
+  void vstr(std::string_view v) {
+    varint(v.size());
+    buffer_.append(v.data(), v.size());
+  }
   void raw(const void* data, std::size_t size) {
     buffer_.append(static_cast<const char*>(data), size);
   }
@@ -54,14 +76,63 @@ class BinReader {
  public:
   explicit BinReader(std::string_view bytes) noexcept : bytes_(bytes) {}
 
-  [[nodiscard]] std::uint8_t u8();
+  // The fixed-width reads and varint() are inline: columnar trace decoding
+  // calls them per value, and an out-of-line u8() per varint byte is the
+  // difference between decode being CRC-bound and call-bound.
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(bytes_[offset_++]);
+  }
   [[nodiscard]] bool b() { return u8() != 0; }
-  [[nodiscard]] std::uint32_t u32();
-  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes_[offset_ + i]))
+           << (8 * i);
+    }
+    offset_ += 4;
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes_[offset_ + i]))
+           << (8 * i);
+    }
+    offset_ += 8;
+    return v;
+  }
   [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
   [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
-  [[nodiscard]] double f64();
+  [[nodiscard]] double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
   [[nodiscard]] std::string str();
+  /// Inverses of BinWriter::varint/varint_signed/vstr. A varint running past
+  /// 10 bytes (more than 64 payload bits) is malformed and throws.
+  [[nodiscard]] std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t byte = u8();
+      v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) {
+        // Reject non-canonical 10th bytes that would shift bits past 63.
+        if (shift == 63 && (byte & 0x7E) != 0) varint_overflow();
+        return v;
+      }
+    }
+    varint_overlong();
+  }
+  [[nodiscard]] std::int64_t varint_signed() {
+    const std::uint64_t z = varint();
+    return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+  [[nodiscard]] std::string vstr();
 
   [[nodiscard]] std::size_t remaining() const noexcept {
     return bytes_.size() - offset_;
@@ -73,7 +144,14 @@ class BinReader {
   void expect_exhausted(const std::string& context) const;
 
  private:
-  void need(std::size_t n) const;
+  void need(std::size_t n) const {
+    if (offset_ + n > bytes_.size()) overrun(n);
+  }
+  // Cold throw paths stay out of line so the checks above compile to a
+  // compare-and-branch.
+  [[noreturn]] void overrun(std::size_t n) const;
+  [[noreturn]] static void varint_overflow();
+  [[noreturn]] static void varint_overlong();
 
   std::string_view bytes_;
   std::size_t offset_ = 0;

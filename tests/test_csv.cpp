@@ -82,8 +82,101 @@ TEST(Csv, RoundTrip) {
                                         "", "multi\nline"};
   const auto decoded = csv_decode_row(csv_encode_row(fields));
   ASSERT_TRUE(decoded.has_value());
-  // Note: line-at-a-time decode cannot round-trip embedded newlines; drop it.
-  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ((*decoded)[i], fields[i]);
+  EXPECT_EQ(*decoded, fields);
+}
+
+TEST(CsvLogicalRow, PlainLines) {
+  std::istringstream in{"a,b\nc,d\n"};
+  std::string row;
+  ASSERT_TRUE(read_logical_row(in, row));
+  EXPECT_EQ(row, "a,b");
+  ASSERT_TRUE(read_logical_row(in, row));
+  EXPECT_EQ(row, "c,d");
+  EXPECT_FALSE(read_logical_row(in, row));
+}
+
+TEST(CsvLogicalRow, QuotedNewlineSpansPhysicalLines) {
+  // The writer quotes fields containing '\n'; the reader must rejoin the
+  // physical lines into one logical row or the row parses as two bad halves.
+  std::istringstream in{"\"multi\nline\",x\nnext,row\n"};
+  std::string row;
+  ASSERT_TRUE(read_logical_row(in, row));
+  EXPECT_EQ(row, "\"multi\nline\",x");
+  const auto fields = csv_decode_row(row);
+  ASSERT_TRUE(fields.has_value());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"multi\nline", "x"}));
+  ASSERT_TRUE(read_logical_row(in, row));
+  EXPECT_EQ(row, "next,row");
+}
+
+TEST(CsvLogicalRow, EscapedQuotesDoNotToggleJoining) {
+  // "" toggles the quote parity twice, so it cancels out and must not make
+  // the reader swallow the following line.
+  std::istringstream in{"\"say \"\"hi\"\"\",b\nplain\n"};
+  std::string row;
+  ASSERT_TRUE(read_logical_row(in, row));
+  EXPECT_EQ(row, "\"say \"\"hi\"\"\",b");
+  ASSERT_TRUE(read_logical_row(in, row));
+  EXPECT_EQ(row, "plain");
+}
+
+TEST(CsvLogicalRow, MultipleEmbeddedNewlines) {
+  std::istringstream in{"\"a\nb\nc\",tail\n"};
+  std::string row;
+  ASSERT_TRUE(read_logical_row(in, row));
+  const auto fields = csv_decode_row(row);
+  ASSERT_TRUE(fields.has_value());
+  EXPECT_EQ(fields->front(), "a\nb\nc");
+}
+
+TEST(CsvLogicalRow, UnterminatedQuoteEofReturnsWhatItHas) {
+  // A dirty tail (file truncated inside a quoted field) still surfaces as a
+  // row — csv_decode_row then rejects it as malformed, keeping the lenient
+  // skip-and-count replay contract.
+  std::istringstream in{"\"never closed\nmore"};
+  std::string row;
+  ASSERT_TRUE(read_logical_row(in, row));
+  EXPECT_EQ(row, "\"never closed\nmore");
+  EXPECT_FALSE(csv_decode_row(row).has_value());
+  EXPECT_FALSE(read_logical_row(in, row));
+}
+
+TEST(CsvLogicalRow, CapStopsRunawayJoin) {
+  // A stray opening quote must not make the reader swallow the whole file:
+  // past max_bytes it gives up and returns the (malformed) row as-is.
+  std::string text = "\"stray\n";
+  for (int i = 0; i < 64; ++i) text += "line,of,data\n";
+  std::istringstream in{text};
+  std::string row;
+  ASSERT_TRUE(read_logical_row(in, row, /*max_bytes=*/32));
+  EXPECT_GE(row.size(), 32u);
+  EXPECT_LT(row.size(), text.size());  // did not eat the entire stream
+  ASSERT_TRUE(read_logical_row(in, row, /*max_bytes=*/32));  // stream continues
+}
+
+TEST(CsvLogicalRow, RoundTripThroughWriter) {
+  // Property: any fields -> CsvWriter -> read_logical_row -> csv_decode_row
+  // is the identity, embedded newlines and CRLF included.
+  const std::vector<std::vector<std::string>> rows{
+      {"plain", "with,comma", "with \"quote\""},
+      {"multi\nline", "", "x"},
+      {"crlf\r\nfield", "\"\"", ","},
+      {"\n", "\"", "a\nb\nc\n"},
+  };
+  std::ostringstream out;
+  {
+    CsvWriter writer{out};
+    for (const auto& fields : rows) writer.write_row(fields);
+  }
+  std::istringstream in{out.str()};
+  std::string row;
+  for (const auto& expected : rows) {
+    ASSERT_TRUE(read_logical_row(in, row));
+    const auto decoded = csv_decode_row(row);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, expected);
+  }
+  EXPECT_FALSE(read_logical_row(in, row));
 }
 
 TEST(CsvWriter, WritesRowsWithNewlines) {

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+
 #include "stats/rng.hpp"
 
 namespace wtr::stats {
@@ -94,6 +99,57 @@ TEST(Ecdf, SortedSamplesAreSorted) {
   Ecdf ecdf{{3.0, 1.0, 2.0}};
   const auto& sorted = ecdf.sorted_samples();
   EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+}
+
+TEST(Ecdf, QuantileNanReturnsNan) {
+  // quantile(NaN) must not reach floor()/the integer index cast (UB); it
+  // reports NaN without touching the samples.
+  Ecdf ecdf{{1.0, 2.0, 3.0}};
+  const double q = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(ecdf.quantile(q)));
+  // And the probe did not disturb regular queries.
+  EXPECT_DOUBLE_EQ(ecdf.median(), 2.0);
+}
+
+TEST(Ecdf, MeanIsInsertionOrderIndependent) {
+  // FP addition is not associative: summing in insertion order gives a
+  // different last-bit result than summing the same values sorted. mean()
+  // must always sum in sorted order so two pipelines that produced the same
+  // multiset of samples print byte-identical figures.
+  Rng rng{42};
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) {
+    // Wide magnitude spread maximizes cancellation sensitivity.
+    samples.push_back(rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.uniform(-8.0, 8.0)));
+  }
+  Ecdf forward;
+  for (const double s : samples) forward.add(s);
+  Ecdf backward;
+  for (auto it = samples.rbegin(); it != samples.rend(); ++it) backward.add(*it);
+  std::shuffle(samples.begin(), samples.end(), std::mt19937{7});
+  Ecdf shuffled;
+  for (const double s : samples) shuffled.add(s);
+
+  const double reference = forward.mean();
+  EXPECT_EQ(backward.mean(), reference);  // exact, not EXPECT_DOUBLE_EQ
+  EXPECT_EQ(shuffled.mean(), reference);
+}
+
+TEST(Ecdf, MeanSameBeforeAndAfterSortingQuery) {
+  // mean() before any sorted query must equal mean() after one bit-for-bit
+  // (this is the original bug: pre-sort summation order differed).
+  Rng rng{9};
+  std::vector<double> samples;
+  for (int i = 0; i < 257; ++i) samples.push_back(rng.uniform(-1e6, 1e6));
+
+  Ecdf fresh;
+  for (const double s : samples) fresh.add(s);
+  const double mean_before_sort = fresh.mean();
+
+  Ecdf queried;
+  for (const double s : samples) queried.add(s);
+  (void)queried.median();  // forces the sort
+  EXPECT_EQ(queried.mean(), mean_before_sort);
 }
 
 TEST(Ecdf, MakeEcdfProjection) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace wtr::stats {
 namespace {
 
@@ -42,6 +44,28 @@ TEST(LinearHistogram, WeightedAdd) {
   EXPECT_EQ(h.bin_value(0), 5u);
 }
 
+TEST(LinearHistogram, NanGoesToNanBucket) {
+  // NaN compares false against both range guards, so before the fix it
+  // reached the float->size_t cast — UB that float-cast-overflow traps.
+  LinearHistogram h{0.0, 10.0, 5};
+  h.add(std::numeric_limits<double>::quiet_NaN(), 3);
+  h.add(5.0);
+  EXPECT_EQ(h.nan_count(), 3u);
+  EXPECT_EQ(h.total(), 4u);  // NaN samples still count toward total
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.bin_value(2), 1u);
+}
+
+TEST(LinearHistogram, InfinitiesUseOverUnderflow) {
+  LinearHistogram h{0.0, 10.0, 5};
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.nan_count(), 0u);
+}
+
 TEST(LogHistogram, ZeroBin) {
   LogHistogram h;
   h.add(0.0);
@@ -65,6 +89,28 @@ TEST(LogHistogram, HugeValuesClampToLastBin) {
   LogHistogram h{8};
   h.add(1e30);
   EXPECT_EQ(h.bin_value(8), 1u);
+}
+
+TEST(LogHistogram, NanGoesToNanBucket) {
+  LogHistogram h{8};
+  h.add(std::numeric_limits<double>::quiet_NaN(), 2);
+  h.add(4.0);
+  EXPECT_EQ(h.nan_count(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.zero_bin(), 0u);
+  EXPECT_EQ(h.bin_value(2), 1u);
+}
+
+TEST(LogHistogram, InfinityClampsToLastBin) {
+  // floor(log2(+inf)) is +inf — casting that is the same UB as NaN; it must
+  // clamp into the top bin like any over-range finite value.
+  LogHistogram h{8};
+  h.add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.bin_value(8), 1u);
+  EXPECT_EQ(h.nan_count(), 0u);
+  // -inf is < 1.0, so it lands in the zero bin.
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.zero_bin(), 1u);
 }
 
 TEST(CategoryCounter, CountsAndShares) {
