@@ -13,7 +13,11 @@
 #  2. Thread-sanitizer gate — a second sanitizer tree (TSan cannot be
 #     combined with ASan) building the sharded-engine determinism suite and
 #     running it under TSan: the shard loops run on real threads there, so
-#     any data race in the parallel engine fails the gate.
+#     any data race in the parallel engine fails the gate. The storm lane
+#     rides this tree: the closed-loop congestion suite (shard-private
+#     ledgers merging at engine barriers) runs under TSan too, then the
+#     ASan tree drives kill injection through an overload window
+#     (KillInjectionStorm*) as its own serial lane.
 #  3. Perf gate — build bench_p1_pipeline_perf in the plain `build/` tree
 #     (no sanitizers; timings must be real), run its instrumented pipeline
 #     (--manifest-only), drop BENCH_p1.json in the repo root, and fail on a
@@ -69,10 +73,20 @@ cmake -B "$tsan_dir" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build "$tsan_dir" -j "$(nproc)" --target test_parallel_engine
+cmake --build "$tsan_dir" -j "$(nproc)" --target test_parallel_engine test_congestion
 
 TSAN_OPTIONS="halt_on_error=1" "$tsan_dir/tests/test_parallel_engine"
 echo "check.sh: sharded engine race-free under TSan"
+
+# --- Storm lane -------------------------------------------------------------
+# The congestion model's shard-private attempt ledgers merge on the engine's
+# merge thread at window barriers; run the whole congestion suite (including
+# its threads=1-vs-N byte-identity and resume-through-storm tests) on real
+# threads under TSan, then kill-inject through an actual overload window in
+# the ASan tree — serial, same wall-clock-sensitivity argument as above.
+TSAN_OPTIONS="halt_on_error=1" "$tsan_dir/tests/test_congestion"
+ctest --test-dir "$build_dir" --output-on-failure -R 'CheckpointRecovery.KillInjectionStorm'
+echo "check.sh: storm lane passed (congestion suite under TSan + kill injection mid-storm)"
 
 # --- Perf gate (plain build: sanitizer overhead would swamp the timers) ----
 baseline="bench/baselines/BENCH_p1_baseline.json"

@@ -71,6 +71,18 @@ IGNORED_RESULT_KEYS = (
     THREAD_METADATA_KEYS | CHECKPOINT_METADATA_KEYS | TRACE_FORMAT_METADATA_KEYS
 )
 
+# Closed-loop overload telemetry from bench_s3_overload_storm. Reject
+# counts, peak overload factors and congested-window lengths scale with the
+# configured capacity and fleet size, and the bench binary already encodes
+# its own verdict in the exit status, so these are informational across
+# commits and never gate. Matched by prefix: the key set grows with the
+# model.
+IGNORED_RESULT_PREFIXES = ("congestion_", "storm_")
+
+
+def ignored_result(key):
+    return key in IGNORED_RESULT_KEYS or key.startswith(IGNORED_RESULT_PREFIXES)
+
 
 def load_manifest(path):
     try:
@@ -151,10 +163,10 @@ def main():
         print(f"{name:<{width}}  {bs}  {cs}  {delta:>9}  {'yes' if gated else 'no'}")
 
     base_results = {
-        k: v for k, v in base.get("results", {}).items() if k not in IGNORED_RESULT_KEYS
+        k: v for k, v in base.get("results", {}).items() if not ignored_result(k)
     }
     cand_results = {
-        k: v for k, v in cand.get("results", {}).items() if k not in IGNORED_RESULT_KEYS
+        k: v for k, v in cand.get("results", {}).items() if not ignored_result(k)
     }
     base_threads = base.get("results", {}).get("engine_threads", 1)
     cand_threads = cand.get("results", {}).get("engine_threads", 1)

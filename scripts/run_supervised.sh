@@ -25,6 +25,8 @@ out_dir="$2"
 shift 2
 
 max_restarts="${WTR_SUPERVISE_MAX_RESTARTS:-50}"
+backoff_base_s="${WTR_SUPERVISE_BACKOFF_BASE_S:-1}"
+backoff_cap_s="${WTR_SUPERVISE_BACKOFF_CAP_S:-60}"
 mkdir -p "$out_dir"
 ckpt="$out_dir/ckpt.bin"
 
@@ -60,6 +62,17 @@ while :; do
       if [[ ! -f "$ckpt" ]]; then
         echo "run_supervised: no checkpoint yet; restarting from scratch" >&2
       fi
+      # A crash-looping harness (bad disk, exhausted memory, broken binary)
+      # would otherwise hot-spin: exponential backoff with jitter so restarts
+      # back off to $backoff_cap_s and don't synchronize with other
+      # supervisors sharing the machine.
+      delay=$((backoff_base_s * (1 << (attempt - 1 < 30 ? attempt - 1 : 30))))
+      if [[ $delay -gt $backoff_cap_s || $delay -le 0 ]]; then
+        delay=$backoff_cap_s
+      fi
+      delay=$((delay + RANDOM % (delay + 1)))
+      echo "run_supervised: backing off ${delay}s before restart" >&2
+      sleep "$delay"
       ;;
   esac
 done

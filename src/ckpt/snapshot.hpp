@@ -28,7 +28,9 @@
 
 namespace wtr::ckpt {
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+// v2: engine payload gained a congestion-model section and DeviceAgent
+// state gained T3346/FOTA fields — v1 snapshots are rejected on read.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Thrown on any snapshot integrity or format failure (torn file, bit flip,
 /// version or fingerprint mismatch). The message names the path and cause.

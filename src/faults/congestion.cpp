@@ -1,0 +1,134 @@
+#include "faults/congestion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace wtr::faults {
+
+CongestionModel::CongestionModel(const CongestionConfig& config,
+                                 std::size_t op_count, const FaultSchedule* faults,
+                                 obs::MetricsRegistry* metrics)
+    : config_(config), faults_(faults) {
+  if (config_.bucket_s <= 0) {
+    throw std::invalid_argument("CongestionConfig.bucket_s must be positive");
+  }
+  capacity_.assign(op_count, config_.default_capacity);
+  for (const auto& [op, cap] : config_.capacities) {
+    if (op < op_count) capacity_[op] = cap;
+  }
+  pending_.assign(op_count, 0);
+  reject_p_.assign(op_count, 0.0);
+  overload_.assign(op_count, 0.0);
+  eab_.assign(op_count, 0);
+  if (metrics != nullptr) {
+    attempts_counter_ = &metrics->counter("congestion.attempts");
+    barred_counter_ = &metrics->counter("congestion.eab_barred");
+    congested_counter_ = &metrics->counter("congestion.buckets_congested");
+    overload_gauge_ = &metrics->gauge("congestion.peak_overload");
+    reject_gauge_ = &metrics->gauge("congestion.peak_reject");
+  }
+}
+
+double CongestionModel::assigned_backoff_s(topology::OperatorId radio) const noexcept {
+  const double f = overload_factor(radio);
+  const double scaled = config_.t3346_base_s * std::max(f, 1.0);
+  return std::clamp(scaled, config_.t3346_base_s, config_.t3346_max_s);
+}
+
+void CongestionModel::absorb(CongestionLedger& ledger) noexcept {
+  const auto& attempts = ledger.attempts();
+  const std::size_t n = std::min(attempts.size(), pending_.size());
+  for (std::size_t op = 0; op < n; ++op) {
+    pending_[op] += attempts[op];
+    total_attempts_ += attempts[op];
+    if (attempts_counter_ != nullptr) attempts_counter_->inc(attempts[op]);
+  }
+  total_barred_ += ledger.barred();
+  if (barred_counter_ != nullptr) barred_counter_->inc(ledger.barred());
+  ledger.clear();
+}
+
+void CongestionModel::roll_to(stats::SimTime boundary) {
+  if (boundary <= last_roll_) return;  // replayed barrier after resume
+  // The closing bucket spans [boundary - bucket_s, boundary); capacity
+  // drops are sampled at its start so a drop covering the whole bucket
+  // scales it fully.
+  const stats::SimTime bucket_begin = boundary - config_.bucket_s;
+  bool congested = false;
+  for (std::size_t op = 0; op < pending_.size(); ++op) {
+    double capacity = capacity_[op];
+    if (capacity > 0.0 && faults_ != nullptr) {
+      capacity *= faults_->capacity_scale_at(
+          bucket_begin, static_cast<topology::OperatorId>(op));
+    }
+    double f = 0.0;
+    double p = 0.0;
+    if (capacity > 0.0) {
+      f = static_cast<double>(pending_[op]) / capacity;
+      if (f > 1.0) {
+        p = std::min(config_.max_reject,
+                     1.0 - std::pow(1.0 / f, config_.overload_exponent));
+        congested = true;
+      }
+    }
+    overload_[op] = f;
+    reject_p_[op] = p;
+    eab_[op] = config_.eab_threshold > 0.0 && f >= config_.eab_threshold ? 1 : 0;
+    peak_overload_ = std::max(peak_overload_, f);
+    peak_reject_ = std::max(peak_reject_, p);
+    pending_[op] = 0;
+  }
+  if (congested) {
+    ++congested_buckets_;
+    if (first_congested_at_ < 0) first_congested_at_ = boundary;
+    last_congested_at_ = boundary;
+    if (congested_counter_ != nullptr) congested_counter_->inc();
+  }
+  if (overload_gauge_ != nullptr) overload_gauge_->set_max(peak_overload_);
+  if (reject_gauge_ != nullptr) reject_gauge_->set_max(peak_reject_);
+  last_roll_ = boundary;
+}
+
+void CongestionModel::save_state(util::BinWriter& out) const {
+  out.u64(pending_.size());
+  for (std::size_t op = 0; op < pending_.size(); ++op) {
+    out.u64(pending_[op]);
+    out.f64(reject_p_[op]);
+    out.f64(overload_[op]);
+    out.u8(eab_[op]);
+  }
+  out.i64(last_roll_);
+  out.f64(peak_overload_);
+  out.f64(peak_reject_);
+  out.u64(congested_buckets_);
+  out.u64(total_attempts_);
+  out.u64(total_barred_);
+  out.i64(first_congested_at_);
+  out.i64(last_congested_at_);
+}
+
+void CongestionModel::restore_state(util::BinReader& in) {
+  const auto n = in.u64();
+  if (n != pending_.size()) {
+    throw std::runtime_error("congestion snapshot operator count mismatch");
+  }
+  for (std::size_t op = 0; op < pending_.size(); ++op) {
+    pending_[op] = in.u64();
+    reject_p_[op] = in.f64();
+    overload_[op] = in.f64();
+    eab_[op] = in.u8();
+  }
+  last_roll_ = in.i64();
+  peak_overload_ = in.f64();
+  peak_reject_ = in.f64();
+  congested_buckets_ = in.u64();
+  total_attempts_ = in.u64();
+  total_barred_ = in.u64();
+  first_congested_at_ = in.i64();
+  last_congested_at_ = in.i64();
+}
+
+}  // namespace wtr::faults

@@ -1,0 +1,196 @@
+#pragma once
+
+// Closed-loop overload model. The open-loop FaultSchedule injects *fixed*
+// reject probabilities; real IoT incidents (paper §3.3, §5; the Finley
+// cellular-IoT traffic studies) are closed-loop: a congested core rejects
+// attaches, rejected devices retry, and the retries deepen the congestion —
+// unless the network applies 3GPP congestion controls (T3346 mobility
+// backoff, extended access barring) and the fleet sheds load.
+//
+// Determinism under sharding is the design constraint. Reject probability
+// for bucket k is a pure function of the *previous* bucket's merged attempt
+// count against configured capacity:
+//
+//   f = load / effective_capacity
+//   p = 0                                  when f <= 1
+//   p = min(max_reject, 1 - (1/f)^gamma)   when f >  1
+//
+// Shards count attempts into private CongestionLedgers with no shared
+// state; the engine absorbs the ledgers at its existing window barriers and
+// rolls the bucket on the merge thread only when a window stop lands on a
+// bucket boundary (window stops are clamped to bucket boundaries when a
+// model is installed). Between barriers every worker sees an immutable
+// model — threads=N stays byte-identical to threads=1.
+//
+// The model also evaluates extended access barring: when the overload
+// factor crosses `eab_threshold`, delay-tolerant device classes (EAB
+// members, e.g. smart meters) are barred at the radio level and emit no
+// signaling at all — graceful degradation instead of a death spiral.
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault_schedule.hpp"
+#include "stats/sim_time.hpp"
+#include "topology/roaming_hub.hpp"
+#include "util/binio.hpp"
+
+namespace wtr::obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+}  // namespace wtr::obs
+
+namespace wtr::faults {
+
+struct CongestionConfig {
+  /// Load-accounting bucket width in sim seconds. Window stops are clamped
+  /// to multiples of this, so keep it a divisor-friendly value (>= 1).
+  stats::SimTime bucket_s = 60;
+  /// Attach-family messages per bucket an operator's core absorbs before
+  /// overloading. <= 0 means uncongestible (per-operator entries below can
+  /// still opt individual networks in).
+  double default_capacity = 0.0;
+  /// Per-radio-network overrides, keyed by the *radio network* operator id
+  /// (MVNO signaling lands on its host's core).
+  std::vector<std::pair<topology::OperatorId, double>> capacities;
+  /// Exponent gamma in the reject curve — higher = sharper onset.
+  double overload_exponent = 1.0;
+  /// Ceiling on the reject probability; keeps a trickle of successes alive
+  /// even in a hard spiral (real cores never reject literally everything).
+  double max_reject = 0.995;
+  /// T3346 value assigned on a congestion reject: base scaled by the
+  /// overload factor, clamped to [base, max].
+  double t3346_base_s = 900.0;
+  double t3346_max_s = 3600.0;
+  /// Overload factor at which extended access barring engages for
+  /// delay-tolerant device classes. <= 0 disables EAB.
+  double eab_threshold = 1.5;
+};
+
+/// Per-shard attempt accounting for one in-flight bucket. Strictly private
+/// to its shard between barriers; the merge thread absorbs and clears it at
+/// window stops. Addition is commutative, so absorb order (= shard order)
+/// cannot affect the merged totals.
+class CongestionLedger {
+ public:
+  CongestionLedger() = default;
+  explicit CongestionLedger(std::size_t op_count) { resize(op_count); }
+
+  void resize(std::size_t op_count) { attempts_.assign(op_count, 0); }
+
+  void count_attempt(topology::OperatorId radio) noexcept {
+    if (radio < attempts_.size()) ++attempts_[radio];
+  }
+  void count_barred(topology::OperatorId /*radio*/) noexcept { ++barred_; }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& attempts() const noexcept {
+    return attempts_;
+  }
+  [[nodiscard]] std::uint64_t barred() const noexcept { return barred_; }
+  void clear() noexcept {
+    for (auto& a : attempts_) a = 0;
+    barred_ = 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> attempts_;
+  std::uint64_t barred_ = 0;
+};
+
+class CongestionModel {
+ public:
+  /// `op_count` sizes the per-operator state (topology::OperatorRegistry
+  /// ids are dense). `faults`, when given, scales capacity by active
+  /// kCapacityDrop episodes; `metrics` wires congestion gauges/counters
+  /// (all written on the merge thread only).
+  CongestionModel(const CongestionConfig& config, std::size_t op_count,
+                  const FaultSchedule* faults = nullptr,
+                  obs::MetricsRegistry* metrics = nullptr);
+
+  [[nodiscard]] const CongestionConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t op_count() const noexcept { return reject_p_.size(); }
+
+  // --- read side (const; safe from shard workers between barriers) ---------
+
+  /// Reject probability for an attach-family message on `radio` in the
+  /// current bucket (derived from the previous bucket's load at the last
+  /// roll).
+  [[nodiscard]] double reject_probability(topology::OperatorId radio) const noexcept {
+    return radio < reject_p_.size() ? reject_p_[radio] : 0.0;
+  }
+  /// Previous-bucket load over effective capacity (0 when uncongestible).
+  [[nodiscard]] double overload_factor(topology::OperatorId radio) const noexcept {
+    return radio < overload_.size() ? overload_[radio] : 0.0;
+  }
+  /// Extended access barring in force for delay-tolerant classes on `radio`.
+  [[nodiscard]] bool eab_active(topology::OperatorId radio) const noexcept {
+    return radio < eab_.size() && eab_[radio] != 0;
+  }
+  /// Network-assigned T3346 value carried on a kCongestion reject.
+  [[nodiscard]] double assigned_backoff_s(topology::OperatorId radio) const noexcept;
+
+  // --- barrier side (merge thread only) ------------------------------------
+
+  /// Fold a shard ledger's counts into the pending bucket and clear it.
+  void absorb(CongestionLedger& ledger) noexcept;
+
+  /// Close the bucket ending at `boundary`: recompute per-operator reject
+  /// probabilities and EAB state from the pending counts, then reset them.
+  /// Idempotent per boundary (re-rolls at or before the last roll are
+  /// ignored), which makes checkpoint/resume replay-safe.
+  void roll_to(stats::SimTime boundary);
+
+  // --- reporting -----------------------------------------------------------
+
+  [[nodiscard]] double peak_overload() const noexcept { return peak_overload_; }
+  [[nodiscard]] double peak_reject() const noexcept { return peak_reject_; }
+  [[nodiscard]] std::uint64_t congested_buckets() const noexcept {
+    return congested_buckets_;
+  }
+  [[nodiscard]] std::uint64_t total_attempts() const noexcept {
+    return total_attempts_;
+  }
+  [[nodiscard]] std::uint64_t total_barred() const noexcept { return total_barred_; }
+  /// First / last bucket boundary at which any operator was overloaded
+  /// (-1 when congestion never occurred).
+  [[nodiscard]] stats::SimTime first_congested_at() const noexcept {
+    return first_congested_at_;
+  }
+  [[nodiscard]] stats::SimTime last_congested_at() const noexcept {
+    return last_congested_at_;
+  }
+
+  // --- checkpoint support --------------------------------------------------
+
+  void save_state(util::BinWriter& out) const;
+  void restore_state(util::BinReader& in);
+
+ private:
+  CongestionConfig config_;
+  const FaultSchedule* faults_ = nullptr;
+
+  std::vector<double> capacity_;        // configured, per radio network
+  std::vector<std::uint64_t> pending_;  // merged attempts, open bucket
+  std::vector<double> reject_p_;
+  std::vector<double> overload_;
+  std::vector<std::uint8_t> eab_;
+
+  stats::SimTime last_roll_ = 0;
+  double peak_overload_ = 0.0;
+  double peak_reject_ = 0.0;
+  std::uint64_t congested_buckets_ = 0;
+  std::uint64_t total_attempts_ = 0;
+  std::uint64_t total_barred_ = 0;
+  stats::SimTime first_congested_at_ = -1;
+  stats::SimTime last_congested_at_ = -1;
+
+  // Pre-resolved metric handles (null when metrics are off).
+  obs::Counter* attempts_counter_ = nullptr;
+  obs::Counter* barred_counter_ = nullptr;
+  obs::Counter* congested_counter_ = nullptr;
+  obs::Gauge* overload_gauge_ = nullptr;
+  obs::Gauge* reject_gauge_ = nullptr;
+};
+
+}  // namespace wtr::faults

@@ -10,6 +10,7 @@ std::string_view fault_kind_name(FaultKind kind) noexcept {
     case FaultKind::kSignalingStorm: return "signaling-storm";
     case FaultKind::kDegradedPath: return "degraded-path";
     case FaultKind::kMisprovisioning: return "misprovisioning";
+    case FaultKind::kCapacityDrop: return "capacity-drop";
   }
   return "?";
 }
@@ -75,6 +76,19 @@ void FaultSchedule::add_misprovisioning_ramp(std::uint32_t fault_domain,
   add(episode);
 }
 
+void FaultSchedule::add_capacity_drop(topology::OperatorId op, stats::SimTime begin,
+                                      stats::SimTime end, double severity,
+                                      bool ramp) {
+  FaultEpisode episode;
+  episode.kind = FaultKind::kCapacityDrop;
+  episode.op = op;
+  episode.begin = begin;
+  episode.end = end;
+  episode.severity = severity;
+  episode.ramp = ramp;
+  add(episode);
+}
+
 FaultEffect FaultSchedule::effect_at(stats::SimTime now,
                                      topology::OperatorId visited_radio,
                                      topology::HubId via_hub,
@@ -109,9 +123,23 @@ FaultEffect FaultSchedule::effect_at(stats::SimTime now,
             1.0 - (1.0 - effect.misprovisioned) * (1.0 - severity);
         break;
       }
+      case FaultKind::kCapacityDrop:
+        // Consumed by CongestionModel::capacity_scale_at, not per attempt.
+        break;
     }
   }
   return effect;
+}
+
+double FaultSchedule::capacity_scale_at(stats::SimTime now,
+                                        topology::OperatorId radio) const noexcept {
+  double scale = 1.0;
+  for (const auto& episode : episodes_) {
+    if (episode.kind != FaultKind::kCapacityDrop) continue;
+    if (episode.op != topology::kInvalidOperator && episode.op != radio) continue;
+    scale *= 1.0 - episode.severity_at(now);
+  }
+  return scale;
 }
 
 stats::SimTime FaultSchedule::first_begin() const noexcept {

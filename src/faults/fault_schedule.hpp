@@ -40,6 +40,11 @@ enum class FaultKind : std::uint8_t {
   /// domain are rejected with UnknownSubscription at probability
   /// `severity` (ramping over the window when `ramp` is set).
   kMisprovisioning,
+  /// Signaling-capacity loss on the operator's core (site failure, planned
+  /// maintenance): not a per-attempt reject — the congestion model scales
+  /// the operator's configured capacity by Π(1 - severity) over active
+  /// episodes, so offered load that used to fit now overloads.
+  kCapacityDrop,
 };
 
 [[nodiscard]] std::string_view fault_kind_name(FaultKind kind) noexcept;
@@ -105,6 +110,8 @@ class FaultSchedule {
                          double severity);
   void add_misprovisioning_ramp(std::uint32_t fault_domain, stats::SimTime begin,
                                 stats::SimTime end, double peak_severity);
+  void add_capacity_drop(topology::OperatorId op, stats::SimTime begin,
+                         stats::SimTime end, double severity, bool ramp = false);
 
   [[nodiscard]] bool empty() const noexcept { return episodes_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return episodes_.size(); }
@@ -119,6 +126,13 @@ class FaultSchedule {
                                       topology::OperatorId visited_radio,
                                       topology::HubId via_hub,
                                       std::uint32_t fault_domain) const noexcept;
+
+  /// Remaining signaling-capacity fraction for `radio` at `now`: the
+  /// product of (1 - severity) over active kCapacityDrop episodes that
+  /// match the network. 1.0 when nothing is active — the congestion model
+  /// multiplies its configured capacity by this.
+  [[nodiscard]] double capacity_scale_at(stats::SimTime now,
+                                         topology::OperatorId radio) const noexcept;
 
   /// Earliest episode start / latest episode end (0/0 when empty); used by
   /// harnesses to size observation windows.

@@ -67,6 +67,11 @@ struct ResilienceSummary {
                            : static_cast<double>(failures) /
                                  static_cast<double>(procedures);
   }
+  /// Rejects carrying the congestion cause (the closed-loop overload
+  /// model's kCongestion results) — the storm bench's headline number.
+  [[nodiscard]] std::uint64_t congestion_rejects() const noexcept {
+    return by_code[static_cast<std::size_t>(signaling::ResultCode::kCongestion)];
+  }
 };
 
 class ResilienceReport final : public sim::RecordSink, public ckpt::Checkpointable {

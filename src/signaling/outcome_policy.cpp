@@ -8,8 +8,10 @@ namespace wtr::signaling {
 
 OutcomePolicy::OutcomePolicy(OutcomePolicyConfig config,
                              const faults::FaultSchedule* faults,
-                             obs::MetricsRegistry* metrics)
-    : config_(config), faults_(faults) {
+                             obs::MetricsRegistry* metrics,
+                             const faults::CongestionModel* congestion,
+                             faults::CongestionLedger* load)
+    : config_(config), faults_(faults), congestion_(congestion), load_(load) {
   if (metrics == nullptr) return;
   evaluations_ = &metrics->counter("signaling.evaluations");
   rejects_ = &metrics->counter("signaling.rejects");
@@ -25,10 +27,10 @@ ResultCode OutcomePolicy::evaluate(const topology::World& world, stats::SimTime 
                                    topology::OperatorId visited, cellnet::Rat rat,
                                    cellnet::RatMask device_rats, cellnet::RatMask sim_rats,
                                    bool subscription_ok, std::uint32_t fault_domain,
-                                   stats::Rng& rng) const {
+                                   stats::Rng& rng, bool attach_family) const {
   const ResultCode result =
       evaluate_impl(world, now, home, visited, rat, device_rats, sim_rats,
-                    subscription_ok, fault_domain, rng);
+                    subscription_ok, fault_domain, rng, attach_family);
   if (evaluations_ != nullptr) {
     evaluations_->inc();
     by_code_[static_cast<std::size_t>(result)]->inc();
@@ -42,8 +44,8 @@ ResultCode OutcomePolicy::evaluate_impl(const topology::World& world, stats::Sim
                                         topology::OperatorId visited, cellnet::Rat rat,
                                         cellnet::RatMask device_rats,
                                         cellnet::RatMask sim_rats, bool subscription_ok,
-                                        std::uint32_t fault_domain,
-                                        stats::Rng& rng) const {
+                                        std::uint32_t fault_domain, stats::Rng& rng,
+                                        bool attach_family) const {
   const auto& operators = world.operators();
   const auto& home_op = operators.get(home);
   const auto& visited_op = operators.get(visited);
@@ -74,6 +76,20 @@ ResultCode OutcomePolicy::evaluate_impl(const topology::World& world, stats::Sim
     via_hub = roaming.via_hub;
   }
   (void)home_op;
+
+  // Closed-loop congestion: attach-family messages land on the visited
+  // *radio* network's core. The attempt is counted whether or not it is
+  // rejected (rejected messages still load the core), and the draw happens
+  // unconditionally while a model is installed so the stream offset never
+  // depends on the load level. No model = zero extra draws = bit-identical
+  // to a build without the subsystem.
+  if (congestion_ != nullptr && attach_family) {
+    const auto radio = operators.radio_network_of(visited);
+    if (load_ != nullptr) load_->count_attempt(radio);
+    if (rng.bernoulli(congestion_->reject_probability(radio))) {
+      return ResultCode::kCongestion;
+    }
+  }
 
   // Injected fault pressure at this instant. The empty/absent-schedule fast
   // path keeps the probabilities *exactly* the configured base rates so the

@@ -11,6 +11,7 @@
 #include <array>
 
 #include "cellnet/rat.hpp"
+#include "faults/congestion.hpp"
 #include "faults/fault_schedule.hpp"
 #include "signaling/result_code.hpp"
 #include "stats/rng.hpp"
@@ -37,9 +38,15 @@ class OutcomePolicy {
   /// counters. Counter handles resolve once here, so the per-call cost with
   /// metrics off is a single null test and the RNG stream is untouched
   /// either way.
+  /// `congestion` (optional, borrowed) closes the loop: attach-family
+  /// attempts are counted into `load` (the caller's shard-local ledger) and
+  /// may be rejected with kCongestion at the model's current per-operator
+  /// probability. Both null = the pre-congestion build, bit-identical.
   explicit OutcomePolicy(OutcomePolicyConfig config,
                          const faults::FaultSchedule* faults = nullptr,
-                         obs::MetricsRegistry* metrics = nullptr);
+                         obs::MetricsRegistry* metrics = nullptr,
+                         const faults::CongestionModel* congestion = nullptr,
+                         faults::CongestionLedger* load = nullptr);
 
   /// Evaluate a procedure attempt at sim time `now` by a SIM of `home` on
   /// the radio network of `visited` using `rat`. `device_rats` is the
@@ -50,16 +57,35 @@ class OutcomePolicy {
   ///
   /// RNG discipline: exactly two bernoulli draws on every structurally-OK
   /// attempt, fault schedule or not — an empty/absent schedule is
-  /// bit-identical to the pre-fault build.
+  /// bit-identical to the pre-fault build. With a congestion model
+  /// installed, `attach_family` attempts add exactly one more draw
+  /// (unconditionally, so the stream never depends on the load level).
   [[nodiscard]] ResultCode evaluate(const topology::World& world, stats::SimTime now,
                                     topology::OperatorId home,
                                     topology::OperatorId visited, cellnet::Rat rat,
                                     cellnet::RatMask device_rats,
                                     cellnet::RatMask sim_rats, bool subscription_ok,
-                                    std::uint32_t fault_domain, stats::Rng& rng) const;
+                                    std::uint32_t fault_domain, stats::Rng& rng,
+                                    bool attach_family = true) const;
 
   [[nodiscard]] const OutcomePolicyConfig& config() const noexcept { return config_; }
   [[nodiscard]] const faults::FaultSchedule* faults() const noexcept { return faults_; }
+  [[nodiscard]] const faults::CongestionModel* congestion() const noexcept {
+    return congestion_;
+  }
+  /// Extended access barring in force on `radio` (a *radio network* id) —
+  /// a barred delay-tolerant device skips the attempt entirely.
+  [[nodiscard]] bool eab_barred(topology::OperatorId radio) const noexcept {
+    return congestion_ != nullptr && congestion_->eab_active(radio);
+  }
+  /// Network-assigned T3346 value carried on a kCongestion reject.
+  [[nodiscard]] double congestion_backoff_s(topology::OperatorId radio) const noexcept {
+    return congestion_ != nullptr ? congestion_->assigned_backoff_s(radio) : 0.0;
+  }
+  /// Record an EAB-suppressed attempt (shed load) into the shard ledger.
+  void note_eab_barred(topology::OperatorId radio) const noexcept {
+    if (load_ != nullptr) load_->count_barred(radio);
+  }
 
  private:
   [[nodiscard]] ResultCode evaluate_impl(const topology::World& world,
@@ -67,11 +93,13 @@ class OutcomePolicy {
                                          topology::OperatorId visited, cellnet::Rat rat,
                                          cellnet::RatMask device_rats,
                                          cellnet::RatMask sim_rats, bool subscription_ok,
-                                         std::uint32_t fault_domain,
-                                         stats::Rng& rng) const;
+                                         std::uint32_t fault_domain, stats::Rng& rng,
+                                         bool attach_family) const;
 
   OutcomePolicyConfig config_{};
   const faults::FaultSchedule* faults_ = nullptr;  // not owned; may be null
+  const faults::CongestionModel* congestion_ = nullptr;  // not owned; may be null
+  faults::CongestionLedger* load_ = nullptr;  // shard-local; not owned
   // Pre-resolved metric handles (null when observability is off). The
   // registry owns them; pointers stay valid for its lifetime.
   obs::Counter* evaluations_ = nullptr;

@@ -9,6 +9,7 @@ std::string_view result_code_name(ResultCode code) noexcept {
     case ResultCode::kUnknownSubscription: return "UnknownSubscription";
     case ResultCode::kFeatureUnsupported: return "FeatureUnsupported";
     case ResultCode::kNetworkFailure: return "NetworkFailure";
+    case ResultCode::kCongestion: return "Congestion";
   }
   return "?";
 }

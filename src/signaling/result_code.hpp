@@ -17,9 +17,10 @@ enum class ResultCode : std::uint8_t {
   kUnknownSubscription,  // HSS does not recognize the IMSI
   kFeatureUnsupported,   // RAT / service outside the agreement or hardware
   kNetworkFailure,       // transient core-network error
+  kCongestion,           // core overload; carries a network-assigned backoff
 };
 
-inline constexpr int kResultCodeCount = 5;
+inline constexpr int kResultCodeCount = 6;
 
 [[nodiscard]] std::string_view result_code_name(ResultCode code) noexcept;
 

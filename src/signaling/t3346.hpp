@@ -1,0 +1,35 @@
+#pragma once
+
+// T3346 mobility-management congestion backoff (3GPP TS 24.301 §5.3.7a /
+// TS 24.008 §4.7.1.9). On an attach reject with a congestion cause the
+// network assigns a backoff value; the UE starts T3346 and may not retry
+// mobility-management procedures until it expires. Unlike the T3411/T3402
+// attempt-counter machine (attach_backoff.hpp), a congestion reject does
+// NOT advance the attempt counter (TS 24.301 §5.5.1.2.5) — the two timers
+// ride side by side in DeviceAgent, and this one wins while running.
+
+#include "stats/sim_time.hpp"
+#include "util/binio.hpp"
+
+namespace wtr::signaling {
+
+class T3346Timer {
+ public:
+  /// Arm the timer: no attach attempts until `until` (sim seconds).
+  void start(stats::SimTime until) noexcept {
+    if (until > barred_until_) barred_until_ = until;
+  }
+  [[nodiscard]] bool running(stats::SimTime now) const noexcept {
+    return now < barred_until_;
+  }
+  [[nodiscard]] stats::SimTime expiry() const noexcept { return barred_until_; }
+  void stop() noexcept { barred_until_ = 0; }
+
+  void save_state(util::BinWriter& out) const { out.i64(barred_until_); }
+  void restore_state(util::BinReader& in) { barred_until_ = in.i64(); }
+
+ private:
+  stats::SimTime barred_until_ = 0;
+};
+
+}  // namespace wtr::signaling

@@ -35,29 +35,55 @@ std::optional<SimTime> DeviceAgent::first_wake() {
 }
 
 std::optional<SimTime> DeviceAgent::schedule_next(SimTime now) {
-  // Mechanistic retry path: a failed attach round schedules the next wake
-  // from the 3GPP backoff machine (T3411 short retry, T3402 long backoff).
-  // The delay was drawn in try_attach; no further randomness is consumed.
-  if (options_.backoff.enabled && !emm_.attached() && last_attach_failed_) {
-    SimTime next = now + static_cast<SimTime>(std::max(1.0, pending_retry_delay_s_));
-    if (next >= departure_time()) next = departure_time();
-    if (next <= now) next = now + 1;
-    return next;
+  // T3346 wins while running: the UE may not retry mobility management
+  // until the network-assigned congestion backoff expires, whatever the
+  // session process or the T3411 machine would prefer.
+  const bool t3346_wait = options_.honor_congestion_control && !emm_.attached() &&
+                          t3346_.running(now);
+  SimTime next;
+  if (t3346_wait) {
+    next = t3346_.expiry();
+  } else if (options_.backoff.enabled && !emm_.attached() && last_attach_failed_) {
+    // Mechanistic retry path: a failed attach round schedules the next wake
+    // from the 3GPP backoff machine (T3411 short retry, T3402 long backoff).
+    // The delay was drawn in try_attach; no further randomness is consumed.
+    next = now + static_cast<SimTime>(std::max(1.0, pending_retry_delay_s_));
+  } else if (options_.checkin.enabled) {
+    // Synchronized check-in: the next fixed-period beat after `now`,
+    // anchored at offset_s, plus a small uniform jitter. The whole fleet
+    // shares the anchor — the thundering herd is the point.
+    const double period = std::max(1.0, options_.checkin.period_s);
+    const double now_d = static_cast<double>(now);
+    double beat = options_.checkin.offset_s;
+    if (now_d >= beat) {
+      beat += (std::floor((now_d - beat) / period) + 1.0) * period;
+    }
+    beat += rng_.uniform() * std::max(0.0, options_.checkin.jitter_s);
+    next = static_cast<SimTime>(beat);
+  } else {
+    // Session process: exponential inter-arrival at the device's rate,
+    // modulated by the profile's diurnal shape. Unattached devices retry
+    // faster (registration storms — the Fig. 3 signaling-flood tail).
+    double rate_per_s =
+        device_.sessions_per_day / static_cast<double>(stats::kSecondsPerDay);
+    // Registration retries back off only from *failed* attach attempts; a
+    // device that detached voluntarily wakes at its normal session rate.
+    if (!emm_.attached() && last_attach_failed_) {
+      rate_per_s *= options_.retry_rate_boost;
+    }
+    const double weight = stats::diurnal_weight(now, device_.profile.diurnal_floor);
+    rate_per_s *= std::max(0.02, weight);
+    double dt = stats::sample_exponential(rng_, std::max(rate_per_s, 1e-9));
+    dt = stats::clamped(dt, 30.0, 7.0 * stats::kSecondsPerDay);
+    next = now + static_cast<SimTime>(dt);
   }
 
-  // Session process: exponential inter-arrival at the device's rate,
-  // modulated by the profile's diurnal shape. Unattached devices retry
-  // faster (registration storms — the Fig. 3 signaling-flood tail).
-  double rate_per_s =
-      device_.sessions_per_day / static_cast<double>(stats::kSecondsPerDay);
-  // Registration retries back off only from *failed* attach attempts; a
-  // device that detached voluntarily wakes at its normal session rate.
-  if (!emm_.attached() && last_attach_failed_) rate_per_s *= options_.retry_rate_boost;
-  const double weight = stats::diurnal_weight(now, device_.profile.diurnal_floor);
-  rate_per_s *= std::max(0.02, weight);
-  double dt = stats::sample_exponential(rng_, std::max(rate_per_s, 1e-9));
-  dt = stats::clamped(dt, 30.0, 7.0 * stats::kSecondsPerDay);
-  SimTime next = now + static_cast<SimTime>(dt);
+  // A pending FOTA wave/retry due before the natural beat pulls the wake
+  // earlier — unless T3346 bars the device anyway.
+  if (!t3346_wait) {
+    if (const auto due = fota_due_time(now); due && *due < next) next = *due;
+  }
+
   if (next >= departure_time()) next = departure_time();
   if (next <= now) next = now + 1;
   return next;
@@ -165,8 +191,24 @@ bool DeviceAgent::try_attach(const AgentContext& ctx, SimTime now,
     }
   }
   int attempts = 0;
+  bool barred_any = false;
+  bool congested = false;
+  topology::OperatorId congested_radio = topology::kInvalidOperator;
   for (const auto& candidate : candidates) {
     if (attempts >= options_.max_attach_attempts) break;
+    // Extended access barring: a delay-tolerant device that honours the
+    // barring bitmap may not even signal on an overloaded network — the
+    // attempt is suppressed at the radio level, consuming no RNG (the EAB
+    // state is barrier-synchronized, so every thread count sees the same
+    // bitmap here).
+    if (options_.eab_member && options_.honor_congestion_control) {
+      const auto radio = ctx.world->operators().radio_network_of(candidate.visited);
+      if (ctx.outcomes->eab_barred(radio)) {
+        ctx.outcomes->note_eab_barred(radio);
+        barred_any = true;
+        continue;
+      }
+    }
     // Conservative retry behaviour: once a network has been chosen (the
     // sticky preferred one, or the first scanned), a rejection usually ends
     // this wake's registration attempt instead of walking the PLMN list.
@@ -189,6 +231,12 @@ bool DeviceAgent::try_attach(const AgentContext& ctx, SimTime now,
       emit_signaling(ctx, now, signaling::Procedure::kAuthentication, auth_result,
                      effective_rat, /*data_context=*/true);
       auto next_step = emm_.on_attach_step_result(auth_result);
+      if (options_.honor_congestion_control &&
+          auth_result == signaling::ResultCode::kCongestion) {
+        congested = true;
+        congested_radio = ctx.world->operators().radio_network_of(candidate.visited);
+        break;
+      }
       if (next_step) {
         const auto update_result = ctx.outcomes->evaluate(
             *ctx.world, now, device_.home_operator, candidate.visited, effective_rat,
@@ -197,6 +245,12 @@ bool DeviceAgent::try_attach(const AgentContext& ctx, SimTime now,
         emit_signaling(ctx, now, signaling::Procedure::kUpdateLocation, update_result,
                        effective_rat, /*data_context=*/true);
         emm_.on_attach_step_result(update_result);
+        if (options_.honor_congestion_control &&
+            update_result == signaling::ResultCode::kCongestion) {
+          congested = true;
+          congested_radio = ctx.world->operators().radio_network_of(candidate.visited);
+          break;
+        }
       }
       if (emm_.attached()) {
         dwell_since_ = now;
@@ -208,8 +262,27 @@ bool DeviceAgent::try_attach(const AgentContext& ctx, SimTime now,
       // RAT fallback on the same network (4G → 3G → 2G).
       rat = ctx.selector->radio_fallback_rat(device_, candidate.visited, effective_rat);
     }
+    if (congested) break;
   }
   serving_ = Serving{};
+  if (congested) {
+    // Congestion control: start T3346 at the network-assigned value with a
+    // ±10% UE jitter (one uniform draw, only on this path). A congestion
+    // reject does NOT advance the T3411/T3402 attempt counter (TS 24.301
+    // §5.5.1.2.5) — the mobility backoff timer alone gates the next try.
+    const double assigned = ctx.outcomes->congestion_backoff_s(congested_radio);
+    const double jitter = 0.9 + 0.2 * rng_.uniform();
+    t3346_.start(now + static_cast<SimTime>(std::max(1.0, assigned * jitter)));
+    last_attach_failed_ = true;
+    return false;
+  }
+  if (attempts == 0 && barred_any) {
+    // Every candidate barred this device class: shed the load entirely —
+    // no signaling happened, no backoff advances, and the next wake comes
+    // at the natural session beat (graceful degradation, not a retry loop).
+    last_attach_failed_ = false;
+    return false;
+  }
   last_attach_failed_ = true;
   // The whole round failed: advance the backoff machine. Drawing the retry
   // delay here (not in schedule_next) keeps the jitter draw adjacent to the
@@ -228,10 +301,12 @@ void DeviceAgent::do_session(const AgentContext& ctx, SimTime now) {
   for (std::uint64_t i = 0; i < updates; ++i) {
     const bool on_lte = serving_.rat == cellnet::Rat::kFourG;
     const auto procedure = emm_.area_update(on_lte);
+    // Area updates ride an existing registration; they are not the
+    // attach-family load the congestion model meters.
     const auto result = ctx.outcomes->evaluate(
         *ctx.world, now, device_.home_operator, serving_.visited, serving_.rat,
         device_.capability, device_.sim_allowed_rats, device_.subscription_ok,
-        device_.fault_domain, rng_);
+        device_.fault_domain, rng_, /*attach_family=*/false);
     emit_signaling(ctx, now, procedure, result, serving_.rat, /*data_context=*/true);
   }
 
@@ -287,6 +362,61 @@ void DeviceAgent::do_session(const AgentContext& ctx, SimTime now) {
   }
 }
 
+SimTime DeviceAgent::fota_wave_time() const noexcept {
+  const int waves = std::max(1, options_.fota.waves);
+  return options_.fota.start_s +
+         static_cast<SimTime>(device_.id % static_cast<std::uint64_t>(waves)) *
+             options_.fota.wave_interval_s;
+}
+
+std::optional<SimTime> DeviceAgent::fota_due_time(SimTime now) const {
+  if (!options_.fota.enabled || fota_done_ ||
+      fota_attempts_ >= options_.fota.max_attempts) {
+    return std::nullopt;
+  }
+  const SimTime due = fota_attempts_ == 0 ? fota_wave_time() : fota_retry_at_;
+  // Already due: the next wake (whenever it lands) attempts the download;
+  // only a *future* due time needs the wake pulled earlier.
+  if (due <= now) return std::nullopt;
+  return due;
+}
+
+void DeviceAgent::maybe_fota(const AgentContext& ctx, SimTime now) {
+  assert(emm_.attached());
+  if (!options_.fota.enabled || fota_done_ ||
+      fota_attempts_ >= options_.fota.max_attempts) {
+    return;
+  }
+  if (now < fota_wave_time()) return;                       // wave not started
+  if (fota_attempts_ > 0 && now < fota_retry_at_) return;   // retry timer live
+  ++fota_attempts_;
+  const bool failed = rng_.bernoulli(options_.fota.failure_p);
+
+  // The (possibly partial) image transfer: a failed download aborts at a
+  // fixed fraction of the image, then the retry timer re-pulls the whole
+  // thing — the bandwidth signature of a broken-image retry storm.
+  records::Xdr xdr;
+  xdr.device = device_.id;
+  xdr.time = now;
+  xdr.sim_plmn = ctx.world->operators().get(device_.home_operator).plmn;
+  xdr.visited_plmn = ctx.world->operators().get(serving_.visited).plmn;
+  const double fraction = failed ? 0.35 : 1.0;
+  xdr.bytes_down = static_cast<std::uint64_t>(options_.fota.image_bytes * fraction);
+  xdr.bytes_up = static_cast<std::uint64_t>(
+      std::max(1.0, options_.fota.image_bytes * 0.01));
+  xdr.apn = device_.apn.to_string();
+  xdr.rat = serving_.rat;
+  ctx.sink->on_xdr(xdr);
+
+  if (failed) {
+    fota_retry_at_ =
+        now + options_.fota.retry_s +
+        static_cast<SimTime>(rng_.uniform() * std::max(0.0, options_.fota.retry_jitter_s));
+  } else {
+    fota_done_ = true;
+  }
+}
+
 void DeviceAgent::finalize(SimTime now, const AgentContext& ctx) {
   if (finalized_) return;
   // The departure instant is the first second *outside* the active window;
@@ -324,6 +454,10 @@ void DeviceAgent::save_state(util::BinWriter& out) const {
   out.i64(dwell_since_);
   out.b(last_attach_failed_);
   out.b(finalized_);
+  t3346_.save_state(out);
+  out.b(fota_done_);
+  out.i32(fota_attempts_);
+  out.i64(fota_retry_at_);
 }
 
 void DeviceAgent::restore_state(util::BinReader& in) {
@@ -356,6 +490,10 @@ void DeviceAgent::restore_state(util::BinReader& in) {
   dwell_since_ = in.i64();
   last_attach_failed_ = in.b();
   finalized_ = in.b();
+  t3346_.restore_state(in);
+  fota_done_ = in.b();
+  fota_attempts_ = in.i32();
+  fota_retry_at_ = in.i64();
 }
 
 std::optional<SimTime> DeviceAgent::on_wake(SimTime now, const AgentContext& ctx) {
@@ -393,12 +531,15 @@ std::optional<SimTime> DeviceAgent::on_wake(SimTime now, const AgentContext& ctx
       serving_ = locate(ctx, NetworkChoice{serving_.visited, serving_.rat,
                                            serving_.is_home});
     }
-  } else {
+  } else if (!(options_.honor_congestion_control && t3346_.running(now))) {
+    // A wake scheduled before the congestion reject can land while T3346 is
+    // still live; the UE may not re-attach until it expires.
     try_attach(ctx, now, std::nullopt);
   }
 
   if (emm_.attached()) {
     do_session(ctx, now);
+    maybe_fota(ctx, now);
     if (rng_.bernoulli(device_.profile.p_detach_after_session)) {
       flush_dwell(ctx, now);
       const auto rat = serving_.rat;

@@ -15,9 +15,11 @@
 #include "signaling/attach_backoff.hpp"
 #include "signaling/emm_state.hpp"
 #include "signaling/outcome_policy.hpp"
+#include "signaling/t3346.hpp"
 #include "sim/mobility.hpp"
 #include "sim/network_selection.hpp"
 #include "stats/rng.hpp"
+#include "stats/sim_time.hpp"
 
 namespace wtr::sim {
 
@@ -58,6 +60,35 @@ struct AgentContext {
   RecordSink* sink = nullptr;
 };
 
+/// Synchronized check-in (thundering herd): replaces the exponential
+/// session process with fixed-period beats anchored at `offset_s` plus a
+/// small uniform jitter — the firmware pattern where a whole fleet reports
+/// in near-simultaneously (the Finley cellular-IoT studies' dominant M2M
+/// traffic shape, and the load spike the congestion model feeds on).
+struct SyncCheckinConfig {
+  bool enabled = false;
+  double period_s = 6.0 * 3600.0;
+  double offset_s = 0.0;
+  /// Uniform [0, jitter_s) added per beat; small values keep the herd tight.
+  double jitter_s = 30.0;
+};
+
+/// Staged FOTA campaign with failed-image retry storms: the device's wave
+/// (id mod `waves`) starts at `start_s + wave * wave_interval_s`; each
+/// attempt downloads the image and fails with `failure_p`, retrying after
+/// `retry_s` plus uniform jitter, up to `max_attempts` total attempts.
+struct FotaCampaignConfig {
+  bool enabled = false;
+  stats::SimTime start_s = 0;
+  int waves = 4;
+  stats::SimTime wave_interval_s = 3600;
+  double image_bytes = 8.0 * 1024.0 * 1024.0;
+  double failure_p = 0.0;
+  stats::SimTime retry_s = 600;
+  double retry_jitter_s = 120.0;
+  int max_attempts = 6;
+};
+
 struct AgentOptions {
   TravelCorridor corridor;       // long-haul destinations
   int max_attach_attempts = 3;   // networks tried per wake before giving up
@@ -77,6 +108,17 @@ struct AgentOptions {
   double p_explore_after_failure = 0.25;
   double uplink_fraction_m2m = 0.70;   // M2M traffic is uplink-heavy
   double uplink_fraction_phone = 0.25;
+  /// Honour 3GPP congestion controls: start T3346 on a kCongestion reject
+  /// and respect extended access barring when `eab_member`. False models
+  /// legacy firmware that treats congestion as a generic failure and keeps
+  /// hammering — the death-spiral fleet in the A/B storm bench. Irrelevant
+  /// (and RNG-invisible) while no congestion model is installed.
+  bool honor_congestion_control = true;
+  /// Delay-tolerant device class (smart meters): subject to EAB, shedding
+  /// load first when the network is overloaded.
+  bool eab_member = false;
+  SyncCheckinConfig checkin{};
+  FotaCampaignConfig fota{};
 };
 
 class DeviceAgent {
@@ -96,6 +138,9 @@ class DeviceAgent {
   [[nodiscard]] const signaling::AttachBackoff& backoff() const noexcept {
     return backoff_;
   }
+  [[nodiscard]] const signaling::T3346Timer& t3346() const noexcept { return t3346_; }
+  [[nodiscard]] bool fota_done() const noexcept { return fota_done_; }
+  [[nodiscard]] std::int32_t fota_attempts() const noexcept { return fota_attempts_; }
 
   /// Checkpoint support: serialize everything that mutates after
   /// construction (RNG stream, EMM machine, backoff timers, position,
@@ -134,11 +179,26 @@ class DeviceAgent {
 
   void do_session(const AgentContext& ctx, stats::SimTime now);
 
+  /// Start of this device's FOTA wave (campaign start + wave offset).
+  [[nodiscard]] stats::SimTime fota_wave_time() const noexcept;
+  /// Future instant the FOTA campaign wants a wake for, if any.
+  [[nodiscard]] std::optional<stats::SimTime> fota_due_time(stats::SimTime now) const;
+  /// Attempt the pending FOTA download while attached (emits the transfer
+  /// xDR; failures arm the retry timer — the retry-storm generator).
+  void maybe_fota(const AgentContext& ctx, stats::SimTime now);
+
   devices::Device device_;
   AgentOptions options_;
   stats::Rng rng_;
   signaling::EmmStateMachine emm_;
   signaling::AttachBackoff backoff_;
+  /// Congestion-control mobility backoff; started on kCongestion rejects
+  /// when honor_congestion_control is set, and gates re-attach until expiry.
+  signaling::T3346Timer t3346_;
+  // FOTA campaign progress (inert unless options_.fota.enabled).
+  bool fota_done_ = false;
+  std::int32_t fota_attempts_ = 0;
+  stats::SimTime fota_retry_at_ = -1;
   /// Delay chosen by the backoff machine after the last failed attach round
   /// (seconds); consumed by schedule_next when backoff is enabled.
   double pending_retry_delay_s_ = 0.0;

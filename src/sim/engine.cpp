@@ -25,11 +25,17 @@ constexpr std::uint64_t kDebugWakeEvery = 2'000'000;
 /// OutcomePolicy clone, so shard loops never touch shared counters.
 struct Engine::Shard {
   Shard(const signaling::OutcomePolicyConfig& outcome_config,
-        const faults::FaultSchedule* faults, obs::MetricsRegistry* main_metrics)
-      : outcomes(outcome_config, faults, main_metrics != nullptr ? &metrics : nullptr) {}
+        const faults::FaultSchedule* faults, obs::MetricsRegistry* main_metrics,
+        const faults::CongestionModel* congestion)
+      : ledger(congestion != nullptr ? congestion->op_count() : 0),
+        outcomes(outcome_config, faults, main_metrics != nullptr ? &metrics : nullptr,
+                 congestion, congestion != nullptr ? &ledger : nullptr) {}
 
   RecordBuffer buffer;
   obs::MetricsRegistry metrics;
+  /// Shard-private attach-attempt counts for the open congestion bucket;
+  /// absorbed into the model at barriers by the merge thread.
+  faults::CongestionLedger ledger;
   signaling::OutcomePolicy outcomes;
   std::uint64_t wakes = 0;
 };
@@ -38,7 +44,10 @@ Engine::Engine(const topology::World& world, Config config)
     : world_(world),
       config_(config),
       selector_(world),
-      outcomes_(config.outcomes, config.faults, config.metrics),
+      congestion_ledger_(config.congestion != nullptr ? config.congestion->op_count()
+                                                      : 0),
+      outcomes_(config.outcomes, config.faults, config.metrics, config.congestion,
+                config.congestion != nullptr ? &congestion_ledger_ : nullptr),
       rng_(config.seed) {}
 
 void Engine::add_fleet(std::vector<devices::Device> fleet, AgentOptions options) {
@@ -102,6 +111,9 @@ void Engine::write_checkpoint(stats::SimTime resume_time, const EventQueue& queu
 
   payload.b(config_.probe != nullptr);
   if (config_.probe != nullptr) config_.probe->save_state(payload);
+
+  payload.b(config_.congestion != nullptr);
+  if (config_.congestion != nullptr) config_.congestion->save_state(payload);
 
   payload.u64(checkpointables_.size());
   for (const auto& [name, component] : checkpointables_) {
@@ -172,6 +184,14 @@ void Engine::resume_from(const std::string& path) {
                "(both runs must enable or disable it together)");
   }
   if (has_probe) config_.probe->restore_state(in);
+
+  const bool has_congestion = in.b();
+  if (has_congestion != (config_.congestion != nullptr)) {
+    throw ckpt::SnapshotError(
+        path + ": snapshot and engine disagree on the congestion model "
+               "(both runs must install or omit it together)");
+  }
+  if (has_congestion) config_.congestion->restore_state(in);
 
   const auto n_components = in.u64();
   if (n_components != checkpointables_.size()) {
@@ -262,6 +282,9 @@ void Engine::run_single(const std::vector<RecordSink*>& sinks) {
     const stats::SimTime t = config_.stop_after_sim_hours * stats::kSecondsPerHour;
     if (t < horizon_end) stop_time = t;
   }
+  faults::CongestionModel* congestion = config_.congestion;
+  const stats::SimTime bucket_s =
+      congestion != nullptr ? congestion->config().bucket_s : 0;
 
   // The run is a sequence of checkpoint windows; without a cadence, a stop
   // point or a shutdown request the single window covers the whole horizon
@@ -273,10 +296,17 @@ void Engine::run_single(const std::vector<RecordSink*>& sinks) {
     if (cadence_s > 0) {
       stop = std::min(stop, (window_start / cadence_s + 1) * cadence_s);
     }
+    if (bucket_s > 0) {
+      stop = std::min(stop, (window_start / bucket_s + 1) * bucket_s);
+    }
     if (stop_time >= 0) stop = std::min(stop, stop_time);
 
     while (!queue_.empty() && *queue_.next_time() <= stop) {
-      if (ckpt::shutdown_requested()) {
+      // With a congestion model installed, shutdown is honoured at window
+      // boundaries only (a window is at most one bucket of sim time) —
+      // snapshots then always land on absorbed-and-rolled bucket state,
+      // mirroring the sharded path's barrier-only rule.
+      if (congestion == nullptr && ckpt::shutdown_requested()) {
         shutdown_hit = true;
         break;
       }
@@ -298,17 +328,28 @@ void Engine::run_single(const std::vector<RecordSink*>& sinks) {
       }
     }
 
+    if (congestion != nullptr) {
+      congestion->absorb(congestion_ledger_);
+      if (stop % bucket_s == 0) congestion->roll_to(stop);
+      if (ckpt::shutdown_requested()) shutdown_hit = true;
+    }
+
     if (shutdown_hit || (stop_time >= 0 && stop == stop_time)) {
       interrupted_ = true;
-      // A shutdown can land mid-window: the snapshot then resumes at the
-      // last processed event, which recomputes the same next cadence
-      // boundary the interrupted process was heading for.
-      write_checkpoint(shutdown_hit ? last_time_ : stop, queue_, config_.metrics);
+      // A shutdown can land mid-window (congestion off only): the snapshot
+      // then resumes at the last processed event, which recomputes the same
+      // next cadence boundary the interrupted process was heading for.
+      const bool mid_window = shutdown_hit && congestion == nullptr;
+      write_checkpoint(mid_window ? last_time_ : stop, queue_, config_.metrics);
       return;
     }
     window_start = stop;
     if (stop >= horizon_end) break;
-    write_checkpoint(stop, queue_, config_.metrics);
+    // Congestion bucket boundaries subdivide cadence windows; only cadence
+    // multiples get a snapshot (exactly the pre-congestion stop set).
+    if (cadence_s > 0 && stop % cadence_s == 0) {
+      write_checkpoint(stop, queue_, config_.metrics);
+    }
   }
 
   // The legacy loop popped (and discarded) the first beyond-horizon event
@@ -357,7 +398,8 @@ void Engine::run_sharded(const std::vector<RecordSink*>& sinks,
   std::vector<Shard> shards;
   shards.reserve(shard_count);
   for (std::size_t s = 0; s < shard_count; ++s) {
-    shards.emplace_back(config_.outcomes, config_.faults, config_.metrics);
+    shards.emplace_back(config_.outcomes, config_.faults, config_.metrics,
+                        config_.congestion);
   }
 
   // Shard queues persist across checkpoint windows: pending events carry
@@ -394,6 +436,9 @@ void Engine::run_sharded(const std::vector<RecordSink*>& sinks,
     const stats::SimTime t = config_.stop_after_sim_hours * stats::kSecondsPerHour;
     if (t < horizon_end) stop_time = t;
   }
+  faults::CongestionModel* congestion = config_.congestion;
+  const stats::SimTime bucket_s =
+      congestion != nullptr ? congestion->config().bucket_s : 0;
 
   std::vector<RecordBuffer::Cursor> cursors(shard_count);
   util::ThreadPool pool(shard_count);
@@ -405,6 +450,9 @@ void Engine::run_sharded(const std::vector<RecordSink*>& sinks,
     stop = horizon_end;
     if (cadence_s > 0) {
       stop = std::min(stop, (window_start / cadence_s + 1) * cadence_s);
+    }
+    if (bucket_s > 0) {
+      stop = std::min(stop, (window_start / bucket_s + 1) * bucket_s);
     }
     if (stop_time >= 0) stop = std::min(stop, stop_time);
 
@@ -455,6 +503,17 @@ void Engine::run_sharded(const std::vector<RecordSink*>& sinks,
       cursors[s] = RecordBuffer::Cursor{};
     }
 
+    // Fold the shards' private attempt ledgers into the model and, on a
+    // bucket boundary, roll the reject probabilities for the next bucket.
+    // This runs on the merge thread between pool.wait() and the next
+    // submit, so workers only ever see an immutable model — and ledger
+    // addition is commutative, so the fixed shard order cannot differ from
+    // the single-threaded total.
+    if (congestion != nullptr) {
+      for (auto& shard : shards) congestion->absorb(shard.ledger);
+      if (stop % bucket_s == 0) congestion->roll_to(stop);
+    }
+
     // Shutdown requests are honoured at barriers only — mid-window the
     // shard agents have advanced past the merge point, so barrier state is
     // the only consistent snapshot state in sharded mode.
@@ -467,14 +526,18 @@ void Engine::run_sharded(const std::vector<RecordSink*>& sinks,
       reached_horizon = true;
       break;
     }
-    if (config_.metrics != nullptr) {
-      // Snapshot the registry the single-threaded path would have at this
-      // barrier: main contents plus every shard's delta so far.
-      obs::MetricsRegistry barrier_view = *config_.metrics;
-      for (const auto& shard : shards) barrier_view.merge_from(shard.metrics);
-      write_checkpoint(stop, merged, &barrier_view);
-    } else {
-      write_checkpoint(stop, merged, nullptr);
+    // Congestion bucket boundaries subdivide cadence windows; only cadence
+    // multiples get a snapshot (exactly the pre-congestion stop set).
+    if (cadence_s > 0 && stop % cadence_s == 0) {
+      if (config_.metrics != nullptr) {
+        // Snapshot the registry the single-threaded path would have at this
+        // barrier: main contents plus every shard's delta so far.
+        obs::MetricsRegistry barrier_view = *config_.metrics;
+        for (const auto& shard : shards) barrier_view.merge_from(shard.metrics);
+        write_checkpoint(stop, merged, &barrier_view);
+      } else {
+        write_checkpoint(stop, merged, nullptr);
+      }
     }
   }
 

@@ -117,6 +117,17 @@ class Engine {
     /// driven off the merged stream — trajectories stay deterministic.
     obs::MetricsRegistry* metrics = nullptr;
     obs::EngineProbe* probe = nullptr;
+    /// Optional closed-loop congestion model (borrowed; must outlive the
+    /// engine). When installed, window stops are additionally clamped to
+    /// the model's bucket boundaries, shards count attach attempts into
+    /// private ledgers, and the engine absorbs + rolls the model at
+    /// barriers on the merge thread — reject probabilities for bucket k are
+    /// a pure function of bucket k-1's merged load, so threads=N stays
+    /// byte-identical to threads=1. Null leaves every run bit-identical to
+    /// a build without the subsystem (no extra RNG draws, no clamping).
+    /// The model's state rides inside engine snapshots; resume requires the
+    /// same model presence and operator count.
+    faults::CongestionModel* congestion = nullptr;
     /// Checkpoint cadence in sim hours; 0 (the default) disables
     /// checkpointing entirely and the run takes the exact legacy code
     /// path — output stays byte-identical to a build without the
@@ -237,6 +248,10 @@ class Engine {
   const topology::World& world_;
   Config config_;
   NetworkSelector selector_;
+  /// Single-threaded path's attempt ledger (shards own private ones).
+  /// Declared before outcomes_: the policy captures its address at
+  /// construction.
+  faults::CongestionLedger congestion_ledger_;
   signaling::OutcomePolicy outcomes_;
   stats::Rng rng_;
   std::vector<std::unique_ptr<DeviceAgent>> agents_;

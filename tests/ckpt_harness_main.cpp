@@ -21,6 +21,7 @@
 // 35% registration storm on day 5 (hours 10..16) — with mechanistic 3GPP
 // backoff enabled, and accumulates a checkpointed ResilienceReport.
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +35,7 @@
 #include "ckpt/file_sink.hpp"
 #include "ckpt/shutdown.hpp"
 #include "ckpt/snapshot.hpp"
+#include "faults/congestion.hpp"
 #include "faults/fault_schedule.hpp"
 #include "faults/resilience_report.hpp"
 #include "obs/observability.hpp"
@@ -42,13 +44,14 @@
 #include "tracegen/m2m_platform_scenario.hpp"
 #include "tracegen/mno_scenario.hpp"
 #include "tracegen/smip_scenario.hpp"
+#include "tracegen/storm_scenario.hpp"
 
 namespace {
 
 using namespace wtr;
 
 struct Options {
-  std::string scenario = "mno";  // mno | smip | platform
+  std::string scenario = "mno";  // mno | smip | platform | storm
   std::string out_dir;
   std::string ckpt_path;           // default: <out_dir>/ckpt.bin
   std::int64_t ckpt_hours = 0;     // snapshot cadence (0 = off)
@@ -62,7 +65,7 @@ struct Options {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --out DIR [--scenario mno|smip|platform] [--ckpt PATH]\n"
+               "usage: %s --out DIR [--scenario mno|smip|platform|storm] [--ckpt PATH]\n"
                "          [--ckpt-hours N] [--stop-hours N] [--threads K]\n"
                "          [--devices N] [--seed N] [--faults] [--resume]\n",
                argv0);
@@ -114,7 +117,8 @@ bool parse(int argc, char** argv, Options& opt) {
     }
   }
   if (opt.out_dir.empty()) return false;
-  if (opt.scenario != "mno" && opt.scenario != "smip" && opt.scenario != "platform") {
+  if (opt.scenario != "mno" && opt.scenario != "smip" && opt.scenario != "platform" &&
+      opt.scenario != "storm") {
     return false;
   }
   if (opt.ckpt_path.empty()) opt.ckpt_path = opt.out_dir + "/ckpt.bin";
@@ -226,12 +230,50 @@ void build_fault_schedule(const Options& opt, faults::FaultSchedule& schedule) {
                      stats::day_start(5) + 16 * kHour, 0.35);
 }
 
+/// The closed-loop overload model the storm scenario runs against. Built
+/// before the real scenario (the engine borrows it at construction); the
+/// observer's radio-network id and the operator count come from a throwaway
+/// tiny scenario with the same world seed. The per-bucket capacity scales
+/// with the fleet so any --devices value actually congests.
+std::unique_ptr<faults::CongestionModel> build_congestion_model(
+    const Options& opt, obs::MetricsRegistry* metrics) {
+  tracegen::StormScenarioConfig probe_config;
+  probe_config.seed = opt.seed;
+  probe_config.meters = 8;
+  probe_config.trackers = 2;
+  probe_config.days = 1;
+  tracegen::StormScenario probe{probe_config};
+  faults::CongestionConfig config;
+  config.bucket_s = 60;
+  config.capacities = {{probe.observer_radio(),
+                        std::max(50.0, 0.16 * static_cast<double>(opt.devices))}};
+  return std::make_unique<faults::CongestionModel>(config, probe.operator_count(),
+                                                   nullptr, metrics);
+}
+
 std::unique_ptr<tracegen::ScenarioBase> make_scenario(
-    const Options& opt, const faults::FaultSchedule* faults, obs::Observability obs) {
+    const Options& opt, const faults::FaultSchedule* faults,
+    faults::CongestionModel* congestion, obs::Observability obs) {
   tracegen::CheckpointOptions ckpt;
   ckpt.every_sim_hours = opt.ckpt_hours;
   ckpt.path = opt.ckpt_path;
   ckpt.stop_after_sim_hours = opt.stop_hours;
+  if (opt.scenario == "storm") {
+    tracegen::StormScenarioConfig config;
+    config.seed = opt.seed;
+    config.trackers = opt.devices / 5;
+    config.meters = opt.devices - config.trackers;
+    config.threads = opt.threads;
+    config.checkin_jitter_s = 150.0;
+    config.fota_start_s = 30 * 3600;
+    config.fota_failure_p = 0.35;
+    config.backoff.enabled = true;
+    config.congestion = congestion;
+    config.faults = faults;
+    config.obs = obs;
+    config.ckpt = ckpt;
+    return std::make_unique<tracegen::StormScenario>(config);
+  }
   if (opt.scenario == "smip") {
     tracegen::SmipScenarioConfig config;
     config.seed = opt.seed;
@@ -284,8 +326,13 @@ int run_harness(const Options& opt) {
   faults::FaultSchedule schedule;
   if (opt.faults) build_fault_schedule(opt, schedule);
 
+  std::unique_ptr<faults::CongestionModel> congestion;
+  if (opt.scenario == "storm") {
+    congestion = build_congestion_model(opt, &observation.metrics());
+  }
+
   auto scenario = make_scenario(opt, opt.faults ? &schedule : nullptr,
-                                observation.view());
+                                congestion.get(), observation.view());
 
   // Crash-safe record sink: its byte offset rides in every checkpoint, so a
   // resume truncates records.txt back to exactly the checkpointed prefix.

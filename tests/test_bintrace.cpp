@@ -161,6 +161,37 @@ TEST(BinaryTraceRoundTrip, MixedFamiliesMultiBlock) {
   }
 }
 
+TEST(BinaryTraceRoundTrip, CongestionResultSurvivesBothCodecs) {
+  // kCongestion is the newest ResultCode: pin its round-trip explicitly
+  // (random_txn only covers it probabilistically) through the binary codec
+  // and the CSV path, which serializes the enum by name.
+  stats::Rng rng{0xC0 /* ngestion */};
+  auto txn = random_txn(rng);
+  txn.procedure = signaling::Procedure::kAttach;
+  txn.result = signaling::ResultCode::kCongestion;
+  EXPECT_EQ(signaling::result_code_name(txn.result), "Congestion");
+
+  std::ostringstream bin_out;
+  {
+    BinaryTraceSink sink{bin_out};
+    sink.on_signaling(txn, false);
+  }
+  std::ostringstream csv_out;
+  io::CsvWriter writer{csv_out};
+  writer.write_row(signaling::csv_header());
+  writer.write_row(signaling::to_csv_fields(txn));
+
+  for (const auto& text : {bin_out.str(), csv_out.str()}) {
+    std::istringstream in{text};
+    CaptureSink sink;
+    const auto stats = core::replay_signaling_trace(in, sink);
+    EXPECT_EQ(stats.delivered, 1u);
+    ASSERT_EQ(sink.txns.size(), 1u);
+    expect_txn_eq(sink.txns.front().first, txn);
+    EXPECT_EQ(sink.txns.front().first.result, signaling::ResultCode::kCongestion);
+  }
+}
+
 TEST(BinaryTraceRoundTrip, HostileApnStrings) {
   // The dictionary is length-prefixed, so strings that would wreck CSV
   // (commas, quotes, newlines, NULs) must travel verbatim.

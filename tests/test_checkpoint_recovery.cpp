@@ -243,6 +243,59 @@ TEST(CheckpointRecovery, KillInjectionFaultedThreads4) {
   run_kill_recovery(4, 0xbeef42);
 }
 
+/// Storm variant: kills land while the closed-loop congestion model is live
+/// — mid-bucket attempt counts, T3346 timers and FOTA retry state all ride
+/// the snapshot. Recovery must still converge to the golden run bytes.
+void run_storm_kill_recovery(unsigned threads, std::uint32_t rng_seed) {
+  const auto golden_dir = make_temp_dir("storm_golden");
+  const auto crash_dir = make_temp_dir("storm_crash");
+  ASSERT_FALSE(golden_dir.empty());
+  ASSERT_FALSE(crash_dir.empty());
+
+  // Big enough that every kill lands with real work still ahead of it (a
+  // too-small fleet finishes before the inode watcher's delay elapses).
+  const std::vector<std::string> common{
+      "--scenario", "storm",       "--devices", "8000",
+      "--seed",     "42",          "--ckpt-hours", "3",
+      "--threads",  std::to_string(threads)};
+
+  auto with_out = [&](const std::string& dir) {
+    std::vector<std::string> args = common;
+    args.emplace_back("--out");
+    args.emplace_back(dir);
+    return args;
+  };
+
+  ASSERT_EQ(run_to_exit(with_out(golden_dir)), 0);
+
+  std::mt19937 rng{rng_seed};
+  const auto result = run_with_kills(crash_dir, with_out(crash_dir), 2, rng);
+  EXPECT_TRUE(result.completed);
+  EXPECT_GE(result.kills, 2) << "run finished before enough kills landed — "
+                                "raise --devices or lower --ckpt-hours";
+
+  for (const auto* name : {"records.txt", "metrics.txt", "probe.txt",
+                           "MANIFEST.json"}) {
+    expect_same_file(golden_dir, crash_dir, name);
+  }
+  // The storm must actually have congested, or the kills never exercised
+  // the model's snapshot path.
+  EXPECT_NE(read_file(golden_dir + "/metrics.txt")
+                .find("congestion.buckets_congested"),
+            std::string::npos);
+
+  fs::remove_all(golden_dir);
+  fs::remove_all(crash_dir);
+}
+
+TEST(CheckpointRecovery, KillInjectionStormThreads1) {
+  run_storm_kill_recovery(1, 0x570f31);
+}
+
+TEST(CheckpointRecovery, KillInjectionStormThreads2) {
+  run_storm_kill_recovery(2, 0x570f32);
+}
+
 // --- snapshot integrity -----------------------------------------------------
 
 TEST(CheckpointRecovery, CorruptSnapshotsAreRejected) {

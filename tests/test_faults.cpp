@@ -7,6 +7,7 @@
 
 #include "faults/resilience_report.hpp"
 #include "signaling/outcome_policy.hpp"
+#include "stats/rng.hpp"
 #include "tracegen/mno_scenario.hpp"
 
 namespace wtr::faults {
@@ -136,6 +137,166 @@ TEST(FaultSchedule, HorizonHelpers) {
   EXPECT_EQ(schedule.first_begin(), kDay);
   EXPECT_EQ(schedule.last_end(), 4 * kDay);
   EXPECT_EQ(schedule.size(), 2u);
+}
+
+// ---- Property tests: composition algebra over random schedules -----------
+
+TEST(FaultScheduleProperty, OverlapCompositionMatchesIndependenceProduct) {
+  // Against arbitrary overlapping episode sets, every channel of effect_at
+  // must equal 1 - Π(1 - p_i) over the episodes active for that attempt,
+  // and capacity_scale_at must equal Π(1 - s_i) over active capacity drops
+  // — computed here with an independent reference fold.
+  for (const std::uint64_t seed : {11u, 12u, 13u, 14u}) {
+    stats::Rng rng{seed};
+    FaultSchedule schedule;
+    std::vector<FaultEpisode> reference;
+    const auto episodes = 3 + rng.below(12);
+    for (std::uint32_t i = 0; i < episodes; ++i) {
+      FaultEpisode episode;
+      episode.kind = static_cast<FaultKind>(rng.below(5));
+      episode.begin = static_cast<stats::SimTime>(rng.below(5'000));
+      episode.end = episode.begin + static_cast<stats::SimTime>(rng.below(5'000));
+      episode.severity = rng.uniform(0.0, 1.0);
+      episode.op = rng.bernoulli(0.3)
+                       ? topology::kInvalidOperator
+                       : static_cast<topology::OperatorId>(1 + rng.below(3));
+      episode.hub = rng.bernoulli(0.3)
+                        ? topology::kInvalidHub
+                        : static_cast<topology::HubId>(1 + rng.below(2));
+      episode.fault_domain = rng.below(3);  // 0 = wildcard
+      episode.ramp = rng.bernoulli(0.5);
+      schedule.add(episode);
+      reference.push_back(episode);
+    }
+
+    for (int probe = 0; probe < 200; ++probe) {
+      const auto now = static_cast<stats::SimTime>(rng.below(11'000));
+      const auto radio = static_cast<topology::OperatorId>(1 + rng.below(3));
+      const auto hub = rng.bernoulli(0.5)
+                           ? topology::kInvalidHub
+                           : static_cast<topology::HubId>(1 + rng.below(2));
+      const std::uint32_t domain = rng.below(3);
+
+      double keep_outage = 1.0, keep_storm = 1.0, keep_path = 1.0;
+      double keep_misprov = 1.0, capacity_scale = 1.0;
+      for (const auto& episode : reference) {
+        const double p = episode.severity_at(now);
+        if (p <= 0.0) continue;
+        const bool op_match =
+            episode.op == topology::kInvalidOperator || episode.op == radio;
+        switch (episode.kind) {
+          case FaultKind::kOutage:
+            if (op_match) keep_outage *= 1.0 - p;
+            break;
+          case FaultKind::kSignalingStorm:
+            if (op_match) keep_storm *= 1.0 - p;
+            break;
+          case FaultKind::kDegradedPath:
+            if (hub != topology::kInvalidHub &&
+                (episode.hub == topology::kInvalidHub || episode.hub == hub)) {
+              keep_path *= 1.0 - p;
+            }
+            break;
+          case FaultKind::kMisprovisioning:
+            if (episode.fault_domain == kAnyFaultDomain ||
+                (domain != kAnyFaultDomain && episode.fault_domain == domain)) {
+              keep_misprov *= 1.0 - p;
+            }
+            break;
+          case FaultKind::kCapacityDrop:
+            if (op_match) capacity_scale *= 1.0 - p;
+            break;
+        }
+      }
+
+      const auto effect = schedule.effect_at(now, radio, hub, domain);
+      EXPECT_DOUBLE_EQ(effect.outage, 1.0 - keep_outage);
+      EXPECT_DOUBLE_EQ(effect.storm_reject, 1.0 - keep_storm);
+      EXPECT_DOUBLE_EQ(effect.path_degraded, 1.0 - keep_path);
+      EXPECT_DOUBLE_EQ(effect.misprovisioned, 1.0 - keep_misprov);
+      EXPECT_DOUBLE_EQ(schedule.capacity_scale_at(now, radio), capacity_scale);
+    }
+  }
+}
+
+TEST(FaultScheduleProperty, RampBoundariesAreExactAtBeginAndEnd) {
+  // For arbitrary windows: ramped severity starts at exactly 0 at `begin`,
+  // grows monotonically, stays strictly below the peak, and snaps to 0 at
+  // the exclusive `end`; flat episodes hold the full severity across
+  // [begin, end) and are 0 at `end`.
+  stats::Rng rng{99};
+  for (int trial = 0; trial < 200; ++trial) {
+    FaultEpisode episode;
+    episode.begin = static_cast<stats::SimTime>(rng.below(100'000));
+    episode.end = episode.begin + 1 + static_cast<stats::SimTime>(rng.below(100'000));
+    episode.severity = rng.uniform(0.01, 1.0);
+
+    episode.ramp = true;
+    EXPECT_EQ(episode.severity_at(episode.begin - 1), 0.0);
+    EXPECT_EQ(episode.severity_at(episode.begin), 0.0);  // ramp starts from zero
+    EXPECT_EQ(episode.severity_at(episode.end), 0.0);    // end exclusive
+    double last = 0.0;
+    for (int step = 0; step < 8; ++step) {
+      const auto now = episode.begin + (episode.end - episode.begin) * step / 8;
+      const double s = episode.severity_at(now);
+      EXPECT_GE(s, last);
+      EXPECT_LT(s, episode.severity);
+      last = s;
+    }
+
+    episode.ramp = false;
+    EXPECT_EQ(episode.severity_at(episode.begin), episode.severity);
+    EXPECT_EQ(episode.severity_at(episode.end - 1), episode.severity);
+    EXPECT_EQ(episode.severity_at(episode.end), 0.0);
+  }
+}
+
+TEST(FaultScheduleProperty, ZeroLengthWindowsNeverPerturbTheSchedule) {
+  // Mixing arbitrarily many zero-length and inverted windows into a real
+  // schedule must leave every query — effect_at across all scopes and
+  // capacity_scale_at — identical to the schedule without them.
+  stats::Rng rng{2026};
+  FaultSchedule real;
+  real.add_outage(1, 100, 400, 0.6);
+  real.add_storm(2, 50, 300, 0.4);
+  real.add_degraded_path(1, 0, 250, 0.7);
+  real.add_misprovisioning_ramp(7, 150, 500, 0.9);
+  real.add_capacity_drop(1, 200, 600, 0.5);
+
+  FaultSchedule padded;
+  for (const auto& episode : real.episodes()) padded.add(episode);
+  for (int i = 0; i < 40; ++i) {
+    FaultEpisode inert;
+    inert.kind = static_cast<FaultKind>(rng.below(5));
+    inert.begin = static_cast<stats::SimTime>(rng.below(700));
+    // Half zero-length, half inverted: both must be inert, not UB.
+    const bool inverted = rng.bernoulli(0.5);
+    const auto span = static_cast<stats::SimTime>(1 + rng.below(300));
+    inert.end = inverted ? inert.begin - span : inert.begin;
+    inert.severity = 1.0;
+    inert.op = topology::kInvalidOperator;  // widest possible scope
+    inert.hub = topology::kInvalidHub;
+    inert.fault_domain = kAnyFaultDomain;
+    inert.ramp = rng.bernoulli(0.5);
+    padded.add(inert);
+  }
+  ASSERT_EQ(padded.size(), real.size() + 40);
+
+  for (int probe = 0; probe < 400; ++probe) {
+    const auto now = static_cast<stats::SimTime>(rng.below(700));
+    const auto radio = static_cast<topology::OperatorId>(1 + rng.below(3));
+    const auto hub = rng.bernoulli(0.5)
+                         ? topology::kInvalidHub
+                         : static_cast<topology::HubId>(1 + rng.below(2));
+    const std::uint32_t domain = rng.below(2) == 0 ? kAnyFaultDomain : 7;
+    const auto a = real.effect_at(now, radio, hub, domain);
+    const auto b = padded.effect_at(now, radio, hub, domain);
+    EXPECT_EQ(a.outage, b.outage);
+    EXPECT_EQ(a.storm_reject, b.storm_reject);
+    EXPECT_EQ(a.path_degraded, b.path_degraded);
+    EXPECT_EQ(a.misprovisioned, b.misprovisioned);
+    EXPECT_EQ(real.capacity_scale_at(now, radio), padded.capacity_scale_at(now, radio));
+  }
 }
 
 // ---- OutcomePolicy integration ------------------------------------------
