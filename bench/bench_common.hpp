@@ -7,6 +7,9 @@
 // perf trajectory also carry an obs::RunObservation and export a
 // BENCH_<name>.json run manifest (see README "Run manifests").
 
+#include <sys/resource.h>
+
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <iostream>
@@ -84,6 +87,14 @@ inline unsigned threads_from_args(int& argc, char** argv) {
   return threads;
 }
 
+/// Peak resident set size of this process so far, in bytes (Linux reports
+/// ru_maxrss in kilobytes). 0 when getrusage fails.
+inline std::uint64_t peak_rss_bytes() {
+  struct rusage usage{};
+  if (::getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
+}
+
 /// Record the engine's parallel-execution metadata in a manifest. These
 /// keys are informational (compare_manifest.py ignores them): thread count
 /// never changes results, only wall time.
@@ -100,6 +111,20 @@ inline void add_thread_metadata(obs::RunManifest& manifest, const sim::Engine& e
       wakes += std::to_string(shard_wakes[s]);
     }
     manifest.add_result("engine_shard_wakes", wakes);
+  }
+  // Flight-recorder shard-balance telemetry (only meaningful on traced
+  // runs; compare_manifest.py ignores all trace_* keys).
+  const auto& busy = engine.shard_busy_s();
+  if (!busy.empty() && engine.window_wall_s() > 0.0) {
+    double lo = busy.front(), hi = busy.front();
+    for (const double b : busy) {
+      lo = std::min(lo, b);
+      hi = std::max(hi, b);
+    }
+    manifest.add_result("trace_shard_busy_frac_min", lo / engine.window_wall_s());
+    manifest.add_result("trace_shard_busy_frac_max", hi / engine.window_wall_s());
+    manifest.add_result("trace_merge_wait_skew_s", engine.merge_wait_skew_s());
+    manifest.add_result("trace_queue_depth_hwm", engine.queue_depth_hwm());
   }
 }
 
@@ -179,8 +204,12 @@ inline obs::RunManifest make_manifest(const std::string& name, std::uint64_t see
   return manifest;
 }
 
-/// Write and announce a manifest (stderr keeps stdout tables clean).
-inline void write_manifest(const obs::RunManifest& manifest) {
+/// Write and announce a manifest (stderr keeps stdout tables clean). The
+/// process's peak RSS is stamped here — write time is as late as any
+/// harness measures, so the value covers the whole run. Ignored by
+/// compare_manifest.py: memory ceilings vary with scale and machine.
+inline void write_manifest(obs::RunManifest& manifest) {
+  manifest.add_result("peak_rss_bytes", peak_rss_bytes());
   const auto path = manifest.write();
   if (!path.empty()) std::cerr << "[bench] wrote " << path << "\n";
 }

@@ -30,6 +30,7 @@
 #include "core/classifier_validation.hpp"
 #include "core/trace_replay.hpp"
 #include "io/bintrace.hpp"
+#include "obs/trace.hpp"
 #include "stats/distributions.hpp"
 #include "tracegen/mno_scenario.hpp"
 
@@ -346,6 +347,108 @@ TraceFormatGuard run_trace_format_guard() {
   return guard;
 }
 
+struct TraceOverheadGuard {
+  bool ran = false;
+  double off_wall_s = 0.0;
+  double on_wall_s = 0.0;
+  double overhead_pct = 0.0;
+  std::uint64_t trace_events = 0;
+};
+
+/// A/B guard for the flight recorder at reduced scale: a traced run must
+/// produce a bit-identical record stream (tracing may never perturb the
+/// simulation — exit nonzero otherwise), and its wall-time overhead must
+/// stay under WTR_TRACE_OVERHEAD_MAX_PCT (default 3%). Min-of-3 walls per
+/// arm; deltas inside an absolute noise floor pass regardless of ratio,
+/// since tiny guard-scale runs can't resolve sub-millisecond differences.
+TraceOverheadGuard run_trace_overhead_guard(unsigned threads) {
+  const std::size_t devices = std::max<std::size_t>(bench::scale_override(4'000) / 5, 200);
+  const auto trace_path =
+      (std::filesystem::temp_directory_path() / "wtr_bench_p1_guard_trace.json").string();
+  std::cerr << "[bench] trace overhead guard: " << devices
+            << " devices, recorder off vs on...\n";
+
+  constexpr int kReps = 3;
+  TraceOverheadGuard guard;
+  std::string off_stream, on_stream;
+  bool interrupted = false;
+
+  auto arm = [&](const std::string& path, std::string& stream, std::uint64_t& events) {
+    double best = 0.0;
+    for (int rep = 0; rep < kReps && !interrupted; ++rep) {
+      tracegen::MnoScenarioConfig config;
+      config.seed = kPipelineSeed;
+      config.total_devices = devices;
+      config.threads = threads;
+      config.build_coverage = false;
+      config.telemetry.trace_path = path;
+      GuardStream sink;
+      const auto start = std::chrono::steady_clock::now();
+      tracegen::MnoScenario scenario{config};
+      scenario.run({&sink});
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      if (scenario.engine().interrupted()) {
+        interrupted = true;
+        return 0.0;
+      }
+      if (const auto* rec = scenario.engine().flight_recorder()) {
+        events = rec->events_recorded();
+      }
+      if (rep == 0) {
+        stream = std::move(sink.stream);
+      }
+      best = rep == 0 ? wall : std::min(best, wall);
+    }
+    return best;
+  };
+
+  std::uint64_t off_events = 0;
+  guard.off_wall_s = arm("", off_stream, off_events);
+  guard.on_wall_s = arm(trace_path, on_stream, guard.trace_events);
+  std::filesystem::remove(trace_path);
+  if (interrupted) return {};  // Ctrl-C mid-guard: nothing to assert
+
+  if (off_stream != on_stream) {
+    std::cerr << "[bench] FAIL: enabling the flight recorder changed the "
+              << "record stream (" << off_stream.size() << " vs "
+              << on_stream.size() << " bytes) — tracing must not perturb "
+              << "the simulation\n";
+    std::exit(1);
+  }
+  if (guard.trace_events == 0) {
+    std::cerr << "[bench] FAIL: traced run recorded no flight-recorder events\n";
+    std::exit(1);
+  }
+
+  double max_pct = 3.0;
+  if (const char* env = std::getenv("WTR_TRACE_OVERHEAD_MAX_PCT");
+      env != nullptr && *env != '\0') {
+    max_pct = std::strtod(env, nullptr);
+  }
+  const double delta_s = guard.on_wall_s - guard.off_wall_s;
+  guard.overhead_pct =
+      guard.off_wall_s > 0.0 ? delta_s / guard.off_wall_s * 100.0 : 0.0;
+  // Noise floor: at guard scale a few ms of scheduler jitter can exceed any
+  // percentage bound; only a delta that is both relatively and absolutely
+  // large indicates real recorder overhead.
+  constexpr double kNoiseFloorS = 0.025;
+  if (guard.overhead_pct > max_pct && delta_s > kNoiseFloorS) {
+    std::cerr << "[bench] FAIL: flight-recorder overhead "
+              << io::format_fixed(guard.overhead_pct, 2) << "% exceeds "
+              << io::format_fixed(max_pct, 2) << "% (walls "
+              << io::format_fixed(guard.off_wall_s, 3) << "s off vs "
+              << io::format_fixed(guard.on_wall_s, 3) << "s on)\n";
+    std::exit(1);
+  }
+  guard.ran = true;
+  std::cerr << "[bench] trace overhead guard: streams bit-identical, "
+            << guard.trace_events << " events, overhead "
+            << io::format_fixed(guard.overhead_pct, 2) << "%\n";
+  return guard;
+}
+
 /// Returns false when the run was interrupted by SIGINT/SIGTERM — the
 /// partial manifest has been written and the micro benches must not run.
 bool run_instrumented_pipeline(unsigned threads) {
@@ -412,6 +515,12 @@ bool run_instrumented_pipeline(unsigned threads) {
                             ? trace_guard.csv_wall_s / trace_guard.binary_wall_s
                             : 0.0);
     manifest.add_result("trace_format_guard", std::string{"ok"});
+  }
+  const auto overhead_guard = run_trace_overhead_guard(threads);
+  if (overhead_guard.ran) {
+    manifest.add_result("trace_overhead_pct", overhead_guard.overhead_pct);
+    manifest.add_result("trace_events", overhead_guard.trace_events);
+    manifest.add_result("trace_guard", std::string{"ok"});
   }
   if (threads > 1) {
     manifest.add_result("engine_speedup",

@@ -88,6 +88,93 @@ TSAN_OPTIONS="halt_on_error=1" "$tsan_dir/tests/test_congestion"
 ctest --test-dir "$build_dir" --output-on-failure -R 'CheckpointRecovery.KillInjectionStorm'
 echo "check.sh: storm lane passed (congestion suite under TSan + kill injection mid-storm)"
 
+# --- Trace lane -------------------------------------------------------------
+# The flight recorder writes per-shard span rings from real shard threads;
+# run its suite (ring wrap, trace-on/off byte-identity, concurrent phase
+# timers) under TSan, then drive a short traced storm through the ASan
+# harness and validate the Chrome trace-event export + heartbeat with the
+# Python checker. Finally, prove the supervisor's hang detection tells a
+# hung child (stale heartbeat -> SIGKILL + restart) from a slow one (fresh
+# heartbeats -> left alone) using stub children.
+cmake --build "$tsan_dir" -j "$(nproc)" --target test_trace
+TSAN_OPTIONS="halt_on_error=1" "$tsan_dir/tests/test_trace"
+echo "check.sh: flight recorder + phase timers race-free under TSan"
+
+trace_tmp=$(mktemp -d)
+trap 'rm -rf "$trace_tmp"' EXIT
+
+mkdir -p "$trace_tmp/storm"
+"$build_dir/tests/wtr_ckpt_harness" --out "$trace_tmp/storm" --scenario storm \
+  --devices 400 --ckpt-hours 24 --threads 4 \
+  --trace "$trace_tmp/storm/trace.json" \
+  --heartbeat "$trace_tmp/storm/heartbeat.json" --heartbeat-interval 0
+python3 scripts/validate_trace.py "$trace_tmp/storm/trace.json" \
+  --min-shards 4 --require-span shard_window --require-span merge \
+  --require-span ckpt_write --heartbeat "$trace_tmp/storm/heartbeat.json"
+echo "check.sh: traced storm run exports Perfetto-loadable JSON + live heartbeat"
+
+# Hung child: beats once, then stalls forever on attempt 1; attempt 2 (after
+# the supervisor SIGKILLs it) exits clean. The supervisor must detect the
+# stale heartbeat, kill, restart without backoff, and exit 0.
+cat > "$trace_tmp/hung_child.sh" <<'EOF'
+#!/usr/bin/env bash
+out=""; heartbeat=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --out) out="$2"; shift 2 ;;
+    --heartbeat) heartbeat="$2"; shift 2 ;;
+    *) shift ;;
+  esac
+done
+if [[ -f "$out/attempted" ]]; then exit 0; fi
+touch "$out/attempted"
+echo '{"phase":"run"}' > "$heartbeat"
+sleep 600
+EOF
+chmod +x "$trace_tmp/hung_child.sh"
+if ! WTR_SUPERVISE_HANG_TIMEOUT_S=2 scripts/run_supervised.sh \
+    "$trace_tmp/hung_child.sh" "$trace_tmp/hung" 2> "$trace_tmp/hung.log"; then
+  echo "check.sh: FAIL: supervisor did not recover the hung child" >&2
+  cat "$trace_tmp/hung.log" >&2
+  exit 1
+fi
+if ! grep -q "killing hung child" "$trace_tmp/hung.log"; then
+  echo "check.sh: FAIL: supervisor exited 0 without detecting the hang" >&2
+  cat "$trace_tmp/hung.log" >&2
+  exit 1
+fi
+
+# Slow child: keeps beating every second for longer than the hang timeout,
+# then exits clean. The supervisor must leave it alone (no kill, 0 restarts).
+cat > "$trace_tmp/slow_child.sh" <<'EOF'
+#!/usr/bin/env bash
+heartbeat=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --heartbeat) heartbeat="$2"; shift 2 ;;
+    *) shift ;;
+  esac
+done
+for _ in 1 2 3 4; do
+  echo '{"phase":"run"}' > "$heartbeat"
+  sleep 1
+done
+exit 0
+EOF
+chmod +x "$trace_tmp/slow_child.sh"
+if ! WTR_SUPERVISE_HANG_TIMEOUT_S=2 scripts/run_supervised.sh \
+    "$trace_tmp/slow_child.sh" "$trace_tmp/slow" 2> "$trace_tmp/slow.log"; then
+  echo "check.sh: FAIL: supervisor failed on a merely-slow child" >&2
+  cat "$trace_tmp/slow.log" >&2
+  exit 1
+fi
+if grep -q "killing hung child" "$trace_tmp/slow.log"; then
+  echo "check.sh: FAIL: supervisor killed a child with fresh heartbeats" >&2
+  cat "$trace_tmp/slow.log" >&2
+  exit 1
+fi
+echo "check.sh: trace lane passed (TSan suite + validated export + hang-vs-slow supervision)"
+
 # --- Perf gate (plain build: sanitizer overhead would swamp the timers) ----
 baseline="bench/baselines/BENCH_p1_baseline.json"
 

@@ -67,8 +67,15 @@ TRACE_FORMAT_METADATA_KEYS = frozenset(
     }
 )
 
+# Process-level memory ceiling stamped by bench::write_manifest. Peak RSS
+# varies with scale, allocator and machine, so it is informational only.
+MEMORY_METADATA_KEYS = frozenset({"peak_rss_bytes"})
+
 IGNORED_RESULT_KEYS = (
-    THREAD_METADATA_KEYS | CHECKPOINT_METADATA_KEYS | TRACE_FORMAT_METADATA_KEYS
+    THREAD_METADATA_KEYS
+    | CHECKPOINT_METADATA_KEYS
+    | TRACE_FORMAT_METADATA_KEYS
+    | MEMORY_METADATA_KEYS
 )
 
 # Closed-loop overload telemetry from bench_s3_overload_storm. Reject
@@ -76,8 +83,11 @@ IGNORED_RESULT_KEYS = (
 # configured capacity and fleet size, and the bench binary already encodes
 # its own verdict in the exit status, so these are informational across
 # commits and never gate. Matched by prefix: the key set grows with the
-# model.
-IGNORED_RESULT_PREFIXES = ("congestion_", "storm_")
+# model. The trace_/heartbeat_ prefixes cover the flight-recorder telemetry
+# (overhead percentages, event counts, shard-balance fractions): the bench
+# binary's own overhead guard gates those, and the values are wall-clock
+# derived so they would make every comparison machine-sensitive.
+IGNORED_RESULT_PREFIXES = ("congestion_", "storm_", "trace_", "heartbeat_")
 
 
 def ignored_result(key):

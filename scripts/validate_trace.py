@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Validate a flight-recorder Chrome trace-event JSON export.
+
+Usage:
+    scripts/validate_trace.py TRACE.json [--min-shards N]
+        [--require-span NAME ...] [--heartbeat HEARTBEAT.json]
+
+Checks that the file parses as JSON, carries a traceEvents list in the
+Chrome trace-event format Perfetto loads (https://ui.perfetto.dev), that
+every event has the mandatory ph/pid/tid/name fields, that complete ("X")
+spans carry numeric non-negative ts/dur, and optionally that at least
+--min-shards distinct shard tracks emitted events and that specific span
+names (e.g. merge, ckpt_write) are present. --heartbeat additionally
+validates a heartbeat/progress file: a single line of JSON with the keys
+run_supervised.sh reads for hang detection.
+
+Exits 0 when the trace is valid, 1 with a diagnostic otherwise. Used by the
+scripts/check.sh trace lane; handy standalone after any traced run.
+"""
+
+import argparse
+import json
+import sys
+
+VALID_PHASES = {"X", "B", "E", "i", "I", "M", "C"}
+HEARTBEAT_REQUIRED_KEYS = {
+    "pid",
+    "phase",
+    "sim_time_s",
+    "horizon_s",
+    "progress",
+    "wakes",
+    "records",
+    "unix_time",
+}
+
+
+def fail(message):
+    print(f"validate_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_heartbeat(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        fail(f"cannot read heartbeat {path}: {exc}")
+    lines = [line for line in text.splitlines() if line.strip()]
+    if len(lines) != 1:
+        fail(f"heartbeat {path} has {len(lines)} non-empty lines, expected 1")
+    try:
+        beat = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        fail(f"heartbeat {path} is not valid JSON: {exc}")
+    if not isinstance(beat, dict):
+        fail(f"heartbeat {path} is not a JSON object")
+    missing = HEARTBEAT_REQUIRED_KEYS - beat.keys()
+    if missing:
+        fail(f"heartbeat {path} missing keys: {sorted(missing)}")
+    if not isinstance(beat["phase"], str) or not beat["phase"]:
+        fail(f"heartbeat {path} has empty/non-string phase")
+    for key in ("sim_time_s", "horizon_s", "progress", "unix_time"):
+        if not isinstance(beat[key], (int, float)):
+            fail(f"heartbeat {path} key {key!r} is not numeric")
+    print(
+        f"validate_trace: heartbeat OK (phase={beat['phase']!r}, "
+        f"progress={beat['progress']:.3f})"
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace")
+    parser.add_argument(
+        "--min-shards",
+        type=int,
+        default=0,
+        help="require at least this many distinct shard_* thread-name tracks",
+    )
+    parser.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="require at least one complete span with this name (repeatable)",
+    )
+    parser.add_argument(
+        "--heartbeat",
+        default=None,
+        help="also validate a heartbeat/progress file",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        fail(f"cannot read {args.trace}: {exc}")
+    except json.JSONDecodeError as exc:
+        fail(f"{args.trace} is not valid JSON: {exc}")
+
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        fail(f"{args.trace} has no traceEvents key")
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{args.trace} traceEvents is not a list")
+
+    span_names = set()
+    track_names = {}  # tid -> thread_name
+    spans = 0
+    instants = 0
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(f"traceEvents[{index}] is not an object")
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in event:
+                fail(f"traceEvents[{index}] missing {key!r}: {event}")
+        ph = event["ph"]
+        if ph not in VALID_PHASES:
+            fail(f"traceEvents[{index}] has unknown phase {ph!r}")
+        if ph == "X":
+            spans += 1
+            span_names.add(event["name"])
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)):
+                    fail(f"traceEvents[{index}] {key!r} is not numeric: {event}")
+                if value < 0:
+                    fail(f"traceEvents[{index}] {key!r} is negative: {event}")
+        elif ph in ("i", "I"):
+            instants += 1
+            if not isinstance(event.get("ts"), (int, float)):
+                fail(f"traceEvents[{index}] 'ts' is not numeric: {event}")
+        elif ph == "M" and event["name"] == "thread_name":
+            track_names[event["tid"]] = event.get("args", {}).get("name", "")
+
+    shard_tracks = sum(1 for name in track_names.values() if name.startswith("shard_"))
+    if args.min_shards > 0 and shard_tracks < args.min_shards:
+        fail(
+            f"only {shard_tracks} shard track(s) emitted events, "
+            f"expected >= {args.min_shards} (tracks: {sorted(track_names.values())})"
+        )
+    for name in args.require_span:
+        if name not in span_names:
+            fail(
+                f"required span {name!r} not found "
+                f"(spans present: {sorted(span_names)})"
+            )
+
+    print(
+        f"validate_trace: OK ({len(events)} events: {spans} spans, "
+        f"{instants} instants, {shard_tracks} shard track(s))"
+    )
+    if args.heartbeat:
+        validate_heartbeat(args.heartbeat)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

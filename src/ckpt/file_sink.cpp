@@ -6,6 +6,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "records/cdr.hpp"
 #include "records/xdr.hpp"
 #include "signaling/transaction.hpp"
@@ -45,6 +46,8 @@ TraceFileSink::~TraceFileSink() {
 }
 
 void TraceFileSink::flush_and_sync() {
+  obs::TraceSpan span(trace_, trace_track_, obs::TraceCat::kSink, "sink_flush");
+  span.set_args("bytes", static_cast<std::int64_t>(offset_));
   if (std::fflush(file_) != 0) {
     throw std::runtime_error("TraceFileSink: fflush failed for " + path_ + ": " +
                              std::strerror(errno));
@@ -177,6 +180,8 @@ void BinaryTraceFileSink::write_bytes(std::string_view bytes) {
 }
 
 void BinaryTraceFileSink::flush_and_sync() {
+  obs::TraceSpan span(trace_, trace_track_, obs::TraceCat::kSink, "sink_flush");
+  span.set_args("bytes", static_cast<std::int64_t>(offset_));
   writer_->flush_blocks();
   if (std::fflush(file_) != 0) {
     throw std::runtime_error("BinaryTraceFileSink: fflush failed for " + path_ +

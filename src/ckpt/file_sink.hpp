@@ -36,6 +36,13 @@ class TraceFileSink final : public sim::RecordSink, public Checkpointable {
   /// by the graceful-shutdown path so buffered records are never lost.
   void flush_and_sync();
 
+  /// Borrow a flight recorder: flush_and_sync emits "sink_flush" spans on
+  /// `track` (must be the engine track — flushes run on the engine thread).
+  void set_trace(obs::FlightRecorder* trace, std::uint32_t track) noexcept {
+    trace_ = trace;
+    trace_track_ = track;
+  }
+
   [[nodiscard]] std::uint64_t bytes_written() const noexcept { return offset_; }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
@@ -61,6 +68,8 @@ class TraceFileSink final : public sim::RecordSink, public Checkpointable {
   std::string path_;
   std::FILE* file_ = nullptr;
   std::uint64_t offset_ = 0;  // bytes written so far (== file size when flushed)
+  obs::FlightRecorder* trace_ = nullptr;  // borrowed; null = no spans
+  std::uint32_t trace_track_ = 0;
 };
 
 /// The binary sibling of TraceFileSink: streams every record family to a
@@ -85,6 +94,13 @@ class BinaryTraceFileSink final : public sim::RecordSink, public Checkpointable 
 
   /// Flush partial blocks + fflush + fsync (graceful-shutdown path).
   void flush_and_sync();
+
+  /// Borrow a flight recorder: flush_and_sync emits "sink_flush" spans on
+  /// `track` (must be the engine track — flushes run on the engine thread).
+  void set_trace(obs::FlightRecorder* trace, std::uint32_t track) noexcept {
+    trace_ = trace;
+    trace_track_ = track;
+  }
 
   /// Flush everything and write the end marker. Idempotent.
   void finish();
@@ -119,6 +135,8 @@ class BinaryTraceFileSink final : public sim::RecordSink, public Checkpointable 
   std::FILE* file_ = nullptr;
   std::uint64_t offset_ = 0;  // bytes written so far (== file size when flushed)
   std::unique_ptr<io::BinaryTraceWriter> writer_;
+  obs::FlightRecorder* trace_ = nullptr;  // borrowed; null = no spans
+  std::uint32_t trace_track_ = 0;
 };
 
 }  // namespace wtr::ckpt

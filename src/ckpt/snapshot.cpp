@@ -7,6 +7,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "obs/trace.hpp"
 #include "util/crc32.hpp"
 
 namespace wtr::ckpt {
@@ -38,8 +39,13 @@ std::string build_header(std::string_view payload) {
 
 }  // namespace
 
-void write_snapshot_atomic(const std::string& path, std::string_view payload) {
+void write_snapshot_atomic(const std::string& path, std::string_view payload,
+                           obs::FlightRecorder* trace,
+                           std::uint32_t trace_track) {
   const std::string tmp = path + ".tmp";
+  obs::TraceSpan write_span(trace, trace_track, obs::TraceCat::kCheckpoint,
+                            "ckpt_write");
+  write_span.set_args("payload_bytes", static_cast<std::int64_t>(payload.size()));
 
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) fail_errno(path, "cannot create " + tmp);
@@ -67,11 +73,17 @@ void write_snapshot_atomic(const std::string& path, std::string_view payload) {
   write_all(footer.bytes());
 
   // Durability before visibility: the data must be on disk before the
-  // rename makes it the snapshot a resume would trust.
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    ::unlink(tmp.c_str());
-    fail_errno(path, "fsync of " + tmp + " failed");
+  // rename makes it the snapshot a resume would trust. The fsync gets its
+  // own span — it routinely dominates checkpoint wall time, and a stall
+  // here is exactly what a flight-recorder trace exists to show.
+  {
+    obs::TraceSpan fsync_span(trace, trace_track, obs::TraceCat::kCheckpoint,
+                              "ckpt_fsync");
+    if (::fsync(fd) != 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail_errno(path, "fsync of " + tmp + " failed");
+    }
   }
   if (::close(fd) != 0) {
     ::unlink(tmp.c_str());

@@ -20,11 +20,16 @@
 // both CRCs and throw SnapshotError with a diagnostic on any mismatch: a
 // corrupted snapshot must be rejected loudly, never silently resumed.
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 
 #include "util/binio.hpp"
+
+namespace wtr::obs {
+class FlightRecorder;
+}  // namespace wtr::obs
 
 namespace wtr::ckpt {
 
@@ -53,8 +58,11 @@ class Checkpointable {
 
 /// Atomically replace `path` with a snapshot wrapping `payload`. Throws
 /// SnapshotError on any I/O failure (the previous snapshot, if any, is left
-/// intact).
-void write_snapshot_atomic(const std::string& path, std::string_view payload);
+/// intact). A non-null flight recorder gets "ckpt_write" and "ckpt_fsync"
+/// spans on `trace_track` (the caller's thread must own that track).
+void write_snapshot_atomic(const std::string& path, std::string_view payload,
+                           obs::FlightRecorder* trace = nullptr,
+                           std::uint32_t trace_track = 0);
 
 /// Read and verify a snapshot; returns the payload. Throws SnapshotError
 /// naming the path and the first integrity failure found.

@@ -151,6 +151,14 @@ class CongestionModel {
   [[nodiscard]] std::uint64_t total_attempts() const noexcept {
     return total_attempts_;
   }
+  /// Attempts absorbed into the open (not yet rolled) bucket across all
+  /// operators — the flight recorder attaches this to congestion-merge
+  /// spans so a trace shows bucket load building up between rolls.
+  [[nodiscard]] std::uint64_t pending_attempts() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto n : pending_) total += n;
+    return total;
+  }
   [[nodiscard]] std::uint64_t total_barred() const noexcept { return total_barred_; }
   /// First / last bucket boundary at which any operator was overloaded
   /// (-1 when congestion never occurred).

@@ -1,0 +1,71 @@
+#include "obs/heartbeat.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+
+namespace wtr::obs {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+HeartbeatWriter::HeartbeatWriter(std::string path, double min_interval_s)
+    : path_(std::move(path)),
+      tmp_path_(path_ + ".tmp"),
+      min_interval_s_(min_interval_s < 0.0 ? 0.0 : min_interval_s) {}
+
+bool HeartbeatWriter::maybe_write(const HeartbeatStatus& status) {
+  const std::int64_t now = steady_now_ns();
+  if (last_write_ns_ >= 0 &&
+      static_cast<double>(now - last_write_ns_) < min_interval_s_ * 1e9) {
+    return false;
+  }
+  return write_now(status);
+}
+
+bool HeartbeatWriter::write_now(const HeartbeatStatus& status) {
+  const double progress =
+      status.horizon_s > 0.0 ? status.sim_time_s / status.horizon_s : 0.0;
+  char line[512];
+  std::snprintf(
+      line, sizeof(line),
+      "{\"pid\":%ld,\"phase\":\"%s\",\"sim_time_s\":%.3f,\"horizon_s\":%.3f,"
+      "\"progress\":%.6f,\"wakes\":%llu,\"records\":%llu,"
+      "\"last_checkpoint_s\":%.3f,\"checkpoints_written\":%llu,"
+      "\"unix_time\":%lld}\n",
+      static_cast<long>(::getpid()),
+      status.phase != nullptr ? status.phase : "run", status.sim_time_s,
+      status.horizon_s, progress,
+      static_cast<unsigned long long>(status.wakes),
+      static_cast<unsigned long long>(status.records),
+      status.last_checkpoint_s,
+      static_cast<unsigned long long>(status.checkpoints_written),
+      static_cast<long long>(std::time(nullptr)));
+
+  {
+    std::ofstream file(tmp_path_, std::ios::binary | std::ios::trunc);
+    if (!file) return false;
+    file << line;
+    file.flush();
+    if (!file) return false;
+  }
+  // rename(2) is atomic on POSIX: readers always see a complete line. The
+  // supervisor keys hang detection on the file's mtime, which rename
+  // carries over from the freshly written tmp file.
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) return false;
+  last_write_ns_ = steady_now_ns();
+  ++beats_;
+  return true;
+}
+
+}  // namespace wtr::obs

@@ -2,49 +2,82 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace wtr::obs {
 
+namespace {
+
+// Per-thread span ancestry. Entries are tagged with the PhaseTimers instance
+// they belong to so two registries used from the same thread (a scenario's
+// timers plus a test-local one, say) keep independent nesting. Thread-local
+// rather than a member: a shard thread's spans must nest under that thread's
+// own ancestry, never under whatever the main thread happens to have open.
+thread_local std::vector<std::pair<const PhaseTimers*, std::string>> t_stack;
+
+const std::string* innermost_path(const PhaseTimers* timers) {
+  for (auto it = t_stack.rbegin(); it != t_stack.rend(); ++it) {
+    if (it->first == timers) return &it->second;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
 std::string PhaseTimers::begin_span(std::string_view name) {
   std::string path;
-  if (!stack_.empty()) {
-    path = stack_.back();
+  int depth = 0;
+  if (const std::string* parent = innermost_path(this)) {
+    path = *parent;
     path += '/';
+    depth = static_cast<int>(std::count(parent->begin(), parent->end(), '/')) + 1;
   }
   path += name;
-  const int depth = static_cast<int>(stack_.size());
-  const auto [it, inserted] = slots_.try_emplace(path);
-  if (inserted) {
-    it->second.depth = depth;
-    it->second.order = slots_.size() - 1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = slots_.try_emplace(path);
+    if (inserted) {
+      it->second.depth = depth;
+      it->second.order = slots_.size() - 1;
+    }
   }
-  stack_.push_back(path);
+  t_stack.emplace_back(this, path);
   return path;
 }
 
 void PhaseTimers::end_span(const std::string& path, double elapsed_s) {
-  assert(!stack_.empty() && stack_.back() == path);
-  stack_.pop_back();
+  assert(!t_stack.empty() && t_stack.back().first == this &&
+         t_stack.back().second == path);
+  t_stack.pop_back();
+  std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = slots_[path];
   slot.wall_s += elapsed_s;
   slot.count += 1;
 }
 
 std::vector<PhaseTimers::Phase> PhaseTimers::phases() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<Phase> out;
   out.reserve(slots_.size());
   for (const auto& [path, slot] : slots_) {
     out.push_back(Phase{path, slot.wall_s, slot.count, slot.depth});
   }
-  std::sort(out.begin(), out.end(), [this](const Phase& a, const Phase& b) {
-    return slots_.at(a.path).order < slots_.at(b.path).order;
-  });
+  std::sort(out.begin(), out.end(),
+            [this](const Phase& a, const Phase& b) {
+              return slots_.at(a.path).order < slots_.at(b.path).order;
+            });
   return out;
 }
 
 double PhaseTimers::total_s(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = slots_.find(path);
   return it == slots_.end() ? 0.0 : it->second.wall_s;
+}
+
+std::size_t PhaseTimers::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.size();
 }
 
 ScopedTimer::ScopedTimer(PhaseTimers* timers, std::string_view name)

@@ -9,10 +9,21 @@
 // without any explicit parent bookkeeping at the call sites. A null
 // PhaseTimers* makes ScopedTimer a no-op — disabled observability costs one
 // branch per span, not per event.
+//
+// Thread safety: the slot map is mutex-guarded, so shard threads may open
+// spans against the same PhaseTimers concurrently (TSan-covered by
+// tests/test_trace.cpp). The nesting *stack* is thread-local — each thread
+// sees its own span ancestry, so a span opened on a shard thread nests
+// under that thread's open spans, never under another thread's. Phase
+// ordering (`order`) is first-insertion under the lock; concurrent
+// first-opens of *different* phase names may interleave, so deterministic
+// manifests should open any racing phases once from the main thread first
+// (the engine's fixed phase set already satisfies this).
 
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,7 +46,7 @@ class PhaseTimers {
   [[nodiscard]] double total_s(const std::string& path) const;
 
   /// Number of distinct phase paths seen.
-  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t size() const;
 
  private:
   friend class ScopedTimer;
@@ -51,8 +62,8 @@ class PhaseTimers {
   std::string begin_span(std::string_view name);
   void end_span(const std::string& path, double elapsed_s);
 
+  mutable std::mutex mutex_;
   std::map<std::string, Slot> slots_;
-  std::vector<std::string> stack_;
 };
 
 class ScopedTimer {

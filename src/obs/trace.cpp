@@ -1,0 +1,198 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "io/json.hpp"
+
+namespace wtr::obs {
+
+const char* trace_cat_name(TraceCat cat) noexcept {
+  switch (cat) {
+    case TraceCat::kEngine: return "engine";
+    case TraceCat::kShard: return "shard";
+    case TraceCat::kMerge: return "merge";
+    case TraceCat::kCheckpoint: return "checkpoint";
+    case TraceCat::kCongestion: return "congestion";
+    case TraceCat::kSink: return "sink";
+  }
+  return "unknown";
+}
+
+TraceTrack::TraceTrack(std::size_t capacity) {
+  ring_.resize(capacity == 0 ? 1 : capacity);
+}
+
+void TraceTrack::push(TraceEvent event) noexcept {
+  event.seq = next_seq_;
+  ring_[next_seq_ % ring_.size()] = event;
+  ++next_seq_;
+}
+
+std::vector<TraceEvent> TraceTrack::ordered() const {
+  std::vector<TraceEvent> out;
+  const std::uint64_t retained =
+      next_seq_ < ring_.size() ? next_seq_ : ring_.size();
+  out.reserve(retained);
+  // Oldest retained event sits at next_seq_ - retained.
+  for (std::uint64_t i = next_seq_ - retained; i < next_seq_; ++i) {
+    out.push_back(ring_[i % ring_.size()]);
+  }
+  return out;
+}
+
+FlightRecorder::FlightRecorder(std::size_t shard_tracks,
+                               std::size_t capacity_per_track)
+    : epoch_(std::chrono::steady_clock::now()) {
+  tracks_.reserve(shard_tracks + 1);
+  for (std::size_t t = 0; t < shard_tracks + 1; ++t) {
+    tracks_.emplace_back(capacity_per_track);
+  }
+}
+
+void FlightRecorder::instant(std::uint32_t track, TraceCat cat,
+                             const char* name, const char* arg1_name,
+                             std::int64_t arg1, const char* arg2_name,
+                             std::int64_t arg2) noexcept {
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.start_ns = now_ns();
+  e.dur_ns = TraceEvent::kInstant;
+  e.arg1_name = arg1_name;
+  e.arg1 = arg1;
+  e.arg2_name = arg2_name;
+  e.arg2 = arg2;
+  tracks_[track].push(e);
+}
+
+void FlightRecorder::complete(std::uint32_t track, TraceCat cat,
+                              const char* name, std::int64_t start_ns,
+                              std::int64_t dur_ns, const char* arg1_name,
+                              std::int64_t arg1, const char* arg2_name,
+                              std::int64_t arg2) noexcept {
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.start_ns = start_ns;
+  e.dur_ns = dur_ns < 0 ? 0 : dur_ns;
+  e.arg1_name = arg1_name;
+  e.arg1 = arg1;
+  e.arg2_name = arg2_name;
+  e.arg2 = arg2;
+  tracks_[track].push(e);
+}
+
+std::uint64_t FlightRecorder::events_recorded() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& t : tracks_) total += t.recorded();
+  return total;
+}
+
+std::uint64_t FlightRecorder::events_dropped() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& t : tracks_) total += t.dropped();
+  return total;
+}
+
+namespace {
+
+void append_event_json(std::string& out, const TraceEvent& e,
+                       std::uint32_t tid) {
+  char buf[160];
+  // Chrome trace timestamps are microseconds; keep sub-µs precision with a
+  // fractional part (Perfetto accepts doubles for ts/dur).
+  const double ts_us = static_cast<double>(e.start_ns) / 1000.0;
+  out += "{\"name\":\"";
+  out += io::json_escape(e.name != nullptr ? e.name : "");
+  out += "\",\"cat\":\"";
+  out += trace_cat_name(e.cat);
+  out += "\",\"ph\":\"";
+  if (e.dur_ns == TraceEvent::kInstant) {
+    // Thread-scoped instant: renders as a marker on its own track.
+    std::snprintf(buf, sizeof(buf), "i\",\"s\":\"t\",\"ts\":%.3f", ts_us);
+    out += buf;
+  } else {
+    std::snprintf(buf, sizeof(buf), "X\",\"ts\":%.3f,\"dur\":%.3f", ts_us,
+                  static_cast<double>(e.dur_ns) / 1000.0);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), ",\"pid\":1,\"tid\":%u", tid);
+  out += buf;
+  out += ",\"args\":{";
+  std::snprintf(buf, sizeof(buf), "\"seq\":%llu",
+                static_cast<unsigned long long>(e.seq));
+  out += buf;
+  if (e.arg1_name != nullptr) {
+    out += ",\"";
+    out += io::json_escape(e.arg1_name);
+    std::snprintf(buf, sizeof(buf), "\":%lld", static_cast<long long>(e.arg1));
+    out += buf;
+  }
+  if (e.arg2_name != nullptr) {
+    out += ",\"";
+    out += io::json_escape(e.arg2_name);
+    std::snprintf(buf, sizeof(buf), "\":%lld", static_cast<long long>(e.arg2));
+    out += buf;
+  }
+  out += "}}";
+}
+
+void append_thread_name_json(std::string& out, std::uint32_t tid,
+                             const std::string& name) {
+  char buf[64];
+  out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1";
+  std::snprintf(buf, sizeof(buf), ",\"tid\":%u", tid);
+  out += buf;
+  out += ",\"args\":{\"name\":\"";
+  out += io::json_escape(name);
+  out += "\"}}";
+}
+
+}  // namespace
+
+std::string FlightRecorder::to_chrome_json() const {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&out, &first](auto&& fn) {
+    if (!first) out += ",\n";
+    first = false;
+    fn();
+  };
+  for (std::uint32_t tid = 0; tid < tracks_.size(); ++tid) {
+    const TraceTrack& track = tracks_[tid];
+    // Shard tracks never touched (threads clamped below the configured
+    // count) would render as empty lanes; skip them. The engine track is
+    // always named so even an empty trace is self-describing.
+    if (tid != kEngineTrack && track.recorded() == 0) continue;
+    const std::string name =
+        tid == kEngineTrack ? "engine/merge"
+                            : "shard_" + std::to_string(tid - 1);
+    emit([&] { append_thread_name_json(out, tid, name); });
+    for (const TraceEvent& e : track.ordered()) {
+      emit([&] { append_event_json(out, e, tid); });
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool FlightRecorder::write(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    std::fprintf(stderr, "trace: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string doc = to_chrome_json();
+  file.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  file.flush();
+  if (!file) {
+    std::fprintf(stderr, "trace: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace wtr::obs

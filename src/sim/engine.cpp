@@ -8,7 +8,9 @@
 
 #include "ckpt/shutdown.hpp"
 #include "obs/engine_probe.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wtr::sim {
@@ -17,6 +19,13 @@ namespace {
 
 /// Debug-wake cadence shared by both execution paths (stderr heartbeat).
 constexpr std::uint64_t kDebugWakeEvery = 2'000'000;
+
+/// Wake cadences for flight-recorder instants and heartbeat refresh checks
+/// in the single-threaded loop (power-of-two masks; the sharded path uses
+/// window barriers instead). 8192 wakes between trace instants keeps a
+/// 32k-slot ring covering hundreds of millions of wakes.
+constexpr std::uint64_t kTraceWakeMask = (1u << 13) - 1;
+constexpr std::uint64_t kBeatWakeMask = (1u << 10) - 1;
 
 }  // namespace
 
@@ -38,6 +47,16 @@ struct Engine::Shard {
   faults::CongestionLedger ledger;
   signaling::OutcomePolicy outcomes;
   std::uint64_t wakes = 0;
+
+  /// Flight-recorder binding (null when tracing is off). The shard thread
+  /// is the sole writer of `track`; barriers quiesce it before any read.
+  obs::FlightRecorder* trace = nullptr;
+  std::uint32_t track = 0;
+  /// Wall seconds this shard spent inside its window loops (cumulative) —
+  /// the per-window deltas feed the merge-wait skew metric.
+  double busy_s = 0.0;
+  /// Largest shard-queue depth seen at window entry.
+  std::uint64_t queue_hwm = 0;
 };
 
 Engine::Engine(const topology::World& world, Config config)
@@ -48,7 +67,21 @@ Engine::Engine(const topology::World& world, Config config)
                                                       : 0),
       outcomes_(config.outcomes, config.faults, config.metrics, config.congestion,
                 config.congestion != nullptr ? &congestion_ledger_ : nullptr),
-      rng_(config.seed) {}
+      rng_(config.seed) {
+  // The recorder exists from construction so sinks registered before run()
+  // can borrow it. One track per configured thread plus the engine track;
+  // shard clamping just leaves trailing tracks empty (skipped at export).
+  if (!config_.trace_path.empty()) {
+    trace_ = std::make_unique<obs::FlightRecorder>(
+        std::max(1u, config_.threads), config_.trace_capacity_per_track);
+  }
+  if (!config_.heartbeat_path.empty()) {
+    heartbeat_ = std::make_unique<obs::HeartbeatWriter>(
+        config_.heartbeat_path, config_.heartbeat_every_wall_s);
+  }
+}
+
+Engine::~Engine() = default;
 
 void Engine::add_fleet(std::vector<devices::Device> fleet, AgentOptions options) {
   assert(!ran_);
@@ -81,11 +114,34 @@ std::uint64_t Engine::fleet_fingerprint() const {
   return h;
 }
 
+void Engine::beat(const char* phase, stats::SimTime sim_now, bool force) {
+  if (heartbeat_ == nullptr) return;
+  obs::HeartbeatStatus status;
+  status.phase = phase;
+  status.sim_time_s = static_cast<double>(sim_now);
+  status.horizon_s = static_cast<double>(stats::day_start(config_.horizon_days));
+  status.wakes = wakes_;
+  status.records = config_.probe != nullptr ? config_.probe->records_total() : 0;
+  status.last_checkpoint_s = static_cast<double>(last_checkpoint_time_);
+  status.checkpoints_written = checkpoints_written_;
+  if (force) {
+    heartbeat_->write_now(status);
+  } else {
+    heartbeat_->maybe_write(status);
+  }
+}
+
 void Engine::write_checkpoint(stats::SimTime resume_time, const EventQueue& queue,
                               const obs::MetricsRegistry* metrics_view) {
   if (config_.checkpoint_path.empty()) return;
   using Clock = std::chrono::steady_clock;
   const auto start = Clock::now();
+
+  // write_checkpoint always runs on the engine/merge thread, so its spans
+  // land on the engine track.
+  obs::TraceSpan serialize_span(trace_.get(), obs::FlightRecorder::kEngineTrack,
+                                obs::TraceCat::kCheckpoint, "ckpt_serialize");
+  serialize_span.set_args("sim_time", resume_time);
 
   util::BinWriter payload;
   payload.u64(fleet_fingerprint());
@@ -123,10 +179,14 @@ void Engine::write_checkpoint(stats::SimTime resume_time, const EventQueue& queu
     payload.str(section.bytes());
   }
 
-  ckpt::write_snapshot_atomic(config_.checkpoint_path, payload.bytes());
+  serialize_span.close();
+  ckpt::write_snapshot_atomic(config_.checkpoint_path, payload.bytes(),
+                              trace_.get(), obs::FlightRecorder::kEngineTrack);
   ++checkpoints_written_;
+  last_checkpoint_time_ = resume_time;
   checkpoint_wall_s_ +=
       std::chrono::duration<double>(Clock::now() - start).count();
+  beat("checkpoint", resume_time);
 }
 
 void Engine::resume_from(const std::string& path) {
@@ -233,6 +293,8 @@ void Engine::run(std::vector<RecordSink*> sinks) {
         "second run (the event queue is consumed)");
   }
   ran_ = true;
+  beat(resumed_ ? "resume" : "init", resumed_ ? resume_time_ : 0,
+       /*force=*/true);
 
   const std::size_t shard_count = std::min<std::size_t>(
       std::max(1u, config_.threads), std::max<std::size_t>(1, agents_.size()));
@@ -245,6 +307,30 @@ void Engine::run(std::vector<RecordSink*> sinks) {
   // process emits them once at its own completion, so the resumed dump is
   // byte-identical to an uninterrupted run's (engine.runs stays 1).
   if (!interrupted_) finish_run_metrics();
+  finish_telemetry();
+}
+
+void Engine::finish_telemetry() {
+  // Runs strictly after the last snapshot write of this process, so
+  // wall-clock-derived trace.* values never enter a snapshot (or a resumed
+  // registry) and cadence-off byte-compare harnesses stay exact.
+  if (trace_ != nullptr && config_.metrics != nullptr) {
+    auto& m = *config_.metrics;
+    m.gauge("trace.events_recorded")
+        .set(static_cast<double>(trace_->events_recorded()));
+    m.gauge("trace.events_dropped")
+        .set(static_cast<double>(trace_->events_dropped()));
+    m.gauge("trace.queue_depth_hwm").set(static_cast<double>(queue_depth_hwm_));
+    m.gauge("trace.merge_wait_skew_s").set(merge_wait_skew_s_);
+    if (!shard_busy_s_.empty() && window_wall_s_ > 0.0) {
+      const auto [lo, hi] =
+          std::minmax_element(shard_busy_s_.begin(), shard_busy_s_.end());
+      m.gauge("trace.shard_busy_frac_min").set(*lo / window_wall_s_);
+      m.gauge("trace.shard_busy_frac_max").set(*hi / window_wall_s_);
+    }
+  }
+  if (trace_ != nullptr) trace_->write(config_.trace_path);
+  beat(interrupted_ ? "interrupted" : "done", last_time_, /*force=*/true);
 }
 
 void Engine::run_single(const std::vector<RecordSink*>& sinks) {
@@ -286,6 +372,10 @@ void Engine::run_single(const std::vector<RecordSink*>& sinks) {
   const stats::SimTime bucket_s =
       congestion != nullptr ? congestion->config().bucket_s : 0;
 
+  obs::FlightRecorder* rec = trace_.get();
+  constexpr std::uint32_t kTrack = obs::FlightRecorder::kEngineTrack;
+  const bool beating = heartbeat_ != nullptr;
+
   // The run is a sequence of checkpoint windows; without a cadence, a stop
   // point or a shutdown request the single window covers the whole horizon
   // and the loop below is step-for-step the legacy event loop.
@@ -300,6 +390,12 @@ void Engine::run_single(const std::vector<RecordSink*>& sinks) {
       stop = std::min(stop, (window_start / bucket_s + 1) * bucket_s);
     }
     if (stop_time >= 0) stop = std::min(stop, stop_time);
+
+    obs::TraceSpan window_span(rec, kTrack, obs::TraceCat::kEngine, "window");
+    const std::uint64_t window_wakes_before = wakes_;
+    if (rec != nullptr && queue_.size() > queue_depth_hwm_) {
+      queue_depth_hwm_ = queue_.size();
+    }
 
     while (!queue_.empty() && *queue_.next_time() <= stop) {
       // With a congestion model installed, shutdown is honoured at window
@@ -322,14 +418,31 @@ void Engine::run_single(const std::vector<RecordSink*>& sinks) {
                      (unsigned long long)wakes_, (long long)event.time, event.agent,
                      queue_.size());
       }
+      if (rec != nullptr && (wakes_ & kTraceWakeMask) == 0) {
+        rec->instant(kTrack, obs::TraceCat::kEngine, "wake_batch", "wakes",
+                     static_cast<std::int64_t>(wakes_), "queue",
+                     static_cast<std::int64_t>(queue_.size()));
+        if (queue_.size() > queue_depth_hwm_) queue_depth_hwm_ = queue_.size();
+      }
+      if (beating && (wakes_ & kBeatWakeMask) == 0) {
+        beat("run", event.time);
+      }
       auto& agent = *agents_[event.agent];
       if (const auto next = agent.on_wake(event.time, ctx)) {
         queue_.schedule(*next, event.agent);
       }
     }
+    window_span.set_args("wakes", static_cast<std::int64_t>(wakes_ - window_wakes_before),
+                         "sim_stop", stop);
+    window_span.close();
 
     if (congestion != nullptr) {
+      obs::TraceSpan absorb_span(rec, kTrack, obs::TraceCat::kCongestion,
+                                 "congestion_absorb");
       congestion->absorb(congestion_ledger_);
+      absorb_span.set_args(
+          "pending", static_cast<std::int64_t>(congestion->pending_attempts()),
+          "sim_stop", stop);
       if (stop % bucket_s == 0) congestion->roll_to(stop);
       if (ckpt::shutdown_requested()) shutdown_hit = true;
     }
@@ -367,6 +480,15 @@ void Engine::run_shard_window(Shard& shard, EventQueue& queue,
   ctx.outcomes = &shard.outcomes;
   ctx.sink = &shard.buffer;
 
+  // Shard-thread-side telemetry: this thread is the sole writer of
+  // shard.track and of the shard's busy/hwm fields; the pool barrier
+  // publishes them to the merge thread.
+  const std::int64_t t0 = shard.trace != nullptr ? shard.trace->now_ns() : 0;
+  const std::uint64_t wakes_before = shard.wakes;
+  if (shard.trace != nullptr && queue.size() > shard.queue_hwm) {
+    shard.queue_hwm = queue.size();
+  }
+
   while (!queue.empty() && *queue.next_time() <= stop) {
     const Event event = queue.pop();
     ++shard.wakes;
@@ -374,6 +496,15 @@ void Engine::run_shard_window(Shard& shard, EventQueue& queue,
     const auto next = agent.on_wake(event.time, ctx);
     shard.buffer.end_wake(event.agent, next ? *next : RecordBuffer::kNoNextWake);
     if (next) queue.schedule(*next, event.agent);
+  }
+
+  if (shard.trace != nullptr) {
+    const std::int64_t t1 = shard.trace->now_ns();
+    shard.trace->complete(shard.track, obs::TraceCat::kShard, "shard_window",
+                          t0, t1 - t0, "wakes",
+                          static_cast<std::int64_t>(shard.wakes - wakes_before),
+                          "sim_stop", stop);
+    shard.busy_s += static_cast<double>(t1 - t0) * 1e-9;
   }
 }
 
@@ -400,7 +531,14 @@ void Engine::run_sharded(const std::vector<RecordSink*>& sinks,
   for (std::size_t s = 0; s < shard_count; ++s) {
     shards.emplace_back(config_.outcomes, config_.faults, config_.metrics,
                         config_.congestion);
+    if (trace_ != nullptr) {
+      shards.back().trace = trace_.get();
+      shards.back().track = obs::FlightRecorder::shard_track(s);
+    }
   }
+  obs::FlightRecorder* rec = trace_.get();
+  constexpr std::uint32_t kTrack = obs::FlightRecorder::kEngineTrack;
+  std::vector<double> busy_before(shard_count, 0.0);
 
   // Shard queues persist across checkpoint windows: pending events carry
   // over; only the record arenas are drained per window. Initial schedule
@@ -456,6 +594,15 @@ void Engine::run_sharded(const std::vector<RecordSink*>& sinks,
     }
     if (stop_time >= 0) stop = std::min(stop, stop_time);
 
+    obs::TraceSpan fanout_span(rec, kTrack, obs::TraceCat::kMerge,
+                               "shard_fanout");
+    const auto fanout_start =
+        rec != nullptr ? Clock::now() : Clock::time_point{};
+    if (rec != nullptr) {
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        busy_before[s] = shards[s].busy_s;
+      }
+    }
     for (std::size_t s = 0; s < shard_count; ++s) {
       Shard* shard = &shards[s];
       EventQueue* queue = &shard_queues[s];
@@ -464,6 +611,23 @@ void Engine::run_sharded(const std::vector<RecordSink*>& sinks,
       });
     }
     pool.wait();
+    if (rec != nullptr) {
+      // The barrier just quiesced the workers, so their busy counters are
+      // safe to read: the skew is how long the fastest shard sat idle
+      // waiting for the slowest this window.
+      double lo = shards[0].busy_s - busy_before[0];
+      double hi = lo;
+      for (std::size_t s = 1; s < shard_count; ++s) {
+        const double d = shards[s].busy_s - busy_before[s];
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+      }
+      merge_wait_skew_s_ += hi - lo;
+      window_wall_s_ +=
+          std::chrono::duration<double>(Clock::now() - fanout_start).count();
+    }
+    fanout_span.set_args("sim_stop", stop);
+    fanout_span.close();
 
     // --- Deterministic k-way merge of this window ---------------------------
     // Rebuild the exact single-threaded pop order by replaying the
@@ -471,6 +635,8 @@ void Engine::run_sharded(const std::vector<RecordSink*>& sinks,
     // pop time, reproducing the global seq assignment without re-running
     // any agent.
     const auto merge_start = Clock::now();
+    obs::TraceSpan merge_span(rec, kTrack, obs::TraceCat::kMerge, "merge");
+    const std::uint64_t merge_wakes_before = wakes_;
     while (!merged.empty() && *merged.next_time() <= stop) {
       const Event event = merged.pop();
       ++wakes_;
@@ -488,8 +654,16 @@ void Engine::run_sharded(const std::vector<RecordSink*>& sinks,
       const stats::SimTime next = shards[s].buffer.replay_wake(cursors[s], fanout);
       if (next != RecordBuffer::kNoNextWake) merged.schedule(next, event.agent);
     }
+    merge_span.set_args("wakes",
+                        static_cast<std::int64_t>(wakes_ - merge_wakes_before),
+                        "sim_stop", stop);
+    merge_span.close();
+    if (rec != nullptr && merged.size() > queue_depth_hwm_) {
+      queue_depth_hwm_ = merged.size();
+    }
     merge_total_s +=
         std::chrono::duration<double>(Clock::now() - merge_start).count();
+    beat("run", stop);
 
 #ifndef NDEBUG
     // The window boundary is a barrier: every wake a shard processed this
@@ -510,7 +684,12 @@ void Engine::run_sharded(const std::vector<RecordSink*>& sinks,
     // addition is commutative, so the fixed shard order cannot differ from
     // the single-threaded total.
     if (congestion != nullptr) {
+      obs::TraceSpan absorb_span(rec, kTrack, obs::TraceCat::kCongestion,
+                                 "congestion_merge");
       for (auto& shard : shards) congestion->absorb(shard.ledger);
+      absorb_span.set_args(
+          "pending", static_cast<std::int64_t>(congestion->pending_attempts()),
+          "sim_stop", stop);
       if (stop % bucket_s == 0) congestion->roll_to(stop);
     }
 
@@ -553,6 +732,15 @@ void Engine::run_sharded(const std::vector<RecordSink*>& sinks,
   for (std::size_t s = 0; s < shard_count; ++s) {
     shard_wakes_[s] = shards[s].wakes;
     if (config_.metrics != nullptr) config_.metrics->merge_from(shards[s].metrics);
+  }
+  if (trace_ != nullptr) {
+    shard_busy_s_.resize(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      shard_busy_s_[s] = shards[s].busy_s;
+      if (shards[s].queue_hwm > queue_depth_hwm_) {
+        queue_depth_hwm_ = shards[s].queue_hwm;
+      }
+    }
   }
 
   if (interrupted_) {

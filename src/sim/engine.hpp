@@ -32,6 +32,8 @@
 
 namespace wtr::obs {
 class EngineProbe;
+class FlightRecorder;
+class HeartbeatWriter;
 class MetricsRegistry;
 }  // namespace wtr::obs
 
@@ -146,9 +148,28 @@ class Engine {
     /// recovery tests use this to cut a run at an exact sim-time point
     /// without involving signals.
     std::int64_t stop_after_sim_hours = 0;
+    /// Flight recorder (src/obs/trace.hpp): non-empty enables per-shard
+    /// span/instant recording and writes a Chrome trace-event JSON export
+    /// here at the end of the run (loadable in Perfetto). Tracing observes,
+    /// never perturbs: disabled means zero extra clock reads beyond one
+    /// branch per site, and enabled leaves sink output byte-identical at
+    /// any thread count.
+    std::string trace_path;
+    /// Ring capacity per track (engine + one per shard). The recorder keeps
+    /// the newest events once a ring wraps and counts the overwritten ones
+    /// as dropped.
+    std::size_t trace_capacity_per_track = std::size_t{1} << 15;
+    /// Heartbeat/progress file (src/obs/heartbeat.hpp): non-empty makes the
+    /// engine atomically rewrite a single-line JSON status here during the
+    /// run, so a supervisor can tell a hung process from a slow one by the
+    /// file's freshness. Independent of tracing.
+    std::string heartbeat_path;
+    /// Minimum wall seconds between heartbeat rewrites.
+    double heartbeat_every_wall_s = 1.0;
   };
 
   Engine(const topology::World& world, Config config);
+  ~Engine();  // defined in engine.cpp: unique_ptr members of fwd-declared types
 
   /// Add a fleet of devices, all sharing the same agent options. Devices
   /// whose active window is empty are dropped silently.
@@ -226,6 +247,25 @@ class Engine {
   /// Cumulative wall time spent serializing and writing snapshots.
   [[nodiscard]] double checkpoint_wall_s() const noexcept { return checkpoint_wall_s_; }
 
+  /// The flight recorder, or null when Config::trace_path is empty. Sinks
+  /// and the checkpoint writer borrow it to add their own spans.
+  [[nodiscard]] obs::FlightRecorder* flight_recorder() noexcept { return trace_.get(); }
+
+  // --- shard-balance telemetry (tracing-enabled runs only; all zero when
+  // --- the recorder is off, since deriving them costs clock reads) --------
+  /// Wall seconds each shard spent inside its window loops (empty for
+  /// threads=1 or untraced runs).
+  [[nodiscard]] const std::vector<double>& shard_busy_s() const noexcept {
+    return shard_busy_s_;
+  }
+  /// Wall seconds spent with shard windows in flight (fan-out to barrier).
+  [[nodiscard]] double window_wall_s() const noexcept { return window_wall_s_; }
+  /// Sum over windows of (slowest shard busy - fastest shard busy): the
+  /// wall time the barrier spent waiting on stragglers.
+  [[nodiscard]] double merge_wait_skew_s() const noexcept { return merge_wait_skew_s_; }
+  /// High-water mark of event-queue depth observed at sampling points.
+  [[nodiscard]] std::uint64_t queue_depth_hwm() const noexcept { return queue_depth_hwm_; }
+
  private:
   struct Shard;
 
@@ -233,6 +273,12 @@ class Engine {
   void run_sharded(const std::vector<RecordSink*>& sinks, std::size_t shard_count);
   void run_shard_window(Shard& shard, EventQueue& queue, stats::SimTime stop);
   void finish_run_metrics();
+  /// Rate-limited heartbeat write (no-op when no heartbeat is configured).
+  void beat(const char* phase, stats::SimTime sim_now, bool force = false);
+  /// Trace export + trace.* metric publication + final heartbeat. Runs after
+  /// every snapshot write so registry snapshots never contain wall-clock-
+  /// derived values.
+  void finish_telemetry();
 
   /// Identity of (engine seed, horizon, fleet): a snapshot resumes only
   /// onto an identically rebuilt engine.
@@ -276,6 +322,15 @@ class Engine {
   std::string resumed_from_;
   std::uint64_t checkpoints_written_ = 0;
   double checkpoint_wall_s_ = 0.0;
+
+  // --- flight recorder / heartbeat (null = disabled) -----------------------
+  std::unique_ptr<obs::FlightRecorder> trace_;
+  std::unique_ptr<obs::HeartbeatWriter> heartbeat_;
+  std::vector<double> shard_busy_s_;
+  double window_wall_s_ = 0.0;
+  double merge_wait_skew_s_ = 0.0;
+  std::uint64_t queue_depth_hwm_ = 0;
+  stats::SimTime last_checkpoint_time_ = -1;
 };
 
 }  // namespace wtr::sim

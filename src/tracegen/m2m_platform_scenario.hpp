@@ -40,6 +40,8 @@ struct M2MPlatformConfig {
   obs::Observability obs{};
   /// Checkpoint/restore plumbing (all-default = off, legacy code path).
   CheckpointOptions ckpt{};
+  /// Flight-recorder / heartbeat passthrough (all-default = off).
+  TelemetryOptions telemetry{};
 };
 
 class M2MPlatformScenario final : public ScenarioBase {

@@ -48,6 +48,8 @@ struct MnoScenarioConfig {
   obs::Observability obs{};
   /// Checkpoint/restore plumbing (all-default = off, legacy code path).
   CheckpointOptions ckpt{};
+  /// Flight-recorder / heartbeat passthrough (all-default = off).
+  TelemetryOptions telemetry{};
 };
 
 class MnoScenario final : public ScenarioBase {

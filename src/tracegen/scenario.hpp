@@ -29,6 +29,21 @@ struct CheckpointOptions {
   std::int64_t stop_after_sim_hours = 0;
 };
 
+/// Live-telemetry passthrough shared by all scenario configs (maps 1:1 onto
+/// the sim::Engine::Config flight-recorder/heartbeat fields). All-default
+/// disables both and keeps the run on the untraced code path; enabling them
+/// never changes simulation output (see src/obs/trace.hpp).
+struct TelemetryOptions {
+  /// Chrome trace-event JSON export path (empty = flight recorder off).
+  std::string trace_path;
+  /// Ring capacity per flight-recorder track.
+  std::size_t trace_capacity_per_track = std::size_t{1} << 15;
+  /// Heartbeat/progress file path (empty = off).
+  std::string heartbeat_path;
+  /// Minimum wall seconds between heartbeat rewrites.
+  double heartbeat_every_wall_s = 1.0;
+};
+
 struct GroundTruthEntry {
   devices::DeviceClass device_class = devices::DeviceClass::kM2M;
   devices::Vertical vertical = devices::Vertical::kNone;

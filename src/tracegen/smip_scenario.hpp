@@ -32,6 +32,8 @@ struct SmipScenarioConfig {
   obs::Observability obs{};
   /// Checkpoint/restore plumbing (all-default = off, legacy code path).
   CheckpointOptions ckpt{};
+  /// Flight-recorder / heartbeat passthrough (all-default = off).
+  TelemetryOptions telemetry{};
 };
 
 class SmipScenario final : public ScenarioBase {

@@ -56,6 +56,8 @@ struct StormScenarioConfig {
   signaling::AttachBackoffConfig backoff{};
   obs::Observability obs{};
   CheckpointOptions ckpt{};
+  /// Flight-recorder / heartbeat passthrough (all-default = off).
+  TelemetryOptions telemetry{};
 };
 
 class StormScenario final : public ScenarioBase {

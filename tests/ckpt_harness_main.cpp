@@ -38,8 +38,10 @@
 #include "faults/congestion.hpp"
 #include "faults/fault_schedule.hpp"
 #include "faults/resilience_report.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/observability.hpp"
 #include "obs/run_manifest.hpp"
+#include "obs/trace.hpp"
 #include "stats/sim_time.hpp"
 #include "tracegen/m2m_platform_scenario.hpp"
 #include "tracegen/mno_scenario.hpp"
@@ -61,13 +63,17 @@ struct Options {
   std::uint64_t seed = 42;
   bool faults = false;
   bool resume = false;
+  std::string trace_path;      // flight-recorder export (empty = off)
+  std::string heartbeat_path;  // live progress file (empty = off)
+  double heartbeat_interval_s = 1.0;
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --out DIR [--scenario mno|smip|platform|storm] [--ckpt PATH]\n"
                "          [--ckpt-hours N] [--stop-hours N] [--threads K]\n"
-               "          [--devices N] [--seed N] [--faults] [--resume]\n",
+               "          [--devices N] [--seed N] [--faults] [--resume]\n"
+               "          [--trace PATH] [--heartbeat PATH] [--heartbeat-interval S]\n",
                argv0);
   return 2;
 }
@@ -112,6 +118,18 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = value();
       if (!v) return false;
       opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--trace") {
+      const char* v = value();
+      if (!v) return false;
+      opt.trace_path = v;
+    } else if (arg == "--heartbeat") {
+      const char* v = value();
+      if (!v) return false;
+      opt.heartbeat_path = v;
+    } else if (arg == "--heartbeat-interval") {
+      const char* v = value();
+      if (!v) return false;
+      opt.heartbeat_interval_s = std::strtod(v, nullptr);
     } else {
       return false;
     }
@@ -131,15 +149,25 @@ std::string hex_double(double v) {
   return buf;
 }
 
+/// Wall-clock-derived flight-recorder telemetry (trace.* names) is excluded
+/// from metrics.txt: the dump is byte-compared between interrupted+resumed
+/// and uninterrupted runs, and wall times legitimately differ across them.
+bool volatile_metric(const std::string& name) {
+  return name.rfind("trace.", 0) == 0;
+}
+
 std::string dump_metrics(const obs::MetricsRegistry& metrics) {
   std::string out;
   for (const auto& [name, counter] : metrics.counters()) {
+    if (volatile_metric(name)) continue;
     out += name + "=" + std::to_string(counter.value()) + "\n";
   }
   for (const auto& [name, gauge] : metrics.gauges()) {
+    if (volatile_metric(name)) continue;
     out += name + "=" + hex_double(gauge.value()) + "\n";
   }
   for (const auto& [name, hist] : metrics.histograms()) {
+    if (volatile_metric(name)) continue;
     out += name + ": n=" + std::to_string(hist.count()) +
            " sum=" + hex_double(hist.sum()) + " buckets=";
     for (const auto b : hist.bucket_counts()) out += std::to_string(b) + ",";
@@ -258,6 +286,10 @@ std::unique_ptr<tracegen::ScenarioBase> make_scenario(
   ckpt.every_sim_hours = opt.ckpt_hours;
   ckpt.path = opt.ckpt_path;
   ckpt.stop_after_sim_hours = opt.stop_hours;
+  tracegen::TelemetryOptions telemetry;
+  telemetry.trace_path = opt.trace_path;
+  telemetry.heartbeat_path = opt.heartbeat_path;
+  telemetry.heartbeat_every_wall_s = opt.heartbeat_interval_s;
   if (opt.scenario == "storm") {
     tracegen::StormScenarioConfig config;
     config.seed = opt.seed;
@@ -272,6 +304,7 @@ std::unique_ptr<tracegen::ScenarioBase> make_scenario(
     config.faults = faults;
     config.obs = obs;
     config.ckpt = ckpt;
+    config.telemetry = telemetry;
     return std::make_unique<tracegen::StormScenario>(config);
   }
   if (opt.scenario == "smip") {
@@ -283,6 +316,7 @@ std::unique_ptr<tracegen::ScenarioBase> make_scenario(
     config.backoff.enabled = opt.faults;
     config.obs = obs;
     config.ckpt = ckpt;
+    config.telemetry = telemetry;
     return std::make_unique<tracegen::SmipScenario>(config);
   }
   if (opt.scenario == "platform") {
@@ -293,6 +327,7 @@ std::unique_ptr<tracegen::ScenarioBase> make_scenario(
     config.faults = faults;
     config.obs = obs;
     config.ckpt = ckpt;
+    config.telemetry = telemetry;
     return std::make_unique<tracegen::M2MPlatformScenario>(config);
   }
   tracegen::MnoScenarioConfig config;
@@ -304,6 +339,7 @@ std::unique_ptr<tracegen::ScenarioBase> make_scenario(
   config.backoff.enabled = opt.faults;
   config.obs = obs;
   config.ckpt = ckpt;
+  config.telemetry = telemetry;
   return std::make_unique<tracegen::MnoScenario>(config);
 }
 
@@ -323,6 +359,16 @@ void write_run_meta(const Options& opt, const sim::Engine& engine) {
 int run_harness(const Options& opt) {
   obs::RunObservation observation;
 
+  // The engine takes over the heartbeat once run() starts; this first beat
+  // exists so the supervisor sees a fresh file during the (potentially
+  // long) world/fleet build instead of mistaking startup for a hang.
+  if (!opt.heartbeat_path.empty()) {
+    obs::HeartbeatWriter boot{opt.heartbeat_path, 0.0};
+    obs::HeartbeatStatus status;
+    status.phase = "boot";
+    boot.write_now(status);
+  }
+
   faults::FaultSchedule schedule;
   if (opt.faults) build_fault_schedule(opt, schedule);
 
@@ -338,6 +384,8 @@ int run_harness(const Options& opt) {
   // resume truncates records.txt back to exactly the checkpointed prefix.
   ckpt::TraceFileSink sink{opt.out_dir + "/records.txt", opt.resume};
   scenario->engine().register_checkpointable("trace_sink", &sink);
+  sink.set_trace(scenario->engine().flight_recorder(),
+                 obs::FlightRecorder::kEngineTrack);
 
   std::unique_ptr<faults::ResilienceReport> report;
   if (opt.faults) {
