@@ -1,9 +1,272 @@
 // T2 (§4.2–4.3 in-text tables) — roaming-label shares per day, device-class
 // shares, the APN inventory, and the vendor composition of inbound roamers.
+//
+// Also home of the population scale sweep (README "Scaling"): each
+// population in WTR_BENCH_POPULATIONS (default "10000,100000"; a 1M entry
+// is the ROADMAP target and runs in a few minutes) is simulated three
+// times — threads=1, threads=K, and interrupted+resumed through a
+// mid-horizon checkpoint — streaming into a hashing sink instead of a
+// catalog. All three record streams must hash identically; the sweep
+// emits population_<N>_* manifest keys plus headline records_per_s and
+// bytes_per_agent from the largest population.
 
 #include "bench_common.hpp"
 
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
 #include "cellnet/tac_catalog.hpp"
+#include "ckpt/snapshot.hpp"
+
+namespace {
+
+using namespace wtr;
+
+/// Streaming FNV-1a-64 over every field of every record, in stream order —
+/// a catalog-free stand-in for "the output bytes" at scales where keeping
+/// records in memory is the bottleneck. Checkpointable so the running
+/// state rides in snapshots and an interrupted+resumed run must reproduce
+/// the uninterrupted hash exactly.
+class HashingSink final : public sim::RecordSink, public ckpt::Checkpointable {
+ public:
+  void on_signaling(const signaling::SignalingTransaction& txn,
+                    bool data_context) override {
+    mix(txn.device);
+    mix(static_cast<std::uint64_t>(txn.time));
+    mix(txn.sim_plmn.key());
+    mix(txn.visited_plmn.key());
+    mix(static_cast<std::uint64_t>(txn.procedure));
+    mix(static_cast<std::uint64_t>(txn.result));
+    mix(static_cast<std::uint64_t>(txn.rat));
+    mix(txn.sector);
+    mix(txn.tac);
+    mix(data_context ? 1u : 0u);
+    ++records_;
+  }
+  void on_cdr(const records::Cdr& cdr) override {
+    mix(cdr.device);
+    mix(static_cast<std::uint64_t>(cdr.time));
+    mix(cdr.sim_plmn.key());
+    mix(cdr.visited_plmn.key());
+    mix(std::bit_cast<std::uint64_t>(cdr.duration_s));
+    mix(static_cast<std::uint64_t>(cdr.rat));
+    ++records_;
+  }
+  void on_xdr(const records::Xdr& xdr) override {
+    mix(xdr.device);
+    mix(static_cast<std::uint64_t>(xdr.time));
+    mix(xdr.sim_plmn.key());
+    mix(xdr.visited_plmn.key());
+    mix(xdr.bytes_up);
+    mix(xdr.bytes_down);
+    for (const char c : xdr.apn) mix_byte(static_cast<std::uint8_t>(c));
+    mix(static_cast<std::uint64_t>(xdr.rat));
+    ++records_;
+  }
+  void on_dwell(signaling::DeviceHash device, std::int32_t day,
+                cellnet::Plmn visited_plmn, const cellnet::GeoPoint& location,
+                double seconds) override {
+    mix(device);
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(day)));
+    mix(visited_plmn.key());
+    mix(std::bit_cast<std::uint64_t>(location.lat));
+    mix(std::bit_cast<std::uint64_t>(location.lon));
+    mix(std::bit_cast<std::uint64_t>(seconds));
+    ++records_;
+  }
+
+  void save_state(util::BinWriter& out) const override {
+    out.u64(hash_);
+    out.u64(records_);
+  }
+  void restore_state(util::BinReader& in) override {
+    hash_ = in.u64();
+    records_ = in.u64();
+  }
+
+  [[nodiscard]] std::uint64_t hash() const noexcept { return hash_; }
+  [[nodiscard]] std::uint64_t records() const noexcept { return records_; }
+
+ private:
+  void mix_byte(std::uint8_t b) noexcept {
+    hash_ ^= b;
+    hash_ *= 1099511628211ull;
+  }
+  void mix(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<std::uint8_t>(v >> (i * 8)));
+  }
+
+  std::uint64_t hash_ = 14695981039346656037ull;
+  std::uint64_t records_ = 0;
+};
+
+/// Populations from WTR_BENCH_POPULATIONS ("10000,100000,1000000"); same
+/// hardening as scale_override — a typo must not silently shrink the sweep.
+std::vector<std::size_t> sweep_populations() {
+  const std::vector<std::size_t> fallback{10'000, 100'000};
+  const char* env = std::getenv("WTR_BENCH_POPULATIONS");
+  if (env == nullptr || *env == '\0') return fallback;
+  std::vector<std::size_t> populations;
+  const char* p = env;
+  while (*p != '\0') {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(p, &end, 10);
+    if (errno != 0 || end == p || value == 0 || (*end != ',' && *end != '\0')) {
+      std::cerr << "[bench] invalid WTR_BENCH_POPULATIONS=\"" << env
+                << "\" (want comma-separated positive integers); using default\n";
+      return fallback;
+    }
+    populations.push_back(static_cast<std::size_t>(value));
+    p = *end == ',' ? end + 1 : end;
+  }
+  return populations.empty() ? fallback : populations;
+}
+
+struct SweepLeg {
+  std::uint64_t hash = 0;
+  std::uint64_t records = 0;
+  std::uint64_t agents = 0;
+  std::uint64_t hydrated = 0;
+  std::size_t dormant_bytes = 0;   // arena residency before the run
+  std::size_t resident_bytes = 0;  // arena residency after the run
+  double build_s = 0.0;
+  double run_s = 0.0;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// One sweep leg: build the MNO scenario at `devices`, stream the run into
+/// a HashingSink, report hash + throughput + arena residency. `ckpt`
+/// carries the interrupt/resume plumbing for the checkpoint legs (the sink
+/// is registered as a checkpointable either way — registration alone never
+/// changes output).
+SweepLeg run_leg(std::size_t devices, unsigned threads,
+                 const tracegen::CheckpointOptions& ckpt = {},
+                 const std::string& resume_from = {}) {
+  tracegen::MnoScenarioConfig config;
+  config.seed = 2019;
+  config.total_devices = devices;
+  config.threads = threads;
+  config.build_coverage = false;  // the sweep measures the engine, not analyses
+  config.ckpt = ckpt;
+  // Sharded windows buffer their records until the merge barrier; without a
+  // boundary the single window spans the whole horizon, which at 1M agents
+  // is tens of GB of buffered records. A daily cadence bounds residency;
+  // with no snapshot path set it writes nothing, and window boundaries
+  // never change output bytes.
+  if (threads > 1 && config.ckpt.every_sim_hours == 0) {
+    config.ckpt.every_sim_hours = 24;
+  }
+
+  SweepLeg leg;
+  const auto build_start = std::chrono::steady_clock::now();
+  tracegen::MnoScenario scenario{config};
+  leg.build_s = seconds_since(build_start);
+
+  HashingSink sink;
+  scenario.engine().register_checkpointable("hash_sink", &sink);
+  if (!resume_from.empty()) scenario.resume_from(resume_from);
+  leg.dormant_bytes = scenario.engine().arena_resident_bytes();
+
+  const auto run_start = std::chrono::steady_clock::now();
+  scenario.run({&sink});
+  leg.run_s = seconds_since(run_start);
+
+  leg.hash = sink.hash();
+  leg.records = sink.records();
+  leg.agents = scenario.engine().agent_count();
+  leg.hydrated = scenario.engine().agents_hydrated();
+  leg.resident_bytes = scenario.engine().arena_resident_bytes();
+  return leg;
+}
+
+std::string hash_hex(std::uint64_t hash) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+/// Run the scale sweep, printing one table and adding population_<N>_*
+/// keys (plus headline records_per_s / bytes_per_agent from the largest
+/// population). Returns false if any determinism guard tripped.
+bool run_population_sweep(obs::RunManifest& manifest) {
+  const auto populations = sweep_populations();
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned par_threads = std::min(4u, std::max(2u, hw));
+
+  io::Table table{{"population", "records", "records/s (t1)",
+                   std::string("records/s (t") + std::to_string(par_threads) + ")",
+                   "bytes/agent", "dormant bytes/agent", "guards"}};
+  bool ok = true;
+  std::size_t largest = 0;
+
+  for (const std::size_t population : populations) {
+    std::cerr << "[bench] scale sweep: " << population << " devices...\n";
+    const SweepLeg base = run_leg(population, 1);
+    const SweepLeg parallel = run_leg(population, par_threads);
+
+    // Interrupt at mid-horizon (day 11 of 22), then resume a fresh process
+    // image from the snapshot — the concatenated record stream must hash
+    // identically to the uninterrupted run's.
+    const std::string ckpt_path = "BENCH_t2_sweep_ckpt.bin";
+    tracegen::CheckpointOptions stop_ckpt;
+    stop_ckpt.path = ckpt_path;
+    stop_ckpt.stop_after_sim_hours = 11 * 24;
+    (void)run_leg(population, par_threads, stop_ckpt);
+    const SweepLeg resumed = run_leg(population, par_threads, {}, ckpt_path);
+    std::remove(ckpt_path.c_str());
+
+    const bool threads_ok =
+        parallel.hash == base.hash && parallel.records == base.records;
+    const bool resume_ok = resumed.hash == base.hash && resumed.records == base.records;
+    ok = ok && threads_ok && resume_ok;
+
+    const double agents = static_cast<double>(base.agents);
+    const double bytes_per_agent = static_cast<double>(base.resident_bytes) / agents;
+    const double dormant_per_agent = static_cast<double>(base.dormant_bytes) / agents;
+    const double rate_t1 = static_cast<double>(base.records) / base.run_s;
+    const double rate_tn = static_cast<double>(parallel.records) / parallel.run_s;
+    table.add_row({io::format_count(population), io::format_count(base.records),
+                   io::format_count(static_cast<std::uint64_t>(rate_t1)),
+                   io::format_count(static_cast<std::uint64_t>(rate_tn)),
+                   io::format_fixed(bytes_per_agent), io::format_fixed(dormant_per_agent),
+                   std::string(threads_ok ? "threads=ok" : "THREADS MISMATCH") + " " +
+                       (resume_ok ? "resume=ok" : "RESUME MISMATCH")});
+
+    const std::string prefix = "population_" + std::to_string(population) + "_";
+    manifest.add_result(prefix + "records", base.records);
+    manifest.add_result(prefix + "agents", base.agents);
+    manifest.add_result(prefix + "hydrated", base.hydrated);
+    manifest.add_result(prefix + "records_per_s", rate_t1);
+    manifest.add_result(prefix + "records_per_s_t" + std::to_string(par_threads),
+                        rate_tn);
+    manifest.add_result(prefix + "bytes_per_agent", bytes_per_agent);
+    manifest.add_result(prefix + "dormant_bytes_per_agent", dormant_per_agent);
+    manifest.add_result(prefix + "run_wall_s", base.run_s);
+    manifest.add_result(prefix + "build_wall_s", base.build_s);
+    manifest.add_result(prefix + "hash", hash_hex(base.hash));
+    if (population >= largest) {
+      largest = population;
+      manifest.add_result("records_per_s", std::max(rate_t1, rate_tn));
+      manifest.add_result("bytes_per_agent", bytes_per_agent);
+    }
+  }
+
+  std::cout << '\n'
+            << io::figure_banner("T2b", "population scale sweep (ROADMAP: 1M+ agents)");
+  std::cout << table.render();
+  if (!ok) std::cerr << "[bench] scale sweep determinism guard FAILED\n";
+  return ok;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace wtr;
@@ -100,6 +363,7 @@ int main(int argc, char** argv) {
 
   auto manifest = bench::make_manifest("t2", run.scenario->config().seed,
                                        run.scenario->device_count(), observation);
+  const bool sweep_ok = run_population_sweep(manifest);
   manifest.add_result("label_share_hh", label_shares.share("H:H"));
   manifest.add_result("label_share_vh", label_shares.share("V:H"));
   manifest.add_result("label_share_ih", label_shares.share("I:H"));
@@ -110,5 +374,5 @@ int main(int argc, char** argv) {
   manifest.add_result("top3_vendor_inbound_share", top3);
   bench::add_thread_metadata(manifest, run.scenario->engine(), threads);
   bench::write_manifest(manifest);
-  return 0;
+  return sweep_ok ? 0 : 1;
 }

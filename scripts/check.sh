@@ -175,6 +175,33 @@ if grep -q "killing hung child" "$trace_tmp/slow.log"; then
 fi
 echo "check.sh: trace lane passed (TSan suite + validated export + hang-vs-slow supervision)"
 
+# --- Scale-smoke lane (100k agents through the wheel + arena) ---------------
+# A short-horizon 100k-device MNO run is big enough to cycle the timing
+# wheel through hundreds of buckets and leave part of the staggered fleet
+# dormant in the agent arena, yet small enough for sanitizer builds. The
+# records/metrics/probe dumps must be byte-identical between threads=1 and
+# threads=4 within each tree (never compared across trees — different
+# instrumentation, same-tree identity is the invariant).
+cmake --build "$tsan_dir" -j "$(nproc)" --target wtr_ckpt_harness
+scale_devices=100000
+scale_days=2
+for tree in "$build_dir" "$tsan_dir"; do
+  name=$(basename "$tree")
+  for t in 1 4; do
+    mkdir -p "$trace_tmp/scale-$name-t$t"
+    TSAN_OPTIONS="halt_on_error=1" "$tree/tests/wtr_ckpt_harness" \
+      --out "$trace_tmp/scale-$name-t$t" \
+      --devices "$scale_devices" --days "$scale_days" --threads "$t"
+  done
+  for f in records.txt metrics.txt probe.txt; do
+    if ! cmp -s "$trace_tmp/scale-$name-t1/$f" "$trace_tmp/scale-$name-t4/$f"; then
+      echo "check.sh: FAIL: scale smoke ($name): $f differs between threads=1 and threads=4" >&2
+      exit 1
+    fi
+  done
+done
+echo "check.sh: scale-smoke lane passed (${scale_devices} agents, threads=1 == threads=4 under ASan and TSan)"
+
 # --- Perf gate (plain build: sanitizer overhead would swamp the timers) ----
 baseline="bench/baselines/BENCH_p1_baseline.json"
 

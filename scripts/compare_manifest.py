@@ -71,11 +71,19 @@ TRACE_FORMAT_METADATA_KEYS = frozenset(
 # varies with scale, allocator and machine, so it is informational only.
 MEMORY_METADATA_KEYS = frozenset({"peak_rss_bytes"})
 
+# Population scale-sweep telemetry from bench_t2_population: throughput and
+# per-agent residency depend on the machine and on WTR_BENCH_POPULATIONS,
+# and the sweep's determinism guards (threads=1 vs N, interrupt+resume)
+# already gate through the bench exit status. Headline records_per_s /
+# bytes_per_agent are the same numbers re-published under stable names.
+SCALE_SWEEP_KEYS = frozenset({"records_per_s", "bytes_per_agent"})
+
 IGNORED_RESULT_KEYS = (
     THREAD_METADATA_KEYS
     | CHECKPOINT_METADATA_KEYS
     | TRACE_FORMAT_METADATA_KEYS
     | MEMORY_METADATA_KEYS
+    | SCALE_SWEEP_KEYS
 )
 
 # Closed-loop overload telemetry from bench_s3_overload_storm. Reject
@@ -87,7 +95,8 @@ IGNORED_RESULT_KEYS = (
 # (overhead percentages, event counts, shard-balance fractions): the bench
 # binary's own overhead guard gates those, and the values are wall-clock
 # derived so they would make every comparison machine-sensitive.
-IGNORED_RESULT_PREFIXES = ("congestion_", "storm_", "trace_", "heartbeat_")
+IGNORED_RESULT_PREFIXES = ("congestion_", "storm_", "trace_", "heartbeat_",
+                           "population_")
 
 
 def ignored_result(key):

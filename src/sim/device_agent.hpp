@@ -123,17 +123,26 @@ struct AgentOptions {
 
 class DeviceAgent {
  public:
-  DeviceAgent(devices::Device device, AgentOptions options, stats::Rng rng);
+  /// Hydration constructor (see sim::AgentArena): binds the agent to its
+  /// arena-owned device row and interned options, with `rng` already past
+  /// the first-wake draw and `first_wake` as computed by plan_first_wake at
+  /// registration. Both pointers must outlive the agent; `device` is
+  /// mutated in place (position, current country).
+  DeviceAgent(devices::Device* device, const AgentOptions* options, stats::Rng rng,
+              stats::SimTime first_wake);
 
-  /// First wake time (within the device's arrival day), or nullopt for a
-  /// device whose active window is empty.
-  [[nodiscard]] std::optional<stats::SimTime> first_wake();
+  /// Registration-time half of agent construction: the first wake time
+  /// (within the device's arrival day), drawn from `rng` exactly as the
+  /// eager construction path always did. Requires a non-empty active
+  /// window (callers check and drop empty-window devices before drawing).
+  [[nodiscard]] static stats::SimTime plan_first_wake(const devices::Device& device,
+                                                      stats::Rng& rng);
 
   /// Handle a wake at `now`; returns the next wake time, or nullopt when
   /// the device is done for the simulation.
   std::optional<stats::SimTime> on_wake(stats::SimTime now, const AgentContext& ctx);
 
-  [[nodiscard]] const devices::Device& device() const noexcept { return device_; }
+  [[nodiscard]] const devices::Device& device() const noexcept { return *device_; }
   [[nodiscard]] const signaling::EmmStateMachine& emm() const noexcept { return emm_; }
   [[nodiscard]] const signaling::AttachBackoff& backoff() const noexcept {
     return backoff_;
@@ -187,8 +196,8 @@ class DeviceAgent {
   /// xDR; failures arm the retry timer — the retry-storm generator).
   void maybe_fota(const AgentContext& ctx, stats::SimTime now);
 
-  devices::Device device_;
-  AgentOptions options_;
+  devices::Device* device_;         // arena-owned row, mutated in place
+  const AgentOptions* options_;     // interned per fleet, shared
   stats::Rng rng_;
   signaling::EmmStateMachine emm_;
   signaling::AttachBackoff backoff_;

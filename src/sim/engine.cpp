@@ -5,6 +5,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
+#include <string>
 
 #include "ckpt/shutdown.hpp"
 #include "obs/engine_probe.hpp"
@@ -85,31 +87,45 @@ Engine::~Engine() = default;
 
 void Engine::add_fleet(std::vector<devices::Device> fleet, AgentOptions options) {
   assert(!ran_);
-  agents_.reserve(agents_.size() + fleet.size());
-  first_wakes_.reserve(first_wakes_.size() + fleet.size());
-  // Pre-size the heap for the initial scheduling burst (one event per agent)
-  // so the burst never regrows mid-push.
-  queue_.reserve(agents_.size() + fleet.size());
+  // Agent indices ride in every Event and snapshot as AgentIndex
+  // (uint32_t); registering past that silently truncates indices into
+  // aliases, so reject the whole fleet up front with a clear error.
+  constexpr std::size_t kMaxAgents = std::numeric_limits<AgentIndex>::max();
+  if (fleet.size() > kMaxAgents - arena_.size()) {
+    throw std::length_error(
+        "sim::Engine::add_fleet: fleet of " + std::to_string(fleet.size()) +
+        " devices would push the agent count past the AgentIndex limit (" +
+        std::to_string(kMaxAgents) + "); current count is " +
+        std::to_string(arena_.size()));
+  }
+  // Geometric-floor reservation: the old per-fleet exact reserve here
+  // reallocated (and copied) the whole agent store on every add_fleet call.
+  arena_.reserve_additional(fleet.size());
+  queue_.reserve(arena_.size() + fleet.size());
+  const std::uint32_t options_id = arena_.intern_options(std::move(options));
   for (auto& device : fleet) {
     // Clamp the device's window to the engine horizon.
     device.departure_day = std::min(device.departure_day, config_.horizon_days);
-    auto agent = std::make_unique<DeviceAgent>(std::move(device), options,
-                                               rng_.fork(agents_.size() + 1));
-    if (const auto first = agent->first_wake()) {
-      queue_.schedule(*first, static_cast<AgentIndex>(agents_.size()));
-      agents_.push_back(std::move(agent));
-      first_wakes_.push_back(*first);
+    // Same per-device RNG discipline as the historical eager path: the fork
+    // tag counts *kept* agents, and empty-window devices draw nothing.
+    const auto first = arena_.register_device(std::move(device), options_id,
+                                              rng_.fork(arena_.size() + 1));
+    if (first) {
+      queue_.schedule(*first, static_cast<AgentIndex>(arena_.size() - 1));
     }
   }
+  // Every registered agent holds exactly one scheduled event until the run
+  // consumes the queue — the invariant the old reserve math approximated.
+  assert(queue_.size() == arena_.size());
 }
 
 std::uint64_t Engine::fleet_fingerprint() const {
   std::uint64_t h = stats::mix64(config_.seed, 0xc4e9'0000u);
   h = stats::mix64(h, static_cast<std::uint64_t>(config_.horizon_days));
-  h = stats::mix64(h, agents_.size());
-  for (std::size_t i = 0; i < agents_.size(); ++i) {
-    h = stats::mix64(h, agents_[i]->device().id);
-    h = stats::mix64(h, static_cast<std::uint64_t>(first_wakes_[i]));
+  h = stats::mix64(h, arena_.size());
+  for (std::size_t i = 0; i < arena_.size(); ++i) {
+    h = stats::mix64(h, arena_.device(i).id);
+    h = stats::mix64(h, static_cast<std::uint64_t>(arena_.first_wake(i)));
   }
   return h;
 }
@@ -159,8 +175,17 @@ void Engine::write_checkpoint(stats::SimTime resume_time, const EventQueue& queu
     payload.u32(event.agent);
   }
 
-  payload.u64(agents_.size());
-  for (const auto& agent : agents_) agent->save_state(payload);
+  payload.u64(arena_.size());
+  if (config_.snapshot_format >= 3) {
+    // v3: hydration flag per agent, state for hydrated agents only.
+    arena_.save_state(payload);
+  } else {
+    // Legacy v2 layout (no flags, every agent's state): hydrate the full
+    // arena first. Hydration is behavior-neutral — a hydrated dormant
+    // agent produces exactly the records it would have produced waking
+    // from the dormant tier — so opting into v2 costs memory, not output.
+    for (std::size_t i = 0; i < arena_.size(); ++i) arena_.agent(i).save_state(payload);
+  }
 
   payload.b(metrics_view != nullptr);
   if (metrics_view != nullptr) metrics_view->save_state(payload);
@@ -181,7 +206,8 @@ void Engine::write_checkpoint(stats::SimTime resume_time, const EventQueue& queu
 
   serialize_span.close();
   ckpt::write_snapshot_atomic(config_.checkpoint_path, payload.bytes(),
-                              trace_.get(), obs::FlightRecorder::kEngineTrack);
+                              trace_.get(), obs::FlightRecorder::kEngineTrack,
+                              config_.snapshot_format);
   ++checkpoints_written_;
   last_checkpoint_time_ = resume_time;
   checkpoint_wall_s_ +=
@@ -193,8 +219,8 @@ void Engine::resume_from(const std::string& path) {
   if (ran_) {
     throw std::logic_error("sim::Engine::resume_from: engine already ran");
   }
-  const std::string payload = ckpt::read_snapshot(path);
-  util::BinReader in(payload);
+  const ckpt::Snapshot snapshot = ckpt::read_snapshot_versioned(path);
+  util::BinReader in(snapshot.payload);
 
   const auto fingerprint = in.u64();
   if (fingerprint != fleet_fingerprint()) {
@@ -213,21 +239,26 @@ void Engine::resume_from(const std::string& path) {
   for (std::uint64_t i = 0; i < n_events; ++i) {
     const auto time = in.i64();
     const auto agent = in.u32();
-    if (agent >= agents_.size()) {
+    if (agent >= arena_.size()) {
       throw ckpt::SnapshotError(path + ": snapshot references agent index " +
                                 std::to_string(agent) + " beyond fleet size " +
-                                std::to_string(agents_.size()));
+                                std::to_string(arena_.size()));
     }
     resume_events_.emplace_back(time, agent);
   }
 
   const auto n_agents = in.u64();
-  if (n_agents != agents_.size()) {
+  if (n_agents != arena_.size()) {
     throw ckpt::SnapshotError(
         path + ": snapshot holds " + std::to_string(n_agents) +
-        " agents but the rebuilt engine has " + std::to_string(agents_.size()));
+        " agents but the rebuilt engine has " + std::to_string(arena_.size()));
   }
-  for (auto& agent : agents_) agent->restore_state(in);
+  arena_.freeze();
+  if (snapshot.version >= 3) {
+    arena_.restore_state(in);  // hydration-flagged arena section
+  } else {
+    arena_.restore_state_all(in);  // legacy: every agent saved
+  }
 
   const bool has_metrics = in.b();
   if (has_metrics != (config_.metrics != nullptr)) {
@@ -293,11 +324,16 @@ void Engine::run(std::vector<RecordSink*> sinks) {
         "second run (the event queue is consumed)");
   }
   ran_ = true;
+  if (config_.snapshot_format != 2 && config_.snapshot_format != ckpt::kSnapshotVersion) {
+    throw std::logic_error("sim::Engine::run: unsupported snapshot_format " +
+                           std::to_string(config_.snapshot_format));
+  }
+  arena_.freeze();
   beat(resumed_ ? "resume" : "init", resumed_ ? resume_time_ : 0,
        /*force=*/true);
 
   const std::size_t shard_count = std::min<std::size_t>(
-      std::max(1u, config_.threads), std::max<std::size_t>(1, agents_.size()));
+      std::max(1u, config_.threads), std::max<std::size_t>(1, arena_.size()));
   if (shard_count <= 1) {
     run_single(sinks);
   } else {
@@ -322,6 +358,15 @@ void Engine::finish_telemetry() {
         .set(static_cast<double>(trace_->events_dropped()));
     m.gauge("trace.queue_depth_hwm").set(static_cast<double>(queue_depth_hwm_));
     m.gauge("trace.merge_wait_skew_s").set(merge_wait_skew_s_);
+    // Wheel/arena internals are thread-count-dependent (per-shard queues
+    // rebase independently; record arenas exist only when sharded), so they
+    // live in the quarantined trace.* namespace like the other
+    // wall-clock-adjacent values.
+    m.gauge("trace.wheel_rebases").set(static_cast<double>(wheel_rebases_));
+    m.gauge("trace.arena_resident_bytes")
+        .set(static_cast<double>(arena_.resident_bytes()));
+    m.gauge("trace.record_buffer_peak_bytes")
+        .set(static_cast<double>(record_buffer_peak_bytes_));
     if (!shard_busy_s_.empty() && window_wall_s_ > 0.0) {
       const auto [lo, hi] =
           std::minmax_element(shard_busy_s_.begin(), shard_busy_s_.end());
@@ -427,7 +472,7 @@ void Engine::run_single(const std::vector<RecordSink*>& sinks) {
       if (beating && (wakes_ & kBeatWakeMask) == 0) {
         beat("run", event.time);
       }
-      auto& agent = *agents_[event.agent];
+      auto& agent = arena_.agent(event.agent);
       if (const auto next = agent.on_wake(event.time, ctx)) {
         queue_.schedule(*next, event.agent);
       }
@@ -470,6 +515,7 @@ void Engine::run_single(const std::vector<RecordSink*>& sinks) {
   // queue depth byte-for-byte.
   if (!queue_.empty()) queue_.pop();
   if (probe != nullptr) probe->end_run(last_time_, queue_.size(), wakes_);
+  wheel_rebases_ = queue_.rebases();
 }
 
 void Engine::run_shard_window(Shard& shard, EventQueue& queue,
@@ -492,7 +538,9 @@ void Engine::run_shard_window(Shard& shard, EventQueue& queue,
   while (!queue.empty() && *queue.next_time() <= stop) {
     const Event event = queue.pop();
     ++shard.wakes;
-    auto& agent = *agents_[event.agent];
+    // Shards partition agents by index, so hydration targets disjoint
+    // arena slots — no synchronization needed.
+    auto& agent = arena_.agent(event.agent);
     const auto next = agent.on_wake(event.time, ctx);
     shard.buffer.end_wake(event.agent, next ? *next : RecordBuffer::kNoNextWake);
     if (next) queue.schedule(*next, event.agent);
@@ -547,14 +595,14 @@ void Engine::run_sharded(const std::vector<RecordSink*>& sinks,
   // snapshot's pending events (already in global pop order) re-partition
   // the same way.
   std::vector<EventQueue> shard_queues(shard_count);
-  for (auto& queue : shard_queues) queue.reserve(agents_.size() / shard_count + 1);
+  for (auto& queue : shard_queues) queue.reserve(arena_.size() / shard_count + 1);
   EventQueue merged;
-  merged.reserve(agents_.size());
+  merged.reserve(arena_.size());
   if (!resumed_) {
-    for (std::size_t i = 0; i < agents_.size(); ++i) {
-      shard_queues[i % shard_count].schedule(first_wakes_[i],
+    for (std::size_t i = 0; i < arena_.size(); ++i) {
+      shard_queues[i % shard_count].schedule(arena_.first_wake(i),
                                              static_cast<AgentIndex>(i));
-      merged.schedule(first_wakes_[i], static_cast<AgentIndex>(i));
+      merged.schedule(arena_.first_wake(i), static_cast<AgentIndex>(i));
     }
   } else {
     for (const auto& [time, agent] : resume_events_) {
@@ -729,8 +777,11 @@ void Engine::run_sharded(const std::vector<RecordSink*>& sinks,
 
   merge_wall_s_ = merge_total_s;
   shard_wakes_.resize(shard_count);
+  wheel_rebases_ = merged.rebases();
   for (std::size_t s = 0; s < shard_count; ++s) {
     shard_wakes_[s] = shards[s].wakes;
+    wheel_rebases_ += shard_queues[s].rebases();
+    record_buffer_peak_bytes_ += shards[s].buffer.resident_bytes();
     if (config_.metrics != nullptr) config_.metrics->merge_from(shards[s].metrics);
   }
   if (trace_ != nullptr) {
@@ -755,7 +806,13 @@ void Engine::finish_run_metrics() {
   if (config_.metrics == nullptr) return;
   config_.metrics->counter("engine.wakes").inc(wakes_);
   config_.metrics->counter("engine.runs").inc();
-  config_.metrics->gauge("engine.agents").set_max(static_cast<double>(agents_.size()));
+  config_.metrics->gauge("engine.agents").set_max(static_cast<double>(arena_.size()));
+  // Thread-invariant: the set of agents that ever woke is fixed by the
+  // schedule, not the shard count (a full run hydrates every agent; an
+  // interrupted one defers this gauge to the resumed process, which ends
+  // with the same hydration set an uninterrupted run would have).
+  config_.metrics->gauge("engine.arena_hydrated")
+      .set_max(static_cast<double>(arena_.hydrated_count()));
   config_.metrics->gauge("engine.horizon_days")
       .set(static_cast<double>(config_.horizon_days));
 }

@@ -26,6 +26,7 @@
 
 #include "ckpt/snapshot.hpp"
 #include "signaling/outcome_policy.hpp"
+#include "sim/agent_arena.hpp"
 #include "sim/device_agent.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/record_buffer.hpp"
@@ -166,27 +167,47 @@ class Engine {
     std::string heartbeat_path;
     /// Minimum wall seconds between heartbeat rewrites.
     double heartbeat_every_wall_s = 1.0;
+    /// Snapshot container format this engine writes. Defaults to the
+    /// current version (3: hydration-flagged arena section). 2 writes the
+    /// legacy layout (every agent's state, no flags) readable by older
+    /// binaries; resume_from() auto-detects either on read. Any other
+    /// value is rejected at the first checkpoint write.
+    std::uint32_t snapshot_format = ckpt::kSnapshotVersion;
   };
 
   Engine(const topology::World& world, Config config);
   ~Engine();  // defined in engine.cpp: unique_ptr members of fwd-declared types
 
-  /// Add a fleet of devices, all sharing the same agent options. Devices
-  /// whose active window is empty are dropped silently.
+  /// Add a fleet of devices, all sharing the same agent options (interned
+  /// once in the arena). Devices whose active window is empty are dropped
+  /// silently. Throws std::length_error when the registration would push
+  /// the agent count past what AgentIndex can address.
   void add_fleet(std::vector<devices::Device> fleet, AgentOptions options);
 
   /// Number of agents registered.
-  [[nodiscard]] std::size_t agent_count() const noexcept { return agents_.size(); }
+  [[nodiscard]] std::size_t agent_count() const noexcept { return arena_.size(); }
 
   /// Read access to an agent's device (e.g. ground truth for validation).
+  /// Served from the arena's cold catalog — does not hydrate the agent.
   [[nodiscard]] const devices::Device& device(std::size_t index) const {
-    return agents_[index]->device();
+    return arena_.device(index);
   }
 
   /// Read access to a full agent (EMM machine, backoff timers) — used by
   /// the recovery tests to assert resumed state equals uninterrupted state.
+  /// Hydrates a dormant agent on access (deterministic materialization of
+  /// its registration-time state).
   [[nodiscard]] const DeviceAgent& agent(std::size_t index) const {
-    return *agents_[index];
+    return arena_.agent(index);
+  }
+
+  /// Arena telemetry for benches: agents materialized so far, and the
+  /// approximate physically resident bytes of agent state.
+  [[nodiscard]] std::size_t agents_hydrated() const noexcept {
+    return arena_.hydrated_count();
+  }
+  [[nodiscard]] std::size_t arena_resident_bytes() const noexcept {
+    return arena_.resident_bytes();
   }
 
   /// Register an external component whose state rides inside engine
@@ -300,10 +321,10 @@ class Engine {
   faults::CongestionLedger congestion_ledger_;
   signaling::OutcomePolicy outcomes_;
   stats::Rng rng_;
-  std::vector<std::unique_ptr<DeviceAgent>> agents_;
-  /// First wake per agent (parallel to agents_); seeds the per-shard queues
-  /// and the merge replay without re-consuming any agent RNG.
-  std::vector<stats::SimTime> first_wakes_;
+  /// All agent state: cold catalog + dormant hot fields + lazily hydrated
+  /// working slots (also records each agent's first wake, which seeds the
+  /// per-shard queues and the merge replay without re-consuming agent RNG).
+  AgentArena arena_;
   EventQueue queue_;
   std::uint64_t wakes_ = 0;
   std::vector<std::uint64_t> shard_wakes_;
@@ -330,6 +351,10 @@ class Engine {
   double window_wall_s_ = 0.0;
   double merge_wait_skew_s_ = 0.0;
   std::uint64_t queue_depth_hwm_ = 0;
+  /// Timing-wheel / arena telemetry collected at end of run (global queue
+  /// plus shard queues); published as quarantined trace.* gauges only.
+  std::uint64_t wheel_rebases_ = 0;
+  std::uint64_t record_buffer_peak_bytes_ = 0;
   stats::SimTime last_checkpoint_time_ = -1;
 };
 

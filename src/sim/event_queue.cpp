@@ -2,33 +2,142 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace wtr::sim {
 
+void EventQueue::reserve(std::size_t capacity) {
+  // A fleet-scale initial burst spreads across the whole horizon, so most
+  // of it lands in the far tier; per-bucket vectors stay small and grow
+  // geometrically on their own.
+  if (far_.capacity() < capacity) far_.reserve(capacity);
+}
+
 void EventQueue::schedule(stats::SimTime time, AgentIndex agent) {
-  heap_.push_back(Event{time, next_seq_++, agent});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  const Event event{time, next_seq_++, agent};
+  ++size_;
+  if (time < open_end_) {
+    // At or before the open bucket (including deliberately past-dated
+    // events): folded into the sorted run before the next front read.
+    pending_.push_back(event);
+  } else if (time < window_start_ + kSpan) {
+    buckets_[static_cast<std::size_t>((time - window_start_) / kBucketWidth)]
+        .push_back(event);
+  } else {
+    if (far_.empty() || time < far_min_) far_min_ = time;
+    far_.push_back(event);
+  }
+}
+
+void EventQueue::fold_pending() {
+  // Drop the consumed prefix, then merge the sorted pending batch into the
+  // (sorted) remaining run. The single-event case — an agent rescheduling
+  // within the open bucket — skips the prefix compaction entirely.
+  if (pending_.size() == 1) {
+    const Event event = pending_.front();
+    pending_.clear();
+    const auto pos = std::upper_bound(run_.begin() + static_cast<std::ptrdiff_t>(run_head_),
+                                      run_.end(), event, earlier);
+    run_.insert(pos, event);
+    return;
+  }
+  run_.erase(run_.begin(), run_.begin() + static_cast<std::ptrdiff_t>(run_head_));
+  run_head_ = 0;
+  const auto mid = static_cast<std::ptrdiff_t>(run_.size());
+  std::sort(pending_.begin(), pending_.end(), earlier);
+  run_.insert(run_.end(), pending_.begin(), pending_.end());
+  pending_.clear();
+  std::inplace_merge(run_.begin(), run_.begin() + mid, run_.end(), earlier);
+}
+
+void EventQueue::rebase() {
+  assert(!far_.empty());
+  // Align the new window so bucket boundaries stay on kBucketWidth
+  // multiples; far times are always positive (they exceeded a window end).
+  window_start_ = (far_min_ / kBucketWidth) * kBucketWidth;
+  open_end_ = window_start_;  // no bucket open yet
+  next_bucket_ = 0;
+  ++rebases_;
+  std::vector<Event> old_far;
+  old_far.swap(far_);
+  far_min_ = std::numeric_limits<stats::SimTime>::max();
+  for (const Event& event : old_far) {
+    if (event.time < window_start_ + kSpan) {
+      buckets_[static_cast<std::size_t>((event.time - window_start_) / kBucketWidth)]
+          .push_back(event);
+    } else {
+      if (event.time < far_min_) far_min_ = event.time;
+      far_.push_back(event);
+    }
+  }
+}
+
+void EventQueue::ensure_front() {
+  assert(size_ > 0);
+  for (;;) {
+    if (!pending_.empty()) fold_pending();
+    if (run_head_ < run_.size()) return;
+    run_.clear();
+    run_head_ = 0;
+    while (next_bucket_ < kNumBuckets && buckets_[next_bucket_].empty()) {
+      ++next_bucket_;
+    }
+    if (next_bucket_ < kNumBuckets) {
+      run_.swap(buckets_[next_bucket_]);
+      std::sort(run_.begin(), run_.end(), earlier);
+      open_end_ = window_start_ +
+                  static_cast<stats::SimTime>(next_bucket_ + 1) * kBucketWidth;
+      ++next_bucket_;
+      // Every unopened bucket and the far tier sit at or beyond open_end_,
+      // and pending_ is empty, so run_.front() is the global minimum.
+      return;
+    }
+    rebase();  // near window drained; jump it onto the far tier
+  }
 }
 
 std::optional<stats::SimTime> EventQueue::next_time() const {
-  if (heap_.empty()) return std::nullopt;
-  return heap_.front().time;
+  if (size_ == 0) return std::nullopt;
+  // Run tail and pending precede every bucket/far event (all < open_end_),
+  // so while the open bucket drains this is O(1) + |pending| (usually 0).
+  if (run_head_ < run_.size() || !pending_.empty()) {
+    stats::SimTime best = std::numeric_limits<stats::SimTime>::max();
+    if (run_head_ < run_.size()) best = run_[run_head_].time;
+    for (const Event& event : pending_) best = std::min(best, event.time);
+    return best;
+  }
+  // Buckets are time-ordered by index: the first non-empty one holds the
+  // minimum (one linear min-scan, paid once per bucket transition).
+  for (std::size_t i = next_bucket_; i < kNumBuckets; ++i) {
+    if (buckets_[i].empty()) continue;
+    stats::SimTime best = buckets_[i].front().time;
+    for (const Event& event : buckets_[i]) best = std::min(best, event.time);
+    return best;
+  }
+  assert(!far_.empty());
+  return far_min_;
 }
 
 Event EventQueue::pop() {
-  assert(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  const Event event = heap_.back();
-  heap_.pop_back();
+  assert(size_ > 0);
+  ensure_front();
+  const Event event = run_[run_head_++];
+  --size_;
   return event;
 }
 
 std::vector<Event> EventQueue::snapshot_events() const {
-  std::vector<Event> events = heap_;
-  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
-    if (a.time != b.time) return a.time < b.time;
-    return a.seq < b.seq;
-  });
+  std::vector<Event> events;
+  events.reserve(size_);
+  events.insert(events.end(), run_.begin() + static_cast<std::ptrdiff_t>(run_head_),
+                run_.end());
+  events.insert(events.end(), pending_.begin(), pending_.end());
+  for (const auto& bucket : buckets_) {
+    events.insert(events.end(), bucket.begin(), bucket.end());
+  }
+  events.insert(events.end(), far_.begin(), far_.end());
+  std::sort(events.begin(), events.end(), earlier);
+  assert(events.size() == size_);
   return events;
 }
 

@@ -1,12 +1,34 @@
 #pragma once
 
-// Discrete-event scheduler core: a min-heap of (time, sequence) keyed
-// events. Sequence numbers break ties deterministically so that identical
-// seeds replay identically regardless of heap implementation details. The
-// heap is an explicit vector (not std::priority_queue) so callers can
-// reserve() capacity up front — the initial scheduling burst puts one event
-// per agent into the heap, and regrowing through that burst is measurable
-// churn at fleet scale.
+// Discrete-event scheduler core: a hierarchical timing wheel (calendar
+// queue) keyed by (time, sequence). Sequence numbers are assigned
+// monotonically at schedule() time and break ties deterministically, so the
+// pop order is a total order fixed entirely by the schedule() call sequence
+// — identical to what the previous binary-heap implementation produced,
+// which is what keeps threads=N merges and checkpoint replays byte-exact
+// across the swap.
+//
+// Layout (three tiers, near to far):
+//  * run_     — the currently consumed bucket, sorted by (time, seq), read
+//               through run_head_. Always holds the global minimum.
+//  * pending_ — events scheduled at or before the open bucket's end while
+//               it is being consumed (an agent rescheduling within the same
+//               bucket, or a deliberately past-dated event). Folded into
+//               the sorted run before the next front read.
+//  * buckets_ — kNumBuckets buckets of kBucketWidth sim-seconds covering
+//               [window_start_, window_start_ + span). Events are appended
+//               unsorted in O(1) and each bucket is sorted once, when it
+//               becomes the run.
+//  * far_     — everything at or beyond the window end, unsorted. When the
+//               near window drains, the window rebases onto the earliest
+//               far event and far_ is re-partitioned (each event migrates
+//               at most once per rebase; rebases are O(horizon / span)).
+//
+// Why not a heap: at fleet scale every agent holds exactly one pending
+// event, so the heap is as deep as the fleet and every push/pop pays
+// O(log n) pointer-chasing comparisons. The wheel appends in O(1), sorts
+// one cache-resident bucket at a time, and parks dormant/far-future agents
+// in a flat array that costs nothing until the window reaches them.
 
 #include <cstdint>
 #include <optional>
@@ -26,14 +48,25 @@ struct Event {
 
 class EventQueue {
  public:
-  /// Pre-size the heap storage (e.g. from Engine::agent_count() before the
-  /// initial scheduling burst). Never shrinks.
-  void reserve(std::size_t capacity) { heap_.reserve(capacity); }
+  /// Bucket geometry. 1024 × 64 s covers ~18.2 sim-hours of near-term
+  /// schedule; a 22-day horizon crosses it in ~29 rebases.
+  static constexpr stats::SimTime kBucketWidth = 64;
+  static constexpr std::size_t kNumBuckets = 1024;
+  static constexpr stats::SimTime kSpan =
+      kBucketWidth * static_cast<stats::SimTime>(kNumBuckets);
+
+  EventQueue() : buckets_(kNumBuckets) {}
+
+  /// Capacity hint retained for API compatibility. The wheel allocates per
+  /// bucket on demand, so the initial scheduling burst no longer needs (or
+  /// benefits from) a single up-front reservation; only the far tier —
+  /// where a fleet-wide burst mostly lands — takes the hint.
+  void reserve(std::size_t capacity);
 
   void schedule(stats::SimTime time, AgentIndex agent);
 
-  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::optional<stats::SimTime> next_time() const;
 
   /// Pop the earliest event; requires non-empty.
@@ -45,16 +78,39 @@ class EventQueue {
   /// events scheduled later, which is what makes resume replay-exact.
   [[nodiscard]] std::vector<Event> snapshot_events() const;
 
- private:
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  // --- telemetry (never consulted by the simulation itself) ----------------
+  /// Events currently parked in the far tier (beyond the near window).
+  [[nodiscard]] std::size_t far_size() const noexcept { return far_.size(); }
+  /// Window rebases performed so far (far-tier re-partitions).
+  [[nodiscard]] std::uint64_t rebases() const noexcept { return rebases_; }
 
-  std::vector<Event> heap_;  // max-heap under Later == min-(time,seq) at front
+ private:
+  static bool earlier(const Event& a, const Event& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  /// Make run_[run_head_] the global minimum (folds pending, opens the next
+  /// non-empty bucket, rebases the window). Requires size_ > 0.
+  void ensure_front();
+  void fold_pending();
+  void rebase();
+
+  std::vector<std::vector<Event>> buckets_;
+  std::vector<Event> run_;      // sorted; the open bucket (+ folded pending)
+  std::size_t run_head_ = 0;
+  std::vector<Event> pending_;  // scheduled below open_end_ since last fold
+  std::vector<Event> far_;      // unsorted, >= window_start_ + kSpan
+  stats::SimTime far_min_ = 0;  // min time in far_ (valid iff non-empty)
+  stats::SimTime window_start_ = 0;
+  /// End of the open bucket: schedule() routes t < open_end_ to pending_.
+  /// Equal to window_start_ while no bucket is open (fresh queue / just
+  /// rebased), so nothing routes to pending_ until consumption starts.
+  stats::SimTime open_end_ = 0;
+  std::size_t next_bucket_ = 0;  // next buckets_ index ensure_front() opens
+  std::size_t size_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t rebases_ = 0;
 };
 
 }  // namespace wtr::sim

@@ -95,6 +95,18 @@ class RecordBuffer final : public RecordSink {
   [[nodiscard]] std::size_t wake_count() const noexcept { return wakes_.size(); }
   [[nodiscard]] std::size_t record_count() const noexcept { return tape_.size(); }
 
+  /// Approximate bytes of arena storage held (capacities, so it reflects
+  /// the high-water mark across windows — clear() retains capacity).
+  /// Telemetry only.
+  [[nodiscard]] std::size_t resident_bytes() const noexcept {
+    return tape_.capacity() * sizeof(Kind) +
+           signaling_.capacity() * sizeof(BufferedSignaling) +
+           cdrs_.capacity() * sizeof(records::Cdr) +
+           xdrs_.capacity() * sizeof(records::Xdr) +
+           dwells_.capacity() * sizeof(BufferedDwell) +
+           wakes_.capacity() * sizeof(WakeEntry);
+  }
+
   /// Agent owning the wake at the cursor (requires an unconsumed wake).
   [[nodiscard]] AgentIndex peek_agent(const Cursor& cursor) const {
     return wakes_[cursor.wake].agent;

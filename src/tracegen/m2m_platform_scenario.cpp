@@ -27,6 +27,9 @@ sim::Engine::Config engine_config_for(const M2MPlatformConfig& config) {
   ec.checkpoint_every_sim_hours = config.ckpt.every_sim_hours;
   ec.checkpoint_path = config.ckpt.path;
   ec.stop_after_sim_hours = config.ckpt.stop_after_sim_hours;
+  if (config.ckpt.snapshot_format != 0) {
+    ec.snapshot_format = config.ckpt.snapshot_format;
+  }
   ec.trace_path = config.telemetry.trace_path;
   ec.trace_capacity_per_track = config.telemetry.trace_capacity_per_track;
   ec.heartbeat_path = config.telemetry.heartbeat_path;

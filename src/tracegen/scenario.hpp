@@ -27,6 +27,9 @@ struct CheckpointOptions {
   std::string path;
   /// Deterministic in-process interrupt at this sim-hour boundary (0 = off).
   std::int64_t stop_after_sim_hours = 0;
+  /// Snapshot container version to write (0 = current). Resume auto-detects;
+  /// pinning 2 emits the legacy every-agent layout for older readers.
+  std::uint32_t snapshot_format = 0;
 };
 
 /// Live-telemetry passthrough shared by all scenario configs (maps 1:1 onto

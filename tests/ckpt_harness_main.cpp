@@ -60,6 +60,7 @@ struct Options {
   std::int64_t stop_hours = 0;     // deterministic in-process interrupt
   unsigned threads = 1;
   std::size_t devices = 600;
+  std::int32_t days = 0;  // 0 = the scenario's default horizon
   std::uint64_t seed = 42;
   bool faults = false;
   bool resume = false;
@@ -72,7 +73,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --out DIR [--scenario mno|smip|platform|storm] [--ckpt PATH]\n"
                "          [--ckpt-hours N] [--stop-hours N] [--threads K]\n"
-               "          [--devices N] [--seed N] [--faults] [--resume]\n"
+               "          [--devices N] [--days N] [--seed N] [--faults] [--resume]\n"
                "          [--trace PATH] [--heartbeat PATH] [--heartbeat-interval S]\n",
                argv0);
   return 2;
@@ -114,6 +115,11 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = value();
       if (!v) return false;
       opt.devices = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--days") {
+      const char* v = value();
+      if (!v) return false;
+      opt.days = static_cast<std::int32_t>(std::strtol(v, nullptr, 10));
+      if (opt.days <= 0) return false;
     } else if (arg == "--seed") {
       const char* v = value();
       if (!v) return false;
@@ -296,6 +302,7 @@ std::unique_ptr<tracegen::ScenarioBase> make_scenario(
     config.trackers = opt.devices / 5;
     config.meters = opt.devices - config.trackers;
     config.threads = opt.threads;
+    if (opt.days > 0) config.days = opt.days;
     config.checkin_jitter_s = 150.0;
     config.fota_start_s = 30 * 3600;
     config.fota_failure_p = 0.35;
@@ -312,6 +319,7 @@ std::unique_ptr<tracegen::ScenarioBase> make_scenario(
     config.seed = opt.seed;
     config.total_devices = opt.devices;
     config.threads = opt.threads;
+    if (opt.days > 0) config.days = opt.days;
     config.faults = faults;
     config.backoff.enabled = opt.faults;
     config.obs = obs;
@@ -324,6 +332,7 @@ std::unique_ptr<tracegen::ScenarioBase> make_scenario(
     config.seed = opt.seed;
     config.total_devices = opt.devices;
     config.threads = opt.threads;
+    if (opt.days > 0) config.days = opt.days;
     config.faults = faults;
     config.obs = obs;
     config.ckpt = ckpt;
@@ -334,6 +343,7 @@ std::unique_ptr<tracegen::ScenarioBase> make_scenario(
   config.seed = opt.seed;
   config.total_devices = opt.devices;
   config.threads = opt.threads;
+  if (opt.days > 0) config.days = opt.days;
   config.build_coverage = false;
   config.faults = faults;
   config.backoff.enabled = opt.faults;

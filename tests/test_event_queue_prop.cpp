@@ -1,11 +1,17 @@
 // Differential property test for the DES scheduler core: EventQueue (the
-// explicit binary heap with seq tie-breaking) is fuzzed against a reference
-// model built on std::priority_queue over randomized push/pop/reserve
-// sequences. The reference orders by the same (time, seq) key, so any
-// divergence — ordering, size accounting, snapshot contents — is a heap
-// bug, not a modelling choice. snapshot_events() is checked at random
-// points too: it must list the pending events in exact pop order without
-// disturbing the queue (the checkpoint subsystem relies on both halves).
+// hierarchical timing wheel with seq tie-breaking) is fuzzed against a
+// reference model built on std::priority_queue over randomized
+// push/pop/reserve sequences. The reference orders by the same (time, seq)
+// key, so any divergence — ordering, size accounting, snapshot contents —
+// is a scheduler bug, not a modelling choice. snapshot_events() is checked
+// at random points too: it must list the pending events in exact pop order
+// without disturbing the queue (the checkpoint subsystem relies on both
+// halves).
+//
+// The unconstrained fuzz exercises past-dated scheduling (events behind
+// the open bucket); the engine-shaped fuzz below drives the wheel the way
+// run() does — monotone pop times, same-tick wake bursts, and far-future
+// parks beyond the wheel span that force far-tier rebases.
 
 #include <gtest/gtest.h>
 
@@ -111,6 +117,121 @@ TEST(EventQueueProp, DifferentialFuzzAgainstPriorityQueue) {
     expect_event_eq(queue.pop(), want, kOps);
   }
   EXPECT_TRUE(queue.empty());
+}
+
+// Engine-shaped differential fuzz: like Engine::run, every schedule lands
+// at or after the time of the event just popped. Delays are drawn to cover
+// all wheel tiers — 0 (same-tick bursts: a fleet waking in lockstep), a few
+// seconds (open-bucket inserts, the fold_pending fast path), minutes-hours
+// (near buckets), and multi-day parks far beyond the 18h wheel span
+// (dormant devices; these sit in the far tier until a rebase re-buckets
+// them). 30-day parks across a long drain force many rebases.
+TEST(EventQueueProp, EngineShapedMonotoneFuzz) {
+  std::mt19937_64 rng{0xabcdef12345ULL};
+  sim::EventQueue queue;
+  RefQueue ref;
+  std::uint64_t next_seq = 0;
+
+  constexpr std::size_t kSeedAgents = 64;
+  std::uniform_int_distribution<stats::SimTime> seed_dist{0, 86'400};
+  for (std::size_t i = 0; i < kSeedAgents; ++i) {
+    const auto t = seed_dist(rng);
+    queue.schedule(t, static_cast<sim::AgentIndex>(i));
+    ref.push(RefEvent{t, next_seq++, static_cast<sim::AgentIndex>(i)});
+  }
+
+  std::uniform_int_distribution<int> kind_dist{0, 99};
+  std::uniform_int_distribution<stats::SimTime> open_dist{1, 63};
+  std::uniform_int_distribution<stats::SimTime> near_dist{64, 65'535};
+  std::uniform_int_distribution<stats::SimTime> far_dist{65'536,
+                                                         30ll * 86'400};
+  std::uniform_int_distribution<int> burst_dist{0, 3};
+
+  constexpr std::size_t kPops = 50'000;
+  for (std::size_t step = 0; step < kPops && !ref.empty(); ++step) {
+    const auto want = ref.top();
+    ref.pop();
+    ASSERT_EQ(queue.next_time().value(), want.time) << "at pop " << step;
+    expect_event_eq(queue.pop(), want, step);
+
+    // Reschedule 0..3 successors at or after the popped time.
+    const int burst = burst_dist(rng);
+    for (int i = 0; i < burst; ++i) {
+      const int kind = kind_dist(rng);
+      stats::SimTime delay = 0;
+      if (kind < 15) {
+        delay = 0;  // same tick — seq order must carry the day
+      } else if (kind < 45) {
+        delay = open_dist(rng);
+      } else if (kind < 85) {
+        delay = near_dist(rng);
+      } else {
+        delay = far_dist(rng);
+      }
+      const stats::SimTime t = want.time + delay;
+      queue.schedule(t, want.agent);
+      ref.push(RefEvent{t, next_seq++, want.agent});
+    }
+    ASSERT_EQ(queue.size(), ref.size()) << "at pop " << step;
+  }
+
+  while (!ref.empty()) {
+    const auto want = ref.top();
+    ref.pop();
+    expect_event_eq(queue.pop(), want, kPops);
+  }
+  EXPECT_TRUE(queue.empty());
+  // The far parks span ~30 days against an 18h wheel window: a drain that
+  // never rebased would mean the far tier was never exercised.
+  EXPECT_GT(queue.rebases(), 0u);
+}
+
+// Checkpoint-shaped round trip: snapshot_events() mid-drain, reschedule the
+// image in pop order into a fresh wheel (exactly what Engine::resume_from
+// does), and finish the drain on the new queue — the tail must agree with
+// the reference event-for-event modulo seq renumbering (resume reassigns
+// seq 0..n-1, preserving relative order).
+TEST(EventQueueProp, SnapshotRescheduleResumesIdentically) {
+  std::mt19937_64 rng{0x5eed'0f'ca11u};
+  sim::EventQueue queue;
+  RefQueue ref;
+  std::uint64_t next_seq = 0;
+
+  std::uniform_int_distribution<stats::SimTime> time_dist{0, 40ll * 86'400};
+  std::uniform_int_distribution<sim::AgentIndex> agent_dist{0, 999};
+  constexpr std::size_t kEvents = 4'096;
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    const auto t = time_dist(rng);
+    const auto agent = agent_dist(rng);
+    queue.schedule(t, agent);
+    ref.push(RefEvent{t, next_seq++, agent});
+  }
+
+  // Drain a prefix (forces bucket opens and at least one rebase given the
+  // 40-day spread), then checkpoint.
+  for (std::size_t i = 0; i < kEvents / 2; ++i) {
+    const auto want = ref.top();
+    ref.pop();
+    expect_event_eq(queue.pop(), want, i);
+  }
+  const auto image = queue.snapshot_events();
+  ASSERT_EQ(image.size(), ref.size());
+
+  sim::EventQueue resumed;
+  RefQueue ref_resumed;
+  std::uint64_t resumed_seq = 0;
+  for (const auto& event : image) {
+    resumed.schedule(event.time, event.agent);
+    ref_resumed.push(RefEvent{event.time, resumed_seq++, event.agent});
+  }
+
+  while (!ref_resumed.empty()) {
+    const auto want = ref_resumed.top();
+    ref_resumed.pop();
+    ASSERT_FALSE(resumed.empty());
+    expect_event_eq(resumed.pop(), want, resumed_seq);
+  }
+  EXPECT_TRUE(resumed.empty());
 }
 
 TEST(EventQueueProp, SnapshotOfFreshQueueIsEmpty) {
